@@ -1,0 +1,48 @@
+"""DM training from self-play: held-out next-action accuracy vs volume.
+
+Supports the Section 3 pipeline: the high-level dialogue-flow model is
+trained purely on synthesized self-play.  We report held-out next-action
+accuracy as the number of synthesized flows grows (the paper's premise:
+enough useful DM data can be synthesized for free).
+"""
+
+from __future__ import annotations
+
+from repro.annotation import TaskExtractor
+from repro.datasets import MovieConfig, build_movie_database
+from repro.db import Catalog
+from repro.dialogue import NextActionModel
+from repro.eval import ResultTable
+from repro.synthesis import SelfPlayConfig, SelfPlaySimulator
+
+
+def test_dm_accuracy_vs_flow_volume(benchmark):
+    database, annotations = build_movie_database(MovieConfig())
+    tasks = TaskExtractor(Catalog(database), annotations).extract_all()
+    test_flows = SelfPlaySimulator(
+        tasks, SelfPlayConfig(n_flows=150, seed=999)
+    ).run()
+
+    table = ResultTable(
+        "DM: held-out next-action accuracy vs synthesized flow volume",
+        ["n_flows", "accuracy"],
+    )
+    accuracies = {}
+    for n_flows in (10, 50, 200, 800):
+        train = SelfPlaySimulator(
+            tasks, SelfPlayConfig(n_flows=n_flows, seed=1)
+        ).run()
+        model = NextActionModel().fit(train)
+        accuracy = model.evaluate(test_flows)
+        table.add_row(n_flows, accuracy)
+        accuracies[n_flows] = accuracy
+    table.show()
+
+    assert accuracies[800] >= accuracies[10]
+    assert accuracies[800] > 0.8
+    benchmark.extra_info["accuracies"] = {
+        str(k): v for k, v in accuracies.items()
+    }
+
+    train = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=200, seed=1)).run()
+    benchmark(lambda: NextActionModel().fit(train))

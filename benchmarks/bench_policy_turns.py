@@ -1,0 +1,90 @@
+"""E2 — Data-aware vs static vs random slot selection (Section 4 eval).
+
+Paper claim: "The speedup (in terms of interaction turns) compared to a
+random strategy can be up to 80 % for large tables with many dimensions
+to join.  When large amounts of data similar to the production entries
+are already available at training time, the static strategy can reach a
+similar performance as our data-aware policy."
+
+This bench sweeps table size x number of joinable dimension tables and
+reports mean identification turns per policy plus the data-aware
+speedup over random.  Expected shape: data-aware <= static << random,
+with the speedup growing with scale.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.datasets import MovieConfig, build_movie_database
+from repro.eval import ResultTable
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from helpers import run_policy_comparison  # noqa: E402
+
+SWEEP = [
+    # (label, n_screenings, n_movies, extra_dimensions)
+    ("small/0dims", 100, 25, 0),
+    ("small/4dims", 100, 25, 4),
+    ("large/0dims", 800, 120, 0),
+    ("large/4dims", 800, 120, 4),
+    ("large/8dims", 800, 120, 8),
+]
+
+EPISODES = 25
+
+
+def test_policy_turns_sweep(benchmark):
+    table = ResultTable(
+        "E2: mean identification turns (screening entity), 25 episodes/cell",
+        ["config", "data_aware", "static", "random", "speedup_vs_random"],
+    )
+    rows = {}
+    for label, n_screenings, n_movies, dims in SWEEP:
+        config = MovieConfig(
+            seed=3,
+            n_customers=100,
+            n_movies=n_movies,
+            n_screenings=n_screenings,
+            n_reservations=50,
+            n_actors=80,
+            extra_dimensions=dims,
+            n_days=30,
+        )
+        database, annotations = build_movie_database(config)
+        summaries = run_policy_comparison(
+            database, annotations, n_episodes=EPISODES
+        )
+        speedup = summaries["data_aware"].speedup_vs(summaries["random"])
+        table.add_row(
+            label,
+            summaries["data_aware"].mean_turns,
+            summaries["static"].mean_turns,
+            summaries["random"].mean_turns,
+            f"{speedup:.0%}",
+        )
+        rows[label] = {
+            "data_aware": summaries["data_aware"].mean_turns,
+            "static": summaries["static"].mean_turns,
+            "random": summaries["random"].mean_turns,
+            "speedup": speedup,
+        }
+    table.show()
+
+    # Shape assertions mirroring the paper's claims.
+    for label, cell in rows.items():
+        assert cell["data_aware"] <= cell["random"], label
+    largest = rows["large/8dims"]
+    assert largest["speedup"] >= 0.4, (
+        f"expected a large speedup vs random at scale, got "
+        f"{largest['speedup']:.0%}"
+    )
+
+    # Timed portion: one full comparison on the small config.
+    small, annotations = build_movie_database(
+        MovieConfig(n_screenings=100, n_movies=25, extra_dimensions=2)
+    )
+    result = benchmark(
+        run_policy_comparison, small, annotations, 10
+    )
+    benchmark.extra_info["sweep"] = rows

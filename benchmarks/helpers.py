@@ -1,0 +1,63 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench prints a paper-style result table (run pytest with ``-s`` to
+see it live) and stores the headline numbers in ``benchmark.extra_info``
+so they survive in the pytest-benchmark JSON output.
+"""
+
+from __future__ import annotations
+
+from repro.annotation import EntityLookup, SchemaAnnotations, TaskExtractor
+from repro.dataaware import (
+    DataAwarePolicy,
+    RandomPolicy,
+    StaticPolicy,
+    UserAwarenessModel,
+)
+from repro.db import Catalog, Database, StatisticsCatalog
+from repro.eval import PolicyExperiment
+
+
+def screening_lookup(database: Database, annotations: SchemaAnnotations):
+    """The ticket_reservation screening lookup plus its catalog."""
+    catalog = Catalog(database)
+    extractor = TaskExtractor(catalog, annotations)
+    task = extractor.extract(database.procedures.get("ticket_reservation"))
+    return catalog, task.lookup_for("screening_id")
+
+
+def make_policies(
+    database: Database,
+    catalog: Catalog,
+    annotations: SchemaAnnotations,
+    lookup: EntityLookup,
+    seed: int = 11,
+):
+    """The three policies of the Section 4 comparison."""
+    awareness = UserAwarenessModel(annotations)
+    return {
+        "data_aware": DataAwarePolicy(
+            lookup, awareness, StatisticsCatalog(database)
+        ),
+        "static": StaticPolicy.train(lookup, database, catalog, annotations),
+        "random": RandomPolicy(lookup, seed=seed),
+    }
+
+
+def run_policy_comparison(
+    database: Database,
+    annotations: SchemaAnnotations,
+    n_episodes: int = 25,
+    seed: int = 17,
+):
+    """Mean turns for the three policies on screening identification."""
+    catalog, lookup = screening_lookup(database, annotations)
+    experiment = PolicyExperiment(
+        database, catalog, annotations, lookup, seed=seed
+    )
+    policies = make_policies(database, catalog, annotations, lookup)
+    summaries = {}
+    for name, policy in policies.items():
+        summary, __ = experiment.run(policy, n_episodes=n_episodes)
+        summaries[name] = summary
+    return summaries

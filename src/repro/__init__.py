@@ -1,0 +1,32 @@
+"""repro: a reproduction of CAT (VLDB 2022).
+
+CAT synthesizes data-aware conversational agents for transactional
+databases.  The top-level package re-exports the main entry points; see
+the subpackages for the full API:
+
+* :mod:`repro.db` — in-memory relational OLTP engine,
+* :mod:`repro.annotation` — schema annotation and task extraction,
+* :mod:`repro.synthesis` — training-data generation,
+* :mod:`repro.nlu` — intent classification, slot filling, entity linking,
+* :mod:`repro.dialogue` — dialogue management,
+* :mod:`repro.dataaware` — the data-aware slot-selection policy,
+* :mod:`repro.agent` — the runtime agent and the ``CAT`` builder facade,
+* :mod:`repro.datasets` — synthetic cinema database and ATIS-like corpus,
+* :mod:`repro.eval` — metrics and experiment harnesses.
+"""
+
+from repro.agent import CAT, ConversationalAgent, ConversationSession
+from repro.db import Database, DatabaseSchema
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CAT",
+    "ConversationSession",
+    "ConversationalAgent",
+    "Database",
+    "DatabaseSchema",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Agent runtime: the synthesized conversational agent and its builder."""
+
+from repro.agent.agent import AgentReply, ConversationalAgent
+from repro.agent.builder import CAT, SynthesisReport
+from repro.agent.executor import ExecutionOutcome, TransactionExecutor
+from repro.agent.responses import Responder
+from repro.agent.session import ConversationSession, TranscriptTurn
+
+__all__ = [
+    "CAT",
+    "AgentReply",
+    "ConversationSession",
+    "ConversationalAgent",
+    "ExecutionOutcome",
+    "Responder",
+    "SynthesisReport",
+    "TranscriptTurn",
+]

@@ -1,0 +1,126 @@
+"""The CAT facade: synthesize a conversational agent for a database.
+
+This is the end-to-end entry point mirroring the demo workflow of
+Section 5:
+
+1. annotate the schema (or accept the defaults),
+2. register a few NL templates per intent,
+3. ``synthesize()`` — extract tasks, generate NLU + DM training data,
+   train the models, and wire the runtime agent to the database.
+
+>>> cat = CAT(database, annotations)                     # doctest: +SKIP
+>>> cat.add_templates("inform", ["the title is {movie_title}"])
+>>> agent = cat.synthesize()
+>>> agent.respond("i want to buy 4 tickets").text
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.agent.agent import ConversationalAgent
+from repro.annotation import SchemaAnnotations, Task, TaskExtractor
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.dialogue.policy import NextActionModel
+from repro.errors import SynthesisError
+from repro.nlu.pipeline import NLUPipeline
+from repro.synthesis import (
+    FlowDataset,
+    GenerationConfig,
+    NLUDataset,
+    TrainingDataGenerator,
+)
+
+__all__ = ["SynthesisReport", "CAT"]
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """What was generated and trained during synthesis."""
+
+    n_tasks: int
+    n_templates: int
+    n_nlu_examples: int
+    n_flows: int
+    intents: tuple[str, ...]
+    agent_actions: tuple[str, ...]
+
+
+class CAT:
+    """Synthesizes data-aware conversational agents for OLTP databases."""
+
+    def __init__(
+        self,
+        database: Database,
+        annotations: SchemaAnnotations | None = None,
+        generation: GenerationConfig | None = None,
+        max_join_hops: int = 2,
+        choice_list_size: int = 3,
+        reference_date=None,
+    ) -> None:
+        self.reference_date = reference_date
+        self.database = database
+        self.catalog = Catalog(database)
+        self.annotations = annotations or SchemaAnnotations(database)
+        self.tasks: list[Task] = TaskExtractor(
+            self.catalog, self.annotations, max_join_hops
+        ).extract_all()
+        if not self.tasks:
+            raise SynthesisError(
+                "the database defines no stored procedures to build tasks from"
+            )
+        self.generator = TrainingDataGenerator(
+            self.database, self.catalog, self.tasks, generation
+        )
+        self._choice_list_size = choice_list_size
+        self.nlu_data: NLUDataset | None = None
+        self.flow_data: FlowDataset | None = None
+
+    # ------------------------------------------------------------------
+    # Developer input (the GUI workflow of Figure 4)
+    # ------------------------------------------------------------------
+    def add_templates(self, intent: str, texts: list[str]) -> None:
+        """Register developer templates for one intent."""
+        self.generator.add_templates(intent, texts)
+
+    def add_template_catalog(self, catalog: dict[str, list[str]]) -> None:
+        """Register a whole ``intent -> templates`` dictionary."""
+        for intent, texts in catalog.items():
+            self.add_templates(intent, texts)
+
+    # ------------------------------------------------------------------
+    def synthesize(self) -> ConversationalAgent:
+        """Generate training data, train all models, return the agent."""
+        self.nlu_data = self.generator.generate_nlu()
+        self.flow_data = self.generator.generate_flows()
+        nlu = NLUPipeline(
+            self.database,
+            self.generator.vocabulary,
+            reference_date=self.reference_date,
+        )
+        nlu.train(self.nlu_data)
+        dm_model = NextActionModel().fit(self.flow_data)
+        return ConversationalAgent(
+            database=self.database,
+            catalog=self.catalog,
+            annotations=self.annotations,
+            tasks=self.tasks,
+            nlu=nlu,
+            dm_model=dm_model,
+            vocabulary=self.generator.vocabulary,
+            choice_list_size=self._choice_list_size,
+        )
+
+    def report(self) -> SynthesisReport:
+        """Summary of the last synthesis run."""
+        if self.nlu_data is None or self.flow_data is None:
+            raise SynthesisError("synthesize() has not been run yet")
+        return SynthesisReport(
+            n_tasks=len(self.tasks),
+            n_templates=len(self.generator.library),
+            n_nlu_examples=len(self.nlu_data),
+            n_flows=len(self.flow_data),
+            intents=tuple(self.nlu_data.intents()),
+            agent_actions=tuple(self.flow_data.agent_actions()),
+        )

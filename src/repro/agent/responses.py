@@ -1,0 +1,145 @@
+"""Agent-side natural-language generation.
+
+Simple, reliable template realisation of agent actions — production
+task-oriented systems almost universally template the system side, and
+the paper's Figure 1 shows exactly this style of agent utterance.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.annotation import SchemaAnnotations, Task
+from repro.db.catalog import ColumnRef
+from repro.db.database import Database
+from repro.db.types import render
+
+__all__ = ["Responder"]
+
+
+class Responder:
+    """Realises agent actions as text."""
+
+    def __init__(self, database: Database, annotations: SchemaAnnotations) -> None:
+        self._database = database
+        self._annotations = annotations
+
+    # ------------------------------------------------------------------
+    def greet(self) -> str:
+        return "Hello! How can I help you?"
+
+    def goodbye(self) -> str:
+        return "Goodbye! Have a nice day."
+
+    def acknowledge_abort(self) -> str:
+        return "Alright, I cancelled that. Anything else I can do for you?"
+
+    def rephrase(self) -> str:
+        return "Sorry, I did not understand that. Could you rephrase?"
+
+    def ask_attribute(self, attribute: ColumnRef) -> str:
+        display = self._annotations.display_name(attribute.table, attribute.column)
+        return f"Can you tell me the {display}?"
+
+    def ask_slot(self, display_name: str) -> str:
+        return f"How many {display_name}?" if "number" in display_name or \
+            "amount" in display_name else f"What is the {display_name}?"
+
+    def corrected(self, raw: str, value: str) -> str:
+        return f"I assume you mean '{value}' (you wrote '{raw}')."
+
+    def identified(self, entity: str, row: dict[str, Any]) -> str:
+        summary = self.describe_row(entity, row)
+        return f"Got it — I found the {entity}: {summary}."
+
+    def no_match(self, entity: str) -> str:
+        return (
+            f"I could not find any {entity} matching that information. "
+            f"Let us start over with the {entity}."
+        )
+
+    def propose_choices(self, entity: str, rows: list[dict[str, Any]]) -> str:
+        lines = [f"I found {len(rows)} matching {entity}s. Which one do you mean?"]
+        for index, row in enumerate(rows, start=1):
+            lines.append(f"  {index}. {self.describe_row(entity, row)}")
+        return "\n".join(lines)
+
+    def confirm(self, task: Task, summary: dict[str, str]) -> str:
+        parts = ", ".join(f"{name}: {value}" for name, value in summary.items())
+        return (
+            f"To summarise, you want to {task.description} ({parts}). "
+            f"Shall I go ahead?"
+        )
+
+    def success(self, task: Task, value: Any) -> str:
+        if isinstance(value, dict):
+            details = ", ".join(f"{k}: {v}" for k, v in value.items())
+            return f"Done! I completed '{task.description}' ({details})."
+        if isinstance(value, list):
+            return self.listing(value)
+        return f"Done! I completed '{task.description}'."
+
+    def listing(self, rows: list[dict[str, Any]]) -> str:
+        if not rows:
+            return "I found no matching entries."
+        lines = [f"I found {len(rows)} entries:"]
+        for row in rows[:10]:
+            rendered = ", ".join(f"{k}={_render_value(v)}" for k, v in row.items())
+            lines.append(f"  - {rendered}")
+        if len(rows) > 10:
+            lines.append(f"  ... and {len(rows) - 10} more.")
+        return "\n".join(lines)
+
+    def failure(self, reason: str) -> str:
+        return f"I am sorry, that did not work: {reason}"
+
+    def restart(self) -> str:
+        return "No problem, let us correct that. We will go through it again."
+
+    def choice_out_of_range(self, n: int) -> str:
+        return f"Please pick a number between 1 and {n}."
+
+    # ------------------------------------------------------------------
+    def describe_row(self, table: str, row: dict[str, Any]) -> str:
+        """Human-readable one-line description of an entity row."""
+        schema = self._database.schema.table(table)
+        parts: list[str] = []
+        for column in schema.columns:
+            if column.name == schema.primary_key:
+                continue
+            if schema.foreign_key_for(column.name) is not None:
+                described = self._describe_reference(schema, column.name, row)
+                if described:
+                    parts.append(described)
+                continue
+            value = row.get(column.name)
+            if value is None:
+                continue
+            display = self._annotations.display_name(table, column.name)
+            parts.append(f"{display} {_render_value(value)}")
+            if len(parts) >= 5:
+                break
+        return ", ".join(parts) if parts else f"{table} #{row.get(schema.primary_key)}"
+
+    def _describe_reference(self, schema, column: str, row: dict[str, Any]) -> str:
+        fk = schema.foreign_key_for(column)
+        assert fk is not None
+        value = row.get(column)
+        if value is None:
+            return ""
+        target = self._database.find_one(fk.target_table, fk.target_column, value)
+        if target is None:
+            return ""
+        # Use the first text column of the referenced row as its label.
+        for key, item in target.items():
+            if isinstance(item, str):
+                return f"{fk.target_table} '{item}'"
+        return ""
+
+
+def _render_value(value: Any) -> str:
+    from repro.db.types import DataType
+
+    if isinstance(value, str):
+        return value
+    return render(value, DataType.TEXT)

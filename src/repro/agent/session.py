@@ -1,0 +1,61 @@
+"""Conversation sessions: turn loop with transcript recording.
+
+A thin convenience wrapper around :class:`ConversationalAgent` that
+records the full transcript (for the demo, for debugging, and for the
+evaluation harness's dialogue traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agent.agent import AgentReply, ConversationalAgent
+
+__all__ = ["TranscriptTurn", "ConversationSession"]
+
+
+@dataclass(frozen=True)
+class TranscriptTurn:
+    """One user/agent exchange."""
+
+    user: str
+    agent: str
+    intent: str | None = None
+    executed: Any | None = None
+
+
+@dataclass
+class ConversationSession:
+    """Wraps an agent with transcript recording."""
+
+    agent: ConversationalAgent
+    transcript: list[TranscriptTurn] = field(default_factory=list)
+
+    def say(self, text: str) -> AgentReply:
+        """Send one user utterance; records and returns the reply."""
+        reply = self.agent.respond(text)
+        self.transcript.append(
+            TranscriptTurn(
+                user=text,
+                agent=reply.text,
+                intent=reply.nlu.intent if reply.nlu else None,
+                executed=reply.executed,
+            )
+        )
+        return reply
+
+    def restart(self) -> None:
+        """Reset the conversation but keep the transcript."""
+        self.agent.reset()
+
+    def executed_results(self) -> list[Any]:
+        return [t.executed for t in self.transcript if t.executed is not None]
+
+    def format_transcript(self) -> str:
+        lines: list[str] = []
+        for turn in self.transcript:
+            lines.append(f"USER : {turn.user}")
+            for part in turn.agent.split("\n"):
+                lines.append(f"AGENT: {part}")
+        return "\n".join(lines)

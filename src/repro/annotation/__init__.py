@@ -1,0 +1,18 @@
+"""Schema annotation and task extraction (the paper's Figure 3/4 inputs)."""
+
+from repro.annotation.annotations import AttributeAnnotation, SchemaAnnotations
+from repro.annotation.extraction import (
+    EntityLookup,
+    SlotSpec,
+    Task,
+    TaskExtractor,
+)
+
+__all__ = [
+    "AttributeAnnotation",
+    "EntityLookup",
+    "SchemaAnnotations",
+    "SlotSpec",
+    "Task",
+    "TaskExtractor",
+]

@@ -1,0 +1,177 @@
+"""Task extraction: derive dialogue tasks, slots and actions from the DB.
+
+Given a database and its stored procedures, the extractor produces the
+model a dialogue-system developer would otherwise write by hand (Figure 3
+of the paper, "Extracted Tasks and Schema Information"):
+
+* one :class:`Task` per procedure,
+* one :class:`SlotSpec` per parameter — either a *value slot* (plain
+  typed value such as a ticket count) or an *entity slot* (a key the user
+  must identify indirectly, e.g. ``screening_id``),
+* per entity slot, the set of *identifying attributes* the user may be
+  asked about instead of the raw key: askable columns of the entity table
+  plus askable columns of FK-reachable tables within a hop bound, and
+* the derived dialogue action vocabulary used for self-play
+  (``request_<task>``, ``identify_<entity>``, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.annotation.annotations import SchemaAnnotations
+from repro.db.catalog import Catalog, ColumnRef
+from repro.db.procedures import Parameter, Procedure
+from repro.db.types import DataType
+from repro.errors import ExtractionError
+
+__all__ = ["SlotSpec", "EntityLookup", "Task", "TaskExtractor"]
+
+
+@dataclass(frozen=True)
+class SlotSpec:
+    """One dialogue slot derived from a procedure parameter."""
+
+    name: str
+    dtype: DataType
+    display_name: str
+    optional: bool = False
+    references: tuple[str, str] | None = None
+
+    @property
+    def is_entity(self) -> bool:
+        return self.references is not None
+
+
+@dataclass(frozen=True)
+class EntityLookup:
+    """How to identify one entity slot through dialogue.
+
+    ``identifying_attributes`` maps hop distance from the entity table to
+    the column refs askable at that distance (0 = own columns, 1 = one FK
+    hop away, ...).
+    """
+
+    slot: str
+    table: str
+    key_column: str
+    identifying_attributes: dict[int, tuple[ColumnRef, ...]]
+
+    def all_attributes(self) -> tuple[ColumnRef, ...]:
+        refs: list[ColumnRef] = []
+        for hop in sorted(self.identifying_attributes):
+            refs.extend(self.identifying_attributes[hop])
+        return tuple(refs)
+
+
+@dataclass(frozen=True)
+class Task:
+    """A user-facing task derived from one stored procedure."""
+
+    name: str
+    description: str
+    slots: tuple[SlotSpec, ...]
+    lookups: tuple[EntityLookup, ...]
+
+    def slot(self, name: str) -> SlotSpec:
+        for slot in self.slots:
+            if slot.name == name:
+                return slot
+        raise ExtractionError(f"task {self.name!r} has no slot {name!r}")
+
+    def lookup_for(self, slot_name: str) -> EntityLookup | None:
+        for lookup in self.lookups:
+            if lookup.slot == slot_name:
+                return lookup
+        return None
+
+    @property
+    def value_slots(self) -> tuple[SlotSpec, ...]:
+        return tuple(s for s in self.slots if not s.is_entity)
+
+    @property
+    def entity_slots(self) -> tuple[SlotSpec, ...]:
+        return tuple(s for s in self.slots if s.is_entity)
+
+    # Dialogue action names derived from the task (used in self-play).
+    @property
+    def request_action(self) -> str:
+        return f"request_{self.name}"
+
+    @property
+    def identify_actions(self) -> tuple[str, ...]:
+        return tuple(f"identify_{lookup.table}" for lookup in self.lookups)
+
+
+class TaskExtractor:
+    """Extracts :class:`Task` objects from a database's procedures."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        annotations: SchemaAnnotations,
+        max_join_hops: int = 2,
+    ) -> None:
+        if max_join_hops < 0:
+            raise ExtractionError("max_join_hops must be >= 0")
+        self._catalog = catalog
+        self._annotations = annotations
+        self._max_join_hops = max_join_hops
+
+    # ------------------------------------------------------------------
+    def extract_all(self) -> list[Task]:
+        return [self.extract(p) for p in self._catalog.procedures()]
+
+    def extract(self, procedure: Procedure) -> Task:
+        slots = tuple(self._slot_for(p) for p in procedure.parameters)
+        lookups = tuple(
+            self._lookup_for(slot)
+            for slot in slots
+            if slot.references is not None
+        )
+        return Task(
+            name=procedure.name,
+            description=procedure.description,
+            slots=slots,
+            lookups=lookups,
+        )
+
+    # ------------------------------------------------------------------
+    def _slot_for(self, parameter: Parameter) -> SlotSpec:
+        if parameter.references is not None:
+            table, column = parameter.references
+            display = self._annotations.display_name(table, column)
+        else:
+            display = parameter.name.replace("_", " ")
+        return SlotSpec(
+            name=parameter.name,
+            dtype=parameter.dtype,
+            display_name=display,
+            optional=parameter.optional,
+            references=parameter.references,
+        )
+
+    def _lookup_for(self, slot: SlotSpec) -> EntityLookup:
+        assert slot.references is not None
+        table, key_column = slot.references
+        distances = self._catalog.tables_within(table, self._max_join_hops)
+        by_hop: dict[int, list[ColumnRef]] = {}
+        for other_table, hops in sorted(distances.items(), key=lambda kv: (kv[1], kv[0])):
+            for column in self._catalog.columns(other_table):
+                if not self._annotations.may_ask(other_table, column.name):
+                    continue
+                by_hop.setdefault(hops, []).append(
+                    ColumnRef(other_table, column.name)
+                )
+        identifying = {hop: tuple(refs) for hop, refs in by_hop.items()}
+        if not any(identifying.values()):
+            raise ExtractionError(
+                f"entity slot {slot.name!r}: no askable identifying attribute "
+                f"for table {table!r}; relax the never-ask annotations"
+            )
+        return EntityLookup(
+            slot=slot.name,
+            table=table,
+            key_column=key_column,
+            identifying_attributes=identifying,
+        )

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the demo workflow of Section 5:
+
+* ``demo``      — synthesize the cinema agent and run a scripted booking.
+* ``chat``      — synthesize the cinema agent and chat interactively.
+* ``report``    — print the synthesis report (tasks, data, actions).
+* ``policies``  — compare data-aware / static / random slot selection.
+* ``snapshot``  — dump the cinema database to a JSON file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main"]
+
+_DEMO_SCRIPT = [
+    "hello",
+    "i want to buy 2 tickets",
+    "my name is alice",
+    "my last name is quandt",
+    "i want to watch forest gump",
+    "the first one",
+    "yes please",
+    "thanks, goodbye",
+]
+
+
+def _build_cat():
+    from repro import CAT
+    from repro.datasets import build_movie_database, movie_templates
+
+    database, annotations = build_movie_database()
+    cat = CAT(database, annotations)
+    cat.add_template_catalog(movie_templates())
+    print("synthesizing the cinema agent (trains NLU + DM) ...",
+          file=sys.stderr)
+    return cat, cat.synthesize()
+
+
+def _cmd_demo() -> int:
+    from repro import ConversationSession
+
+    __, agent = _build_cat()
+    session = ConversationSession(agent)
+    for utterance in _DEMO_SCRIPT:
+        session.say(utterance)
+    print(session.format_transcript())
+    executed = session.executed_results()
+    if executed:
+        print(f"\nexecuted transactions: {[r.procedure for r in executed]}")
+    return 0
+
+
+def _cmd_chat() -> int:
+    from repro import ConversationSession
+
+    __, agent = _build_cat()
+    session = ConversationSession(agent)
+    print("Chat with the cinema agent (ctrl-d or 'quit' to leave).")
+    while True:
+        try:
+            text = input("you> ").strip()
+        except EOFError:
+            return 0
+        if not text or text.lower() in ("quit", "exit"):
+            return 0
+        reply = session.say(text)
+        for line in reply.text.split("\n"):
+            print(f"bot> {line}")
+
+
+def _cmd_report() -> int:
+    cat, __ = _build_cat()
+    report = cat.report()
+    print(f"tasks          : {report.n_tasks}")
+    print(f"templates      : {report.n_templates}")
+    print(f"NLU examples   : {report.n_nlu_examples}")
+    print(f"dialogue flows : {report.n_flows}")
+    print(f"intents        : {', '.join(report.intents)}")
+    print(f"agent actions  : {', '.join(report.agent_actions)}")
+    return 0
+
+
+def _cmd_policies() -> int:
+    from repro.annotation import TaskExtractor
+    from repro.dataaware import (
+        DataAwarePolicy,
+        RandomPolicy,
+        StaticPolicy,
+        UserAwarenessModel,
+    )
+    from repro.datasets import MovieConfig, build_movie_database
+    from repro.db import Catalog, StatisticsCatalog
+    from repro.eval import PolicyExperiment, ResultTable
+
+    config = MovieConfig(n_screenings=600, n_movies=80, extra_dimensions=6,
+                         n_actors=80, n_days=30)
+    database, annotations = build_movie_database(config)
+    catalog = Catalog(database)
+    task = TaskExtractor(catalog, annotations).extract(
+        database.procedures.get("ticket_reservation")
+    )
+    lookup = task.lookup_for("screening_id")
+    experiment = PolicyExperiment(database, catalog, annotations, lookup)
+    table = ResultTable(
+        "policy comparison (screening identification)",
+        ["policy", "mean_turns", "success"],
+    )
+    policies = [
+        DataAwarePolicy(lookup, UserAwarenessModel(annotations),
+                        StatisticsCatalog(database)),
+        StaticPolicy.train(lookup, database, catalog, annotations),
+        RandomPolicy(lookup, seed=7),
+    ]
+    for policy in policies:
+        summary, __ = experiment.run(policy, n_episodes=40)
+        table.add_row(summary.policy, summary.mean_turns,
+                      summary.success_rate)
+    table.show()
+    return 0
+
+
+def _cmd_snapshot(path: str) -> int:
+    from repro.datasets import build_movie_database
+    from repro.db import dump_database
+
+    database, __ = build_movie_database()
+    dump_database(database, path)
+    print(f"wrote {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CAT reproduction: synthesize data-aware conversational "
+        "agents for transactional databases",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="run a scripted Section 5 booking")
+    sub.add_parser("chat", help="chat with the cinema agent")
+    sub.add_parser("report", help="print the synthesis report")
+    sub.add_parser("policies", help="compare slot-selection policies")
+    snapshot = sub.add_parser("snapshot", help="dump the cinema database")
+    snapshot.add_argument("path", help="output JSON file")
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _cmd_demo()
+    if args.command == "chat":
+        return _cmd_chat()
+    if args.command == "report":
+        return _cmd_report()
+    if args.command == "policies":
+        return _cmd_policies()
+    if args.command == "snapshot":
+        return _cmd_snapshot(args.path)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

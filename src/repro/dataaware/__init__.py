@@ -1,0 +1,46 @@
+"""Data-aware dialogue policy (Section 4 of the paper)."""
+
+from repro.dataaware.awareness import AwarenessEstimate, UserAwarenessModel
+from repro.dataaware.caching import AttributeValueCache
+from repro.dataaware.candidates import CandidateSet, Constraint
+from repro.dataaware.identification import (
+    IdentificationOutcome,
+    IdentificationSession,
+    IdentificationStatus,
+)
+from repro.dataaware.join_graph import JoinPath, JoinPlanner, JoinStep, map_values
+from repro.dataaware.policies import (
+    DataAwarePolicy,
+    RandomPolicy,
+    SlotSelectionPolicy,
+    StaticPolicy,
+)
+from repro.dataaware.scoring import (
+    AttributeScore,
+    AttributeScorer,
+    InformativenessMeasure,
+    weighted_entropy,
+)
+
+__all__ = [
+    "AttributeScore",
+    "AttributeScorer",
+    "AttributeValueCache",
+    "AwarenessEstimate",
+    "CandidateSet",
+    "Constraint",
+    "DataAwarePolicy",
+    "IdentificationOutcome",
+    "IdentificationSession",
+    "IdentificationStatus",
+    "InformativenessMeasure",
+    "JoinPath",
+    "JoinPlanner",
+    "JoinStep",
+    "RandomPolicy",
+    "SlotSelectionPolicy",
+    "StaticPolicy",
+    "UserAwarenessModel",
+    "map_values",
+    "weighted_entropy",
+]

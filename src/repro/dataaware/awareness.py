@@ -1,0 +1,98 @@
+"""User-awareness model: how likely is the user to know an attribute?
+
+"Informative attributes are not useful if the user is not aware of them"
+(Section 4).  CAT combines two signals:
+
+1. developer annotations — a prior per attribute (IDs ~0), and
+2. online learning — "we learn from interactions with the conversational
+   agent which attributes the users are likely to know".
+
+We model each attribute's awareness as a Beta–Bernoulli: the annotation
+prior seeds pseudo-counts, every observation ("user provided a value" /
+"user said they don't know") updates them, and the posterior mean is the
+awareness probability used by the scorer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotation import SchemaAnnotations
+from repro.db.catalog import ColumnRef
+from repro.errors import PolicyError
+
+__all__ = ["AwarenessEstimate", "UserAwarenessModel"]
+
+
+@dataclass(frozen=True)
+class AwarenessEstimate:
+    """Posterior summary for one attribute."""
+
+    attribute: ColumnRef
+    probability: float
+    observations: int
+
+
+class UserAwarenessModel:
+    """Beta–Bernoulli awareness estimates seeded from schema annotations."""
+
+    def __init__(
+        self,
+        annotations: SchemaAnnotations,
+        prior_strength: float = 10.0,
+    ) -> None:
+        if prior_strength <= 0:
+            raise PolicyError("prior_strength must be positive")
+        self._annotations = annotations
+        self._prior_strength = prior_strength
+        # attribute -> [successes, failures] *observed* counts.
+        self._counts: dict[ColumnRef, list[int]] = {}
+
+    # ------------------------------------------------------------------
+    def probability(self, attribute: ColumnRef) -> float:
+        """Posterior mean P(user knows ``attribute``)."""
+        prior = self._annotations.awareness_prior(attribute.table, attribute.column)
+        alpha = prior * self._prior_strength
+        beta = (1.0 - prior) * self._prior_strength
+        knew, unknown = self._counts.get(attribute, (0, 0))
+        return (alpha + knew) / (alpha + beta + knew + unknown)
+
+    def estimate(self, attribute: ColumnRef) -> AwarenessEstimate:
+        knew, unknown = self._counts.get(attribute, (0, 0))
+        return AwarenessEstimate(
+            attribute=attribute,
+            probability=self.probability(attribute),
+            observations=knew + unknown,
+        )
+
+    # ------------------------------------------------------------------
+    def observe(self, attribute: ColumnRef, user_knew: bool) -> None:
+        """Record one interaction outcome for ``attribute``."""
+        counts = self._counts.setdefault(attribute, [0, 0])
+        counts[0 if user_knew else 1] += 1
+
+    def observed_attributes(self) -> list[ColumnRef]:
+        return sorted(self._counts)
+
+    def reset(self) -> None:
+        """Forget all online observations (annotation priors remain)."""
+        self._counts.clear()
+
+    # ------------------------------------------------------------------
+    # Persistence across sessions ("the distribution of which attributes
+    # users were aware of in previous sessions", Section 4)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, list[int]]:
+        """JSON-serialisable observation counts."""
+        return {str(ref): list(counts) for ref, counts in self._counts.items()}
+
+    def load_observations(self, payload: dict[str, list[int]]) -> None:
+        """Merge previously saved observation counts into this model."""
+        for key, counts in payload.items():
+            table, __, column = key.partition(".")
+            if not column:
+                raise PolicyError(f"malformed awareness key {key!r}")
+            ref = ColumnRef(table, column)
+            current = self._counts.setdefault(ref, [0, 0])
+            current[0] += int(counts[0])
+            current[1] += int(counts[1])

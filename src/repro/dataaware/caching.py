@@ -1,0 +1,74 @@
+"""Attribute-value cache: the paper's "integrated caching strategy".
+
+Computing the per-row value sets of a joined attribute (e.g. actor names
+per screening) is the expensive part of a policy step.  The key
+observation is that the *full-table* map only depends on the database
+contents, not on the current candidate subset — so we compute it once per
+data version and slice it per candidate set.  Combined with the
+version-stamped :class:`~repro.db.statistics.StatisticsCatalog`, this is
+what keeps the average response latency at "only a few milliseconds"
+(Section 4) while still reflecting every committed update.
+"""
+
+from __future__ import annotations
+
+from repro.dataaware.join_graph import JoinPlanner, map_values
+from repro.db.catalog import Catalog, ColumnRef
+from repro.db.database import Database
+
+__all__ = ["AttributeValueCache"]
+
+
+class AttributeValueCache:
+    """Version-stamped cache of full-table attribute value maps."""
+
+    def __init__(self, database: Database, catalog: Catalog) -> None:
+        self._database = database
+        self._catalog = catalog
+        self._planners: dict[str, JoinPlanner] = {}
+        # (root_table, attribute) -> (data_version, rid -> value set)
+        self._maps: dict[tuple[str, ColumnRef], tuple[int, dict[int, frozenset]]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def planner(self, root_table: str) -> JoinPlanner:
+        planner = self._planners.get(root_table)
+        if planner is None:
+            planner = JoinPlanner(self._catalog, root_table)
+            self._planners[root_table] = planner
+        return planner
+
+    def full_map(
+        self, root_table: str, attribute: ColumnRef
+    ) -> dict[int, frozenset]:
+        """``row_id -> value set`` of ``attribute`` for *all* rows of the root.
+
+        Recomputed lazily whenever the database's data version moves.
+        """
+        version = self._database.data_version
+        key = (root_table, attribute)
+        cached = self._maps.get(key)
+        if cached is not None and cached[0] == version:
+            self.hits += 1
+            return cached[1]
+        self.misses += 1
+        row_ids = self._database.table(root_table).row_ids()
+        if attribute.table == root_table:
+            table = self._database.table(root_table)
+            value_map = {}
+            for rid in row_ids:
+                value = table.get(rid).get(attribute.column)
+                value_map[rid] = (
+                    frozenset((value,)) if value is not None else frozenset()
+                )
+        else:
+            path = self.planner(root_table).path_to(attribute.table)
+            if path is None:
+                value_map = {rid: frozenset() for rid in row_ids}
+            else:
+                value_map = map_values(self._database, path, attribute, row_ids)
+        self._maps[key] = (version, value_map)
+        return value_map
+
+    def invalidate(self) -> None:
+        self._maps.clear()

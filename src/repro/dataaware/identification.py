@@ -1,0 +1,200 @@
+"""The interactive entity-identification loop.
+
+Drives one episode of "narrow the candidate set until the entity is
+unique": the policy proposes an attribute, the caller (the live agent or
+a simulated user) answers with a value or "don't know", the session
+refines the candidate set.  When the set is small enough the agent stops
+asking and presents a choice list instead — the demo's "asks the user to
+choose from a list of screenings fulfilling the preferences they have
+expressed" (Section 5).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.dataaware.candidates import CandidateSet
+from repro.dataaware.policies import SlotSelectionPolicy
+from repro.db.catalog import ColumnRef
+from repro.errors import DialogueError
+
+__all__ = ["IdentificationStatus", "IdentificationOutcome", "IdentificationSession"]
+
+
+class IdentificationStatus(enum.Enum):
+    IN_PROGRESS = "in_progress"
+    UNIQUE = "unique"            # exactly one candidate remains
+    CHOICE_LIST = "choice_list"  # few candidates; present a list
+    NO_MATCH = "no_match"        # constraints eliminated everything
+    EXHAUSTED = "exhausted"      # policy has nothing left to ask
+
+
+@dataclass(frozen=True)
+class IdentificationOutcome:
+    """Summary of a finished identification episode."""
+
+    status: IdentificationStatus
+    turns: int
+    questions_asked: int
+    entity_key: Any | None
+    remaining: int
+
+
+class IdentificationSession:
+    """One episode of identifying an entity via attribute questions."""
+
+    def __init__(
+        self,
+        candidates: CandidateSet,
+        policy: SlotSelectionPolicy,
+        key_column: str,
+        choice_list_size: int = 3,
+        max_questions: int = 25,
+    ) -> None:
+        if choice_list_size < 1:
+            raise DialogueError("choice_list_size must be >= 1")
+        self.candidates = candidates
+        self.policy = policy
+        self.key_column = key_column
+        self.choice_list_size = choice_list_size
+        self.max_questions = max_questions
+        self.asked: set[ColumnRef] = set()
+        self.questions_asked = 0
+        self.turns = 0
+        self._pending: ColumnRef | None = None
+        self._status = IdentificationStatus.IN_PROGRESS
+        policy.reset()
+        self._refresh_status()
+
+    # ------------------------------------------------------------------
+    @property
+    def status(self) -> IdentificationStatus:
+        return self._status
+
+    @property
+    def finished(self) -> bool:
+        return self._status is not IdentificationStatus.IN_PROGRESS
+
+    @property
+    def pending_question(self) -> ColumnRef | None:
+        return self._pending
+
+    # ------------------------------------------------------------------
+    def next_question(self) -> ColumnRef | None:
+        """Pick the next attribute to request (None when finished)."""
+        if self.finished:
+            return None
+        if self._pending is not None:
+            return self._pending
+        attribute = self.policy.next_attribute(self.candidates, self.asked)
+        if attribute is None:
+            self._finish_without_question()
+            return None
+        self._pending = attribute
+        self.asked.add(attribute)
+        self.questions_asked += 1
+        self.turns += 1
+        return attribute
+
+    def answer(self, value: Any) -> None:
+        """The user provided ``value`` for the pending attribute."""
+        attribute = self._require_pending()
+        refined = self.candidates.refine(attribute, value)
+        if refined.is_empty:
+            # Contradictory information: keep the previous candidates but
+            # record that the value did not help (the agent re-asks).
+            self.policy.observe(attribute, user_knew=True)
+            self._pending = None
+            self._refresh_status()
+            return
+        self.candidates = refined
+        self.policy.observe(attribute, user_knew=True)
+        self._pending = None
+        self._refresh_status()
+
+    def volunteer(self, attribute: ColumnRef, value: Any) -> bool:
+        """Apply information the user offered without being asked.
+
+        Returns False (and leaves the candidates untouched) when the value
+        contradicts every remaining candidate.  Volunteered values do not
+        cost a dialogue turn and do not update the awareness model.
+        """
+        refined = self.candidates.refine(attribute, value)
+        if refined.is_empty:
+            return False
+        self.candidates = refined
+        self.asked.add(attribute)
+        if self._pending is not None and self._pending != attribute:
+            # The open question was computed for the old candidate set; it
+            # is stale now.  Withdraw it (it may be re-asked later if it is
+            # still the most informative attribute).
+            self.asked.discard(self._pending)
+        self._pending = None
+        self._refresh_status()
+        return True
+
+    def dont_know(self) -> None:
+        """The user does not know the pending attribute."""
+        attribute = self._require_pending()
+        self.policy.observe(attribute, user_knew=False)
+        self._pending = None
+        self._refresh_status()
+
+    def choose(self, key_value: Any) -> None:
+        """The user picked one entry from the presented choice list."""
+        if self._status is not IdentificationStatus.CHOICE_LIST:
+            raise DialogueError("no choice list is being presented")
+        key = ColumnRef(self.candidates.table, self.key_column)
+        refined = self.candidates.refine(key, key_value)
+        if refined.is_empty:
+            raise DialogueError(f"{key_value!r} is not among the choices")
+        self.candidates = refined
+        self._status = IdentificationStatus.UNIQUE
+
+    # ------------------------------------------------------------------
+    def choice_list(self) -> list[dict[str, Any]]:
+        """The rows to present when status is CHOICE_LIST."""
+        return self.candidates.rows()
+
+    def outcome(self) -> IdentificationOutcome:
+        entity_key = None
+        if self._status is IdentificationStatus.UNIQUE:
+            entity_key = self.candidates.the_row()[self.key_column]
+        return IdentificationOutcome(
+            status=self._status,
+            turns=self.turns,
+            questions_asked=self.questions_asked,
+            entity_key=entity_key,
+            remaining=len(self.candidates),
+        )
+
+    # ------------------------------------------------------------------
+    def _require_pending(self) -> ColumnRef:
+        if self._pending is None:
+            raise DialogueError("no question is pending")
+        return self._pending
+
+    def _refresh_status(self) -> None:
+        n = len(self.candidates)
+        if n == 0:
+            self._status = IdentificationStatus.NO_MATCH
+        elif n == 1:
+            self._status = IdentificationStatus.UNIQUE
+        elif n <= self.choice_list_size:
+            # Presenting the list costs one more turn.
+            self._status = IdentificationStatus.CHOICE_LIST
+            self.turns += 1
+        elif self.questions_asked >= self.max_questions:
+            self._status = IdentificationStatus.EXHAUSTED
+        else:
+            self._status = IdentificationStatus.IN_PROGRESS
+
+    def _finish_without_question(self) -> None:
+        """Policy gave up: present whatever remains as a (long) list."""
+        if len(self.candidates) > 1:
+            self._status = IdentificationStatus.CHOICE_LIST
+            self.turns += 1
+        else:
+            self._refresh_status()

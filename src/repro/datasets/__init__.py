@@ -1,0 +1,27 @@
+"""Synthetic datasets: cinema database and ATIS-like flight corpus."""
+
+from repro.datasets.movies import (
+    MovieConfig,
+    annotate_movie_schema,
+    build_movie_database,
+)
+
+__all__ = ["MovieConfig", "annotate_movie_schema", "build_movie_database"]
+
+from repro.datasets.atis import (
+    ATIS_INTENTS,
+    AtisConfig,
+    build_flight_database,
+    generate_cat_corpus,
+    generate_gold_corpus,
+)
+from repro.datasets.movie_templates import movie_templates
+
+__all__ += [
+    "ATIS_INTENTS",
+    "AtisConfig",
+    "build_flight_database",
+    "generate_cat_corpus",
+    "generate_gold_corpus",
+    "movie_templates",
+]

@@ -1,0 +1,392 @@
+"""Synthetic ATIS-like flight corpus (substitute for the LDC ATIS corpus).
+
+The paper's NLU evaluation uses the ATIS spoken-language corpus, which
+is licence-gated and unavailable offline.  This module generates a
+statistically similar stand-in: an intent-skewed flight-domain corpus
+(~74 % ``atis_flight``, like the original) with BIO-style slot
+annotations over the classic ATIS slot inventory (from/to cities,
+day names, periods of day, airlines, fare classes, meals).
+
+Two corpora come out of it, mirroring the experimental design:
+
+* the **gold corpus** — richly varied utterance patterns standing in for
+  manually collected and annotated user data (baselines train on its
+  train split; everyone evaluates on its test split), and
+* the **CAT corpus** — synthesized from a *small* set of developer
+  templates filled with database values and augmented by paraphrasing,
+  i.e. what CAT's pipeline produces without any manual dialogue data.
+
+Both are filled from the same synthetic flight database, so the value
+vocabulary matches while the phrasing distribution differs — exactly the
+train/test mismatch the paper's claim is about.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets import lexicons
+from repro.db import Column, Database, DatabaseSchema, DataType, TableSchema
+from repro.errors import SynthesisError
+from repro.synthesis.corpus import NLUDataset, NLUExample, SlotSpan
+from repro.synthesis.paraphrase import ParaphraseConfig, Paraphraser
+
+__all__ = [
+    "AtisConfig",
+    "build_flight_database",
+    "generate_gold_corpus",
+    "generate_cat_corpus",
+    "ATIS_INTENTS",
+]
+
+# Intent skew modelled on the published ATIS distribution.
+ATIS_INTENTS: tuple[tuple[str, float], ...] = (
+    ("atis_flight", 0.74),
+    ("atis_airfare", 0.08),
+    ("atis_ground_service", 0.05),
+    ("atis_airline", 0.04),
+    ("atis_abbreviation", 0.03),
+    ("atis_aircraft", 0.02),
+    ("atis_flight_time", 0.02),
+    ("atis_quantity", 0.02),
+)
+
+_AIRCRAFT = ["boeing 737", "boeing 757", "boeing 767", "dc 10", "md 80",
+             "airbus a320", "turboprop", "jet"]
+_ABBREVIATIONS = ["ap/57", "fare code qx", "fare code y", "code h",
+                  "ewr", "sfo", "yyz", "dfw", "fare basis code qw"]
+
+# Gold patterns: rich phrasing as "manually collected" user utterances.
+_GOLD_PATTERNS: dict[str, list[str]] = {
+    "atis_flight": [
+        "i want to fly from {fromloc_city} to {toloc_city}",
+        "show me flights from {fromloc_city} to {toloc_city} on {day_name}",
+        "are there any flights from {fromloc_city} to {toloc_city} in the {period_of_day}",
+        "list all {airline_name} flights from {fromloc_city} to {toloc_city}",
+        "i need a flight leaving {fromloc_city} arriving in {toloc_city}",
+        "what flights go from {fromloc_city} to {toloc_city} {day_name} {period_of_day}",
+        "find me the earliest flight from {fromloc_city} to {toloc_city}",
+        "please give me flights between {fromloc_city} and {toloc_city}",
+        "i would like to travel from {fromloc_city} to {toloc_city} on {airline_name}",
+        "flights from {fromloc_city} to {toloc_city} please",
+        "do you have a {day_name} flight from {fromloc_city} to {toloc_city}",
+        "i want to leave {fromloc_city} in the {period_of_day} and get to {toloc_city}",
+        "show {airline_name} service to {toloc_city} from {fromloc_city}",
+        "what are the {period_of_day} flights from {fromloc_city} to {toloc_city}",
+        "book me from {fromloc_city} to {toloc_city} next {day_name}",
+    ],
+    "atis_airfare": [
+        "how much is a {class_type} fare from {fromloc_city} to {toloc_city}",
+        "what is the cheapest fare from {fromloc_city} to {toloc_city}",
+        "show me the fares from {fromloc_city} to {toloc_city} on {airline_name}",
+        "what does it cost to fly {class_type} from {fromloc_city} to {toloc_city}",
+        "round trip fares from {fromloc_city} to {toloc_city} please",
+        "i want the price of a ticket from {fromloc_city} to {toloc_city}",
+        "list airfares from {fromloc_city} to {toloc_city} {day_name}",
+    ],
+    "atis_ground_service": [
+        "what ground transportation is available in {toloc_city}",
+        "how do i get downtown from the {toloc_city} airport",
+        "is there a rental car available in {toloc_city}",
+        "show me ground service in {toloc_city} please",
+        "what kind of ground transportation is there in {toloc_city}",
+        "can i get a taxi in {toloc_city}",
+    ],
+    "atis_airline": [
+        "which airlines fly from {fromloc_city} to {toloc_city}",
+        "what airline is {airline_name}",
+        "list the airlines serving {toloc_city}",
+        "which airline has the most flights to {toloc_city}",
+        "what airlines go from {fromloc_city} to {toloc_city}",
+    ],
+    "atis_abbreviation": [
+        "what does {abbreviation} mean",
+        "what is {abbreviation}",
+        "explain {abbreviation} to me",
+        "can you tell me what {abbreviation} stands for",
+    ],
+    "atis_aircraft": [
+        "what kind of aircraft is used from {fromloc_city} to {toloc_city}",
+        "what type of plane is a {aircraft_code}",
+        "show me the aircraft flying to {toloc_city}",
+        "which plane flies the {period_of_day} route to {toloc_city}",
+    ],
+    "atis_flight_time": [
+        "what time does the flight from {fromloc_city} to {toloc_city} leave",
+        "when does the {period_of_day} flight to {toloc_city} depart",
+        "what are the departure times from {fromloc_city} to {toloc_city}",
+        "show me the schedule from {fromloc_city} to {toloc_city}",
+    ],
+    "atis_quantity": [
+        "how many flights does {airline_name} have to {toloc_city}",
+        "how many {class_type} seats are there to {toloc_city}",
+        "what is the number of flights from {fromloc_city} to {toloc_city}",
+        "how many airlines serve {toloc_city}",
+    ],
+}
+
+# CAT templates: the "few example formulations" a developer would write.
+_CAT_TEMPLATES: dict[str, list[str]] = {
+    "atis_flight": [
+        "i want to fly from {fromloc_city} to {toloc_city}",
+        "show me flights from {fromloc_city} to {toloc_city}",
+        "flights from {fromloc_city} to {toloc_city} on {day_name}",
+        "i need a {period_of_day} flight to {toloc_city}",
+        "list {airline_name} flights to {toloc_city}",
+    ],
+    "atis_airfare": [
+        "how much is a flight from {fromloc_city} to {toloc_city}",
+        "what is the {class_type} fare to {toloc_city}",
+        "show me fares from {fromloc_city} to {toloc_city}",
+    ],
+    "atis_ground_service": [
+        "what ground transportation is available in {toloc_city}",
+        "how do i get to downtown {toloc_city}",
+    ],
+    "atis_airline": [
+        "which airlines fly to {toloc_city}",
+        "what airlines go from {fromloc_city} to {toloc_city}",
+    ],
+    "atis_abbreviation": [
+        "what does {abbreviation} mean",
+        "what is {abbreviation}",
+    ],
+    "atis_aircraft": [
+        "what kind of aircraft is a {aircraft_code}",
+        "what plane flies to {toloc_city}",
+    ],
+    "atis_flight_time": [
+        "what time does the flight to {toloc_city} leave",
+        "when do flights from {fromloc_city} depart",
+    ],
+    "atis_quantity": [
+        "how many flights go to {toloc_city}",
+        "how many {airline_name} flights are there",
+    ],
+}
+
+
+@dataclass(frozen=True)
+class AtisConfig:
+    """Corpus sizes and seed."""
+
+    seed: int = 29
+    n_gold: int = 1600
+    cat_samples_per_template: int = 20
+    use_paraphrasing: bool = True
+    gold_noise: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.n_gold <= 0 or self.cat_samples_per_template <= 0:
+            raise SynthesisError("corpus sizes must be positive")
+        if not 0.0 <= self.gold_noise <= 1.0:
+            raise SynthesisError("gold_noise must be in [0, 1]")
+
+
+def build_flight_database(config: AtisConfig | None = None) -> Database:
+    """Small flight database providing the slot value vocabulary."""
+    config = config or AtisConfig()
+    rng = random.Random(config.seed)
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "city",
+                [
+                    Column("city_id", DataType.INTEGER),
+                    Column("name", DataType.TEXT, nullable=False),
+                ],
+                primary_key="city_id",
+            ),
+            TableSchema(
+                "airline",
+                [
+                    Column("airline_id", DataType.INTEGER),
+                    Column("name", DataType.TEXT, nullable=False),
+                ],
+                primary_key="airline_id",
+            ),
+            TableSchema(
+                "flight",
+                [
+                    Column("flight_id", DataType.INTEGER),
+                    Column("from_city", DataType.TEXT, nullable=False),
+                    Column("to_city", DataType.TEXT, nullable=False),
+                    Column("airline", DataType.TEXT),
+                    Column("day_name", DataType.TEXT),
+                    Column("period", DataType.TEXT),
+                    Column("class_type", DataType.TEXT),
+                    Column("meal", DataType.TEXT),
+                ],
+                primary_key="flight_id",
+            ),
+        ]
+    )
+    database = Database(schema)
+    for i, name in enumerate(lexicons.AIRPORT_CITIES, start=1):
+        database.insert("city", {"city_id": i, "name": name.lower()})
+    for i, name in enumerate(lexicons.AIRLINES, start=1):
+        database.insert("airline", {"airline_id": i, "name": name})
+    for flight_id in range(1, 301):
+        from_city, to_city = rng.sample(lexicons.AIRPORT_CITIES, 2)
+        database.insert(
+            "flight",
+            {
+                "flight_id": flight_id,
+                "from_city": from_city.lower(),
+                "to_city": to_city.lower(),
+                "airline": rng.choice(lexicons.AIRLINES),
+                "day_name": rng.choice(lexicons.WEEKDAYS),
+                "period": rng.choice(lexicons.PERIODS_OF_DAY),
+                "class_type": rng.choice(lexicons.FARE_CLASSES),
+                "meal": rng.choice(lexicons.MEALS),
+            },
+        )
+    return database
+
+
+def _slot_pools(database: Database) -> dict[str, list[str]]:
+    cities = sorted(
+        {row["name"] for row in database.rows("city")}
+    )
+    airlines = sorted({row["name"] for row in database.rows("airline")})
+    return {
+        "fromloc_city": cities,
+        "toloc_city": cities,
+        "airline_name": airlines,
+        "day_name": list(lexicons.WEEKDAYS),
+        "period_of_day": list(lexicons.PERIODS_OF_DAY),
+        "class_type": list(lexicons.FARE_CLASSES),
+        "meal": list(lexicons.MEALS),
+        "aircraft_code": list(_AIRCRAFT),
+        "abbreviation": list(_ABBREVIATIONS),
+    }
+
+
+def _fill_pattern(
+    pattern: str, pools: dict[str, list[str]], rng: random.Random
+) -> NLUExample | None:
+    import re
+
+    pieces: list[str] = []
+    spans: list[SlotSpan] = []
+    cursor = 0
+    offset = 0
+    used: dict[str, str] = {}
+    for match in re.finditer(r"\{([a-z_][a-z0-9_]*)\}", pattern):
+        slot = match.group(1)
+        pool = pools.get(slot)
+        if not pool:
+            return None
+        value = rng.choice(pool)
+        # from/to cities must differ within one utterance, regardless of
+        # which of the two appears first in the pattern.
+        other = {"toloc_city": "fromloc_city",
+                 "fromloc_city": "toloc_city"}.get(slot)
+        if other is not None and used.get(other) == value:
+            alternatives = [v for v in pool if v != value]
+            if alternatives:
+                value = rng.choice(alternatives)
+        used[slot] = value
+        pieces.append(pattern[cursor : match.start()])
+        start = match.start() + offset
+        pieces.append(value)
+        spans.append(SlotSpan(slot, value, start, start + len(value)))
+        offset += len(value) - (match.end() - match.start())
+        cursor = match.end()
+    pieces.append(pattern[cursor:])
+    return NLUExample(text="".join(pieces), intent="", slots=tuple(spans))
+
+
+def _with_intent(example: NLUExample, intent: str) -> NLUExample:
+    return NLUExample(text=example.text, intent=intent, slots=example.slots)
+
+
+_FILLERS = ["uh ", "um ", "well ", "okay ", "yes ", "hello ", "please "]
+
+
+def _add_noise(example: NLUExample, rng: random.Random) -> NLUExample:
+    """Spoken-language noise: a leading filler word or a typo.
+
+    Mirrors the disfluencies of the real ATIS recordings; slot spans are
+    shifted (filler) or left untouched (typos never hit slot values).
+    """
+    if rng.random() < 0.6:
+        filler = rng.choice(_FILLERS)
+        shift = len(filler)
+        return NLUExample(
+            text=filler + example.text,
+            intent=example.intent,
+            slots=tuple(
+                SlotSpan(s.name, s.value, s.start + shift, s.end + shift)
+                for s in example.slots
+            ),
+        )
+    # Swap two adjacent characters outside every slot span.
+    text = example.text
+    protected = [(s.start, s.end) for s in example.slots]
+    positions = [
+        i
+        for i in range(len(text) - 1)
+        if text[i].isalpha()
+        and text[i + 1].isalpha()
+        and not any(start <= i + 1 and i < end for start, end in protected)
+    ]
+    if not positions:
+        return example
+    i = rng.choice(positions)
+    swapped = text[:i] + text[i + 1] + text[i] + text[i + 2 :]
+    return NLUExample(text=swapped, intent=example.intent, slots=example.slots)
+
+
+def generate_gold_corpus(
+    database: Database | None = None, config: AtisConfig | None = None
+) -> NLUDataset:
+    """The 'manually collected' corpus: rich patterns, ATIS intent skew."""
+    config = config or AtisConfig()
+    database = database or build_flight_database(config)
+    rng = random.Random(config.seed + 1)
+    pools = _slot_pools(database)
+    intents = [name for name, __ in ATIS_INTENTS]
+    weights = [weight for __, weight in ATIS_INTENTS]
+    dataset = NLUDataset()
+    while len(dataset) < config.n_gold:
+        intent = rng.choices(intents, weights=weights, k=1)[0]
+        pattern = rng.choice(_GOLD_PATTERNS[intent])
+        example = _fill_pattern(pattern, pools, rng)
+        if example is None:
+            continue
+        example = _with_intent(example, intent)
+        if rng.random() < config.gold_noise:
+            example = _add_noise(example, rng)
+        dataset.add(example)
+    return dataset
+
+
+def generate_cat_corpus(
+    database: Database | None = None, config: AtisConfig | None = None
+) -> NLUDataset:
+    """The synthesized corpus: few templates, DB filling, paraphrasing."""
+    config = config or AtisConfig()
+    database = database or build_flight_database(config)
+    rng = random.Random(config.seed + 2)
+    pools = _slot_pools(database)
+    paraphraser = (
+        Paraphraser(ParaphraseConfig(variants_per_template=3,
+                                     seed=config.seed + 3))
+        if config.use_paraphrasing
+        else None
+    )
+    dataset = NLUDataset()
+    for intent, templates in _CAT_TEMPLATES.items():
+        variants: list[str] = []
+        for template in templates:
+            variants.append(template)
+            if paraphraser is not None:
+                variants.extend(paraphraser.variants(template))
+        for variant in variants:
+            for __ in range(config.cat_samples_per_template):
+                example = _fill_pattern(variant, pools, rng)
+                if example is not None:
+                    dataset.add(_with_intent(example, intent))
+    return dataset

@@ -1,0 +1,121 @@
+"""Word lists used by the synthetic dataset generators.
+
+All data is synthetic / public-domain-flavoured.  Generators combine these
+seeds combinatorially (e.g. adjective + noun movie titles) so tables can
+be scaled to arbitrary sizes while staying deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = [
+    "Alice", "Ben", "Clara", "David", "Emma", "Felix", "Greta", "Henry",
+    "Ida", "Jonas", "Katja", "Leon", "Mara", "Nils", "Olivia", "Paul",
+    "Quinn", "Rosa", "Simon", "Tara", "Uwe", "Vera", "Walter", "Xenia",
+    "Yannick", "Zoe", "Anton", "Brigitte", "Carlos", "Daniela", "Erik",
+    "Fiona", "Georg", "Hannah", "Igor", "Julia", "Karl", "Lena", "Marius",
+    "Nadja", "Oskar", "Petra", "Ralf", "Sophie", "Tim", "Ulrike", "Victor",
+    "Wanda", "Yvonne", "Zacharias",
+]
+
+LAST_NAMES = [
+    "Adler", "Bauer", "Clemens", "Dietrich", "Ebert", "Fischer", "Gruber",
+    "Hoffmann", "Iversen", "Jung", "Keller", "Lang", "Meyer", "Neumann",
+    "Otto", "Peters", "Quandt", "Richter", "Schmidt", "Tauber", "Ulrich",
+    "Vogel", "Wagner", "Xander", "Ziegler", "Albrecht", "Brandt", "Conrad",
+    "Dorn", "Engel", "Frank", "Gerber", "Hartmann", "Ilgner", "Jansen",
+    "Kaiser", "Lorenz", "Maurer", "Nagel", "Oppermann", "Pohl", "Reinhardt",
+    "Sauer", "Thiel", "Unger", "Vollmer", "Weber", "York", "Zimmermann",
+    "Arnold",
+]
+
+CITIES = [
+    "Darmstadt", "Frankfurt", "Mainz", "Wiesbaden", "Heidelberg",
+    "Mannheim", "Offenbach", "Hanau", "Giessen", "Marburg", "Fulda",
+    "Kassel", "Bensheim", "Worms", "Speyer", "Karlsruhe", "Stuttgart",
+    "Aschaffenburg", "Bad Homburg", "Ruesselsheim", "Langen", "Dreieich",
+    "Griesheim", "Weiterstadt", "Pfungstadt",
+]
+
+STREETS = [
+    "Main Street", "Oak Avenue", "Station Road", "Park Lane", "Mill Road",
+    "Church Street", "High Street", "Garden Way", "River Walk",
+    "Castle Hill", "Market Square", "Forest Path", "Bridge Street",
+    "School Lane", "Meadow Drive", "Sunset Boulevard", "Harbor View",
+    "Elm Grove", "Maple Court", "Cedar Close",
+]
+
+TITLE_ADJECTIVES = [
+    "Silent", "Midnight", "Golden", "Broken", "Hidden", "Electric",
+    "Crimson", "Forgotten", "Eternal", "Savage", "Gentle", "Burning",
+    "Frozen", "Distant", "Radiant", "Shattered", "Quiet", "Wild",
+    "Lonely", "Brave", "Final", "First", "Lost", "Rising", "Falling",
+]
+
+TITLE_NOUNS = [
+    "Horizon", "Echo", "Garden", "Empire", "Voyage", "Symphony",
+    "Shadow", "River", "Kingdom", "Promise", "Winter", "Summer",
+    "Station", "Harbor", "Letter", "Mirror", "Storm", "Island",
+    "Memory", "Journey", "Secret", "Dream", "Fortune", "Crossing",
+    "Tide",
+]
+
+CLASSIC_TITLES = [
+    "Forrest Gump", "The Long Night", "City Lights", "North by North",
+    "Roman Holiday", "The Third Man", "Rear Window", "Casablanca Days",
+    "Metropolis Rising", "Sunset Drive", "The Great Escape Plan",
+    "Twelve Angry Jurors", "A Space Odyssey Redux", "The Quiet American",
+    "Paths of Glory Road", "On the Riverfront", "Some Like It Cold",
+    "Vertigo Falls", "Psycho Analysis", "The Birds Return",
+]
+
+GENRES = [
+    "drama", "comedy", "thriller", "romance", "action", "science fiction",
+    "documentary", "horror", "animation", "western", "musical", "mystery",
+]
+
+ACTOR_FIRST = [
+    "Grace", "James", "Audrey", "Humphrey", "Ingrid", "Cary", "Marlene",
+    "Orson", "Vivien", "Gregory", "Katharine", "Spencer", "Lauren",
+    "Kirk", "Rita", "Burt", "Ava", "Tony", "Sophia", "Marcello",
+]
+
+ACTOR_LAST = [
+    "Kellerman", "Steward", "Hepmore", "Bogartson", "Bergmann", "Granton",
+    "Dietrichs", "Wellson", "Leighton", "Peckworth", "Hepburne", "Tracey",
+    "Bacallo", "Douglass", "Hayworth", "Lancast", "Gardiner", "Curtiss",
+    "Lorenz", "Mastroni",
+]
+
+EMAIL_DOMAINS = [
+    "example.com", "mail.example.org", "post.example.net", "inbox.example.de",
+]
+
+# ATIS-flavoured flight-domain lexicons -------------------------------------
+
+AIRPORT_CITIES = [
+    "Boston", "Denver", "Atlanta", "Dallas", "Pittsburgh", "Baltimore",
+    "Philadelphia", "San Francisco", "Washington", "Oakland", "Phoenix",
+    "Charlotte", "Milwaukee", "Detroit", "Houston", "Memphis", "Seattle",
+    "Orlando", "Chicago", "Nashville", "Cleveland", "Columbus", "Miami",
+    "Newark", "Minneapolis", "Tampa", "Montreal", "Toronto", "St. Louis",
+    "Kansas City", "Las Vegas", "San Diego", "Salt Lake City", "Indianapolis",
+    "Cincinnati", "Burbank", "Long Beach", "Ontario", "Westchester",
+    "San Jose",
+]
+
+AIRLINES = [
+    "united", "american", "delta", "continental", "northwest", "us air",
+    "twa", "lufthansa", "canadian airlines", "alaska airlines", "midwest",
+    "eastern",
+]
+
+WEEKDAYS = [
+    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday",
+    "sunday",
+]
+
+PERIODS_OF_DAY = ["morning", "afternoon", "evening", "night"]
+
+MEALS = ["breakfast", "lunch", "dinner", "snack"]
+
+FARE_CLASSES = ["first class", "business class", "coach", "economy"]

@@ -1,0 +1,72 @@
+"""Developer-provided NL templates for the cinema demo agent.
+
+"The user only has to provide a few example formulations for each
+intent" (Section 1).  These are those few formulations for the movie
+domain; everything else (filling, paraphrasing, flows) is synthesized.
+
+Slot names follow :func:`repro.synthesis.templates.slot_name_for`:
+``movie_title`` is ``movie.title``, ``customer_last_name`` is
+``customer.last_name``, ``ticket_amount`` is the plain procedure
+parameter, and so on.
+"""
+
+from __future__ import annotations
+
+__all__ = ["movie_templates"]
+
+
+def movie_templates() -> dict[str, list[str]]:
+    """Intent -> template texts for the cinema domain."""
+    return {
+        "request_ticket_reservation": [
+            "i want to buy {ticket_amount} tickets",
+            "i would like to reserve {ticket_amount} tickets for {movie_title}",
+            "book {ticket_amount} seats for the movie {movie_title}",
+            "i want to watch {movie_title} on {screening_date}",
+            "reserve tickets for {movie_title} please",
+            "i need tickets for a movie",
+            "can i book a screening",
+        ],
+        "request_cancel_reservation": [
+            "i want to cancel my reservation",
+            "please cancel my booking for {movie_title}",
+            "cancel the reservation for {screening_date}",
+            "i cannot make it to the movie, cancel my tickets",
+            "drop my reservation",
+        ],
+        "request_list_screenings": [
+            "which screenings do you have for {movie_title}",
+            "when is {movie_title} playing",
+            "list the screenings of {movie_title}",
+            "what movies are playing on {screening_date}",
+            "show me the program",
+        ],
+        "inform": [
+            "the movie title is {movie_title}",
+            "it is called {movie_title}",
+            "{movie_title}",
+            "i want to see {movie_title}",
+            "the genre is {movie_genre}",
+            "a {movie_genre} movie",
+            "the screening is on the {screening_date}",
+            "on {screening_date}",
+            "at {screening_start_time}",
+            "the screening starts at {screening_start_time}",
+            "i need {ticket_amount} tickets",
+            "{ticket_amount} tickets please",
+            "make it {ticket_amount} seats",
+            "my name is {customer_first_name} {customer_last_name}",
+            "my last name is {customer_last_name}",
+            "i am {customer_first_name}",
+            "i live in {customer_city}",
+            "my city is {customer_city}",
+            "my street is {customer_street}",
+            "my email is {customer_email}",
+            "i was born in {customer_birth_year}",
+            "{actor_name} plays in it",
+            "the movie stars {actor_name}",
+            "it is the one with {actor_name}",
+            "the movie is from {movie_year}",
+            "it came out in {movie_year}",
+        ],
+    }

@@ -1,0 +1,110 @@
+"""In-memory relational OLTP engine: the paper's database substrate.
+
+Public surface:
+
+* :class:`~repro.db.database.Database` — tables, FK enforcement,
+  transactions, stored procedures, change notification.
+* :mod:`~repro.db.schema` — declarative schemas.
+* :mod:`~repro.db.query` — predicates and single-root queries with joins.
+* :mod:`~repro.db.statistics` — entropy/selectivity statistics with a
+  version-stamped cache.
+* :class:`~repro.db.catalog.Catalog` — introspection for task extraction.
+"""
+
+from repro.db.catalog import Catalog, ColumnRef
+from repro.db.database import Database
+from repro.db.procedures import Parameter, Procedure, ProcedureResult
+from repro.db.query import (
+    Query,
+    and_,
+    contains,
+    eq,
+    ge,
+    gt,
+    in_,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+)
+from repro.db.schema import Column, DatabaseSchema, ForeignKey, TableSchema
+from repro.db.statistics import (
+    ColumnStatistics,
+    StatisticsCatalog,
+    TableStatistics,
+    entropy,
+    gini_impurity,
+    normalized_entropy,
+)
+from repro.db.types import DataType, coerce, render
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnRef",
+    "ColumnStatistics",
+    "DataType",
+    "Database",
+    "DatabaseSchema",
+    "ForeignKey",
+    "Parameter",
+    "Procedure",
+    "ProcedureResult",
+    "Query",
+    "StatisticsCatalog",
+    "TableSchema",
+    "TableStatistics",
+    "and_",
+    "coerce",
+    "contains",
+    "entropy",
+    "eq",
+    "ge",
+    "gini_impurity",
+    "gt",
+    "in_",
+    "le",
+    "lt",
+    "ne",
+    "normalized_entropy",
+    "not_",
+    "or_",
+    "render",
+]
+
+from repro.db.persistence import (
+    dump_database,
+    dumps_database,
+    load_database,
+    loads_database,
+)
+
+__all__ += [
+    "dump_database",
+    "dumps_database",
+    "load_database",
+    "loads_database",
+]
+
+from repro.db.aggregation import (
+    Aggregate,
+    aggregate,
+    avg,
+    count,
+    count_distinct,
+    max_,
+    min_,
+    sum_,
+)
+
+__all__ += [
+    "Aggregate",
+    "aggregate",
+    "avg",
+    "count",
+    "count_distinct",
+    "max_",
+    "min_",
+    "sum_",
+]

@@ -1,0 +1,114 @@
+"""Aggregation over query results: group-by with count/sum/avg/min/max.
+
+Complements :mod:`repro.db.query` with the handful of aggregates an OLTP
+workload needs (e.g. "seats already booked for this screening").
+
+Example
+-------
+>>> from repro.db.aggregation import aggregate, count, sum_
+>>> aggregate(rows, group_by=["screening_id"],
+...           aggregates={"booked": sum_("no_tickets"),
+...                       "reservations": count()})     # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.db.table import Row
+from repro.errors import QueryError
+
+__all__ = [
+    "Aggregate",
+    "aggregate",
+    "count",
+    "sum_",
+    "avg",
+    "min_",
+    "max_",
+    "count_distinct",
+]
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A named reduction over a group of rows."""
+
+    name: str
+    column: str | None
+    reducer: Callable[[list[Any]], Any]
+
+    def apply(self, rows: list[Row]) -> Any:
+        if self.column is None:
+            values: list[Any] = rows  # count(*) semantics
+        else:
+            values = [
+                row[self.column] for row in rows if row.get(self.column) is not None
+            ]
+        return self.reducer(values)
+
+
+def count() -> Aggregate:
+    """``COUNT(*)`` — number of rows in the group."""
+    return Aggregate("count", None, len)
+
+
+def count_distinct(column: str) -> Aggregate:
+    """``COUNT(DISTINCT column)`` over non-NULL values."""
+    return Aggregate("count_distinct", column, lambda vs: len(set(vs)))
+
+
+def sum_(column: str) -> Aggregate:
+    """``SUM(column)`` over non-NULL values (0 for empty groups)."""
+    return Aggregate("sum", column, lambda vs: sum(vs) if vs else 0)
+
+
+def avg(column: str) -> Aggregate:
+    """``AVG(column)`` over non-NULL values (None for empty groups)."""
+    return Aggregate("avg", column, lambda vs: sum(vs) / len(vs) if vs else None)
+
+
+def min_(column: str) -> Aggregate:
+    return Aggregate("min", column, lambda vs: min(vs) if vs else None)
+
+
+def max_(column: str) -> Aggregate:
+    return Aggregate("max", column, lambda vs: max(vs) if vs else None)
+
+
+def aggregate(
+    rows: list[Row],
+    aggregates: dict[str, Aggregate],
+    group_by: list[str] | None = None,
+) -> list[Row]:
+    """Group ``rows`` and apply ``aggregates`` per group.
+
+    Without ``group_by`` the whole input forms a single group (one output
+    row).  Group keys appear in the output rows alongside the aggregate
+    results; output order follows first appearance of each group.
+    """
+    if not aggregates:
+        raise QueryError("at least one aggregate is required")
+    keys = group_by or []
+    groups: dict[tuple, list[Row]] = {}
+    order: list[tuple] = []
+    for row in rows:
+        try:
+            key = tuple(row[k] for k in keys)
+        except KeyError as exc:
+            raise QueryError(f"unknown group-by column {exc.args[0]!r}") from None
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not keys and not rows:
+        groups[()] = []
+        order.append(())
+    result: list[Row] = []
+    for key in order:
+        out: Row = dict(zip(keys, key))
+        for name, agg in aggregates.items():
+            out[name] = agg.apply(groups[key])
+        result.append(out)
+    return result

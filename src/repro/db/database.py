@@ -1,0 +1,184 @@
+"""The :class:`Database` facade: tables + transactions + procedures + stats.
+
+This is the OLTP substrate the paper assumes (it uses PostgreSQL; see
+DESIGN.md for the substitution argument).  The facade layers three things
+over raw :class:`~repro.db.table.Table` storage:
+
+* foreign-key enforcement across tables on insert/update/delete,
+* undo-logged atomic mutations via the transaction manager, and
+* change notification so cached statistics can invalidate themselves —
+  the mechanism behind the paper's "no retraining is required in case
+  data changes".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.db.procedures import ProcedureRegistry
+from repro.db.schema import DatabaseSchema, TableSchema
+from repro.db.table import Row, Table
+from repro.db.transactions import TransactionManager
+from repro.errors import ConstraintViolation, UnknownTableError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An in-memory relational database with transactions and procedures."""
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        schema.validate()
+        self.schema = schema
+        self._tables: dict[str, Table] = {
+            table.name: Table(table) for table in schema
+        }
+        self.transactions = TransactionManager(self)
+        self.procedures = ProcedureRegistry(self)
+        self._data_version = 0
+        self._change_listeners: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Table access
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no table named {name!r}") from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def add_table(self, schema: TableSchema) -> Table:
+        """Add a new table to an existing database (DDL)."""
+        self.schema.add_table(schema)
+        self.schema.validate()
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    # ------------------------------------------------------------------
+    # Change tracking
+    # ------------------------------------------------------------------
+    @property
+    def data_version(self) -> int:
+        """Monotonic counter bumped on every committed (or auto) mutation."""
+        return self._data_version
+
+    def on_change(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired whenever data changes."""
+        self._change_listeners.append(listener)
+
+    def notify_data_changed(self) -> None:
+        self._data_version += 1
+        for listener in self._change_listeners:
+            listener()
+
+    # ------------------------------------------------------------------
+    # Mutation (FK-checked, undo-logged)
+    # ------------------------------------------------------------------
+    def insert(self, table_name: str, values: dict[str, Any]) -> int:
+        """Insert a row; returns the internal row id."""
+        table = self.table(table_name)
+        row = dict(values)
+        self._check_outgoing_fks(table.schema, row)
+        row_id = table.insert(row)
+        self.transactions.log_insert(table_name, row_id)
+        if not self.transactions.in_transaction():
+            self.notify_data_changed()
+        return row_id
+
+    def update(self, table_name: str, row_id: int, changes: dict[str, Any]) -> None:
+        table = self.table(table_name)
+        merged = table.get(row_id)
+        merged.update(changes)
+        self._check_outgoing_fks(table.schema, merged)
+        self._check_incoming_fks_on_key_change(table, row_id, changes)
+        old = table.update(row_id, changes)
+        self.transactions.log_update(table_name, row_id, old)
+        if not self.transactions.in_transaction():
+            self.notify_data_changed()
+
+    def delete(self, table_name: str, row_id: int) -> None:
+        table = self.table(table_name)
+        row = table.get(row_id)
+        self._check_no_referencing_rows(table, row)
+        old = table.delete(row_id)
+        self.transactions.log_delete(table_name, row_id, old)
+        if not self.transactions.in_transaction():
+            self.notify_data_changed()
+
+    def insert_many(self, table_name: str, rows: list[dict[str, Any]]) -> list[int]:
+        """Bulk insert (used by the dataset generators)."""
+        return [self.insert(table_name, row) for row in rows]
+
+    # ------------------------------------------------------------------
+    # Convenience reads
+    # ------------------------------------------------------------------
+    def rows(self, table_name: str) -> list[Row]:
+        return list(self.table(table_name))
+
+    def find(self, table_name: str, column: str, value: Any) -> list[Row]:
+        """All rows of ``table_name`` where ``column == value``."""
+        table = self.table(table_name)
+        return [table.get(rid) for rid in table.lookup(column, value)]
+
+    def find_one(self, table_name: str, column: str, value: Any) -> Row | None:
+        matches = self.find(table_name, column, value)
+        return matches[0] if matches else None
+
+    def count(self, table_name: str) -> int:
+        return len(self.table(table_name))
+
+    # ------------------------------------------------------------------
+    # Foreign-key enforcement
+    # ------------------------------------------------------------------
+    def _check_outgoing_fks(self, schema: TableSchema, row: dict[str, Any]) -> None:
+        for fk in schema.foreign_keys:
+            value = row.get(fk.column)
+            if value is None:
+                continue
+            target = self.table(fk.target_table)
+            if not target.lookup(fk.target_column, value):
+                raise ConstraintViolation(
+                    f"table {schema.name!r}: value {value!r} for {fk.column!r} "
+                    f"has no match in {fk.target_table}.{fk.target_column}"
+                )
+
+    def _check_incoming_fks_on_key_change(
+        self, table: Table, row_id: int, changes: dict[str, Any]
+    ) -> None:
+        for column in changes:
+            old_value = table.get(row_id).get(column)
+            if old_value == changes[column]:
+                continue
+            for source_name, fk in self.schema.referencing_tables(table.name):
+                if fk.target_column != column:
+                    continue
+                source = self.table(source_name)
+                if source.lookup(fk.column, old_value):
+                    raise ConstraintViolation(
+                        f"cannot change {table.name}.{column} from "
+                        f"{old_value!r}: referenced by {source_name}.{fk.column}"
+                    )
+
+    def _check_no_referencing_rows(self, table: Table, row: Row) -> None:
+        for source_name, fk in self.schema.referencing_tables(table.name):
+            value = row.get(fk.target_column)
+            if value is None:
+                continue
+            source = self.table(source_name)
+            if source.lookup(fk.column, value):
+                raise ConstraintViolation(
+                    f"cannot delete from {table.name!r}: row is referenced "
+                    f"by {source_name}.{fk.column}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        counts = {name: len(t) for name, t in self._tables.items()}
+        return f"Database({counts})"

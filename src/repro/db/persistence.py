@@ -1,0 +1,159 @@
+"""Database snapshots: dump/load the schema and contents as JSON.
+
+Stored procedures are Python callables and cannot be serialised; a
+loaded database starts with an empty procedure registry and the caller
+re-registers its workload (exactly like restoring a SQL dump and
+re-applying the function definitions).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from typing import Any
+
+from repro.db.database import Database
+from repro.db.schema import Column, DatabaseSchema, ForeignKey, TableSchema
+from repro.db.types import DataType
+from repro.errors import DatabaseError
+
+__all__ = ["dump_database", "load_database", "dumps_database", "loads_database"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, _dt.datetime):  # pragma: no cover - not a col type
+        return {"$type": "datetime", "value": value.isoformat()}
+    if isinstance(value, _dt.date):
+        return {"$type": "date", "value": value.isoformat()}
+    if isinstance(value, _dt.time):
+        return {"$type": "time", "value": value.isoformat()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "$type" in value:
+        kind = value["$type"]
+        if kind == "date":
+            return _dt.date.fromisoformat(value["value"])
+        if kind == "time":
+            return _dt.time.fromisoformat(value["value"])
+        if kind == "datetime":  # pragma: no cover - not a col type
+            return _dt.datetime.fromisoformat(value["value"])
+        raise DatabaseError(f"unknown encoded type {kind!r}")
+    return value
+
+
+def _schema_payload(schema: DatabaseSchema) -> list[dict[str, Any]]:
+    tables = []
+    for table in schema:
+        tables.append(
+            {
+                "name": table.name,
+                "primary_key": table.primary_key,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "dtype": column.dtype.value,
+                        "nullable": column.nullable,
+                        "unique": column.unique,
+                    }
+                    for column in table.columns
+                ],
+                "foreign_keys": [
+                    {
+                        "column": fk.column,
+                        "target_table": fk.target_table,
+                        "target_column": fk.target_column,
+                    }
+                    for fk in table.foreign_keys
+                ],
+            }
+        )
+    return tables
+
+
+def _schema_from_payload(payload: list[dict[str, Any]]) -> DatabaseSchema:
+    tables = []
+    for body in payload:
+        tables.append(
+            TableSchema(
+                body["name"],
+                [
+                    Column(
+                        column["name"],
+                        DataType(column["dtype"]),
+                        nullable=column["nullable"],
+                        unique=column["unique"],
+                    )
+                    for column in body["columns"]
+                ],
+                primary_key=body.get("primary_key"),
+                foreign_keys=[
+                    ForeignKey(fk["column"], fk["target_table"],
+                               fk["target_column"])
+                    for fk in body.get("foreign_keys", ())
+                ],
+            )
+        )
+    return DatabaseSchema(tables)
+
+
+def dumps_database(database: Database) -> str:
+    """Serialise schema + rows to a JSON string."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "schema": _schema_payload(database.schema),
+        "rows": {
+            name: [
+                {key: _encode_value(value) for key, value in row.items()}
+                for row in database.rows(name)
+            ]
+            for name in database.table_names
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def loads_database(payload: str) -> Database:
+    """Rebuild a database from :func:`dumps_database` output."""
+    body = json.loads(payload)
+    version = body.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise DatabaseError(f"unsupported snapshot version {version!r}")
+    database = Database(_schema_from_payload(body["schema"]))
+    # Insert tables in FK-dependency order: repeatedly insert whatever
+    # whose referenced tables are already loaded.
+    remaining = dict(body["rows"])
+    loaded: set[str] = set()
+    while remaining:
+        progressed = False
+        for name in list(remaining):
+            schema = database.schema.table(name)
+            depends = {fk.target_table for fk in schema.foreign_keys} - {name}
+            if depends <= loaded:
+                for row in remaining.pop(name):
+                    database.insert(
+                        name,
+                        {key: _decode_value(value) for key, value in row.items()},
+                    )
+                loaded.add(name)
+                progressed = True
+        if not progressed:
+            raise DatabaseError(
+                f"circular foreign-key dependency among {sorted(remaining)}"
+            )
+    return database
+
+
+def dump_database(database: Database, path: str) -> None:
+    """Write a JSON snapshot to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(dumps_database(database))
+
+
+def load_database(path: str) -> Database:
+    """Load a JSON snapshot from ``path``."""
+    with open(path) as handle:
+        return loads_database(handle.read())

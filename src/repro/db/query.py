@@ -1,0 +1,327 @@
+"""Predicate and query layer over :class:`repro.db.table.Table`.
+
+This is not a SQL parser; it is a small relational-algebra API sufficient
+for the agent runtime: typed comparison predicates with boolean
+combinators, single-table selection that exploits hash indexes for
+equality, equi-joins along foreign keys, projection, ordering, limits and
+simple aggregation.
+
+Example
+-------
+>>> from repro.db.query import eq, and_, Query
+>>> query = Query("screening").where(and_(eq("movie_id", 3), eq("date", "2022-03-26")))
+>>> rows = query.run(database)        # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.db.table import Row
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = [
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "eq",
+    "ne",
+    "lt",
+    "le",
+    "gt",
+    "ge",
+    "contains",
+    "in_",
+    "and_",
+    "or_",
+    "not_",
+    "Query",
+]
+
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+class Predicate:
+    """Base class of the predicate expression tree."""
+
+    def matches(self, row: Row) -> bool:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """All column names mentioned by this predicate."""
+        raise NotImplementedError
+
+    def equality_bindings(self) -> dict[str, Any]:
+        """``column -> value`` for top-level AND-ed equality comparisons.
+
+        Used by the executor to pick hash indexes.
+        """
+        return {}
+
+
+_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "contains": lambda a, b: isinstance(a, str)
+    and isinstance(b, str)
+    and b.lower() in a.lower(),
+    "in": lambda a, b: a in b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column <op> value`` with NULL-rejecting semantics (like SQL)."""
+
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPERATORS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, row: Row) -> bool:
+        if self.column not in row:
+            raise QueryError(f"row has no column {self.column!r}")
+        actual = row[self.column]
+        if actual is None:
+            return False
+        try:
+            return _OPERATORS[self.op](actual, self.value)
+        except TypeError:
+            return False
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def equality_bindings(self) -> dict[str, Any]:
+        if self.op == "==":
+            return {self.column: self.value}
+        return {}
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def matches(self, row: Row) -> bool:
+        return all(part.matches(row) for part in self.parts)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.columns()
+        return out
+
+    def equality_bindings(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for part in self.parts:
+            out.update(part.equality_bindings())
+        return out
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    parts: tuple[Predicate, ...]
+
+    def matches(self, row: Row) -> bool:
+        return any(part.matches(row) for part in self.parts)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.columns()
+        return out
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    part: Predicate
+
+    def matches(self, row: Row) -> bool:
+        return not self.part.matches(row)
+
+    def columns(self) -> set[str]:
+        return self.part.columns()
+
+
+class TruePredicate(Predicate):
+    """Matches every row; the identity element for AND."""
+
+    def matches(self, row: Row) -> bool:
+        return True
+
+    def columns(self) -> set[str]:
+        return set()
+
+
+# Convenience constructors -------------------------------------------------
+
+def eq(column: str, value: Any) -> Comparison:
+    return Comparison(column, "==", value)
+
+
+def ne(column: str, value: Any) -> Comparison:
+    return Comparison(column, "!=", value)
+
+
+def lt(column: str, value: Any) -> Comparison:
+    return Comparison(column, "<", value)
+
+
+def le(column: str, value: Any) -> Comparison:
+    return Comparison(column, "<=", value)
+
+
+def gt(column: str, value: Any) -> Comparison:
+    return Comparison(column, ">", value)
+
+
+def ge(column: str, value: Any) -> Comparison:
+    return Comparison(column, ">=", value)
+
+
+def contains(column: str, needle: str) -> Comparison:
+    """Case-insensitive substring match on a text column."""
+    return Comparison(column, "contains", needle)
+
+
+def in_(column: str, values: Iterable[Any]) -> Comparison:
+    return Comparison(column, "in", tuple(values))
+
+
+def and_(*parts: Predicate) -> Predicate:
+    flat = [p for p in parts if not isinstance(p, TruePredicate)]
+    if not flat:
+        return TruePredicate()
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def or_(*parts: Predicate) -> Predicate:
+    if not parts:
+        raise QueryError("or_() needs at least one predicate")
+    if len(parts) == 1:
+        return parts[0]
+    return Or(tuple(parts))
+
+
+def not_(part: Predicate) -> Not:
+    return Not(part)
+
+
+# ---------------------------------------------------------------------------
+# Query
+# ---------------------------------------------------------------------------
+
+class Query:
+    """A fluent single-root query with optional foreign-key joins.
+
+    Joined columns appear in the result rows under ``table.column`` keys,
+    while the root table's columns keep their bare names (mirroring how the
+    paper's candidate tracking widens entity rows with joined attributes).
+    """
+
+    def __init__(self, table: str) -> None:
+        self.table = table
+        self._predicate: Predicate = TruePredicate()
+        self._joins: list[tuple[str, str, str]] = []  # (column, table, target)
+        self._projection: list[str] | None = None
+        self._order_by: str | None = None
+        self._descending = False
+        self._limit: int | None = None
+
+    # Builder API ----------------------------------------------------------
+    def where(self, predicate: Predicate) -> "Query":
+        self._predicate = and_(self._predicate, predicate)
+        return self
+
+    def join(self, column: str, table: str, target_column: str) -> "Query":
+        """Equi-join ``root.column == table.target_column``."""
+        self._joins.append((column, table, target_column))
+        return self
+
+    def select(self, *columns: str) -> "Query":
+        self._projection = list(columns)
+        return self
+
+    def order_by(self, column: str, descending: bool = False) -> "Query":
+        self._order_by = column
+        self._descending = descending
+        return self
+
+    def limit(self, n: int) -> "Query":
+        if n < 0:
+            raise QueryError("limit must be non-negative")
+        self._limit = n
+        return self
+
+    # Execution --------------------------------------------------------------
+    def run(self, database: "Database") -> list[Row]:
+        """Execute against ``database`` and return materialised rows."""
+        table = database.table(self.table)
+        row_ids = self._candidate_row_ids(table)
+        rows = [table.get(rid) for rid in row_ids]
+        rows = self._apply_joins(database, rows)
+        rows = [row for row in rows if self._predicate.matches(row)]
+        if self._order_by is not None:
+            rows.sort(
+                key=lambda r: (r[self._order_by] is None, r[self._order_by]),
+                reverse=self._descending,
+            )
+        if self._limit is not None:
+            rows = rows[: self._limit]
+        if self._projection is not None:
+            rows = [{c: row[c] for c in self._projection} for row in rows]
+        return rows
+
+    def count(self, database: "Database") -> int:
+        return len(self.run(database))
+
+    # Internals --------------------------------------------------------------
+    def _candidate_row_ids(self, table) -> list[int]:
+        """Use a hash index for the most selective root-table equality."""
+        bindings = self._predicate.equality_bindings()
+        best: list[int] | None = None
+        for column, value in bindings.items():
+            if not table.schema.has_column(column) or not table.has_index(column):
+                continue
+            try:
+                ids = table.lookup(column, value)
+            except Exception:
+                continue
+            if best is None or len(ids) < len(best):
+                best = ids
+        return best if best is not None else table.row_ids()
+
+    def _apply_joins(self, database: "Database", rows: list[Row]) -> list[Row]:
+        for column, table_name, target_column in self._joins:
+            other = database.table(table_name)
+            joined: list[Row] = []
+            for row in rows:
+                key = row.get(column)
+                if key is None:
+                    continue
+                for rid in other.lookup(target_column, key):
+                    match = other.get(rid)
+                    widened = dict(row)
+                    for other_col, value in match.items():
+                        widened[f"{table_name}.{other_col}"] = value
+                    joined.append(widened)
+            rows = joined
+        return rows

@@ -1,0 +1,246 @@
+"""Row storage for one relation, with hash indexes and constraint checks.
+
+Rows are stored as dictionaries keyed by an internal, monotonically
+increasing row id.  Every column can carry a hash index (value -> set of
+row ids); primary-key and unique columns always do, since the constraint
+check needs the index anyway.  The :class:`Table` exposes a low-level
+mutation API (``insert``/``update``/``delete``) used by
+:class:`repro.db.database.Database`, which layers transactions and
+foreign-key enforcement on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.db.schema import TableSchema
+from repro.db.types import coerce, is_null
+from repro.errors import ConstraintViolation, UnknownColumnError
+
+__all__ = ["Row", "Table"]
+
+Row = dict[str, Any]
+"""A materialised row: column name -> value."""
+
+
+class _HashIndex:
+    """A simple hash index mapping column values to sets of row ids."""
+
+    def __init__(self) -> None:
+        self._buckets: dict[Any, set[int]] = {}
+
+    def add(self, value: Any, row_id: int) -> None:
+        if is_null(value):
+            return
+        self._buckets.setdefault(value, set()).add(row_id)
+
+    def remove(self, value: Any, row_id: int) -> None:
+        if is_null(value):
+            return
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> set[int]:
+        return set(self._buckets.get(value, ()))
+
+    def has(self, value: Any) -> bool:
+        return value in self._buckets
+
+    def count(self, value: Any) -> int:
+        return len(self._buckets.get(value, ()))
+
+    def distinct_values(self) -> list[Any]:
+        return list(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class Table:
+    """Mutable storage for the rows of one table schema."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, Row] = {}
+        self._next_row_id = 1
+        self._indexes: dict[str, _HashIndex] = {}
+        if schema.primary_key:
+            self.create_index(schema.primary_key)
+        for column in schema.columns:
+            if column.unique:
+                self.create_index(column.name)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        """Iterate over copies of all rows (stable order by row id)."""
+        for row_id in sorted(self._rows):
+            yield dict(self._rows[row_id])
+
+    def row_ids(self) -> list[int]:
+        return sorted(self._rows)
+
+    def get(self, row_id: int) -> Row:
+        """Return a copy of the row with internal id ``row_id``."""
+        return dict(self._rows[row_id])
+
+    def has_index(self, column: str) -> bool:
+        return column in self._indexes
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def create_index(self, column: str) -> None:
+        """Build (or rebuild) a hash index on ``column``."""
+        self.schema.column(column)  # raises UnknownColumnError
+        index = _HashIndex()
+        for row_id, row in self._rows.items():
+            index.add(row[column], row_id)
+        self._indexes[column] = index
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: dict[str, Any]) -> int:
+        """Insert one row; returns the internal row id.
+
+        Values are coerced to the declared column types; missing columns
+        default to NULL.  Raises :class:`ConstraintViolation` on NOT NULL,
+        primary-key or unique violations, and
+        :class:`UnknownColumnError` for unexpected keys.
+        """
+        row = self._normalise(values)
+        self._check_not_null(row)
+        self._check_unique(row, exclude_row_id=None)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = row
+        for column, index in self._indexes.items():
+            index.add(row[column], row_id)
+        return row_id
+
+    def update(self, row_id: int, changes: dict[str, Any]) -> Row:
+        """Apply ``changes`` to an existing row; returns a copy of the old row."""
+        old = self._rows[row_id]
+        new = dict(old)
+        for column, value in changes.items():
+            col = self.schema.column(column)
+            new[column] = coerce(value, col.dtype)
+        self._check_not_null(new)
+        self._check_unique(new, exclude_row_id=row_id)
+        for column, index in self._indexes.items():
+            if old[column] != new[column]:
+                index.remove(old[column], row_id)
+                index.add(new[column], row_id)
+        self._rows[row_id] = new
+        return dict(old)
+
+    def delete(self, row_id: int) -> Row:
+        """Delete a row; returns a copy of it (for undo logs)."""
+        row = self._rows.pop(row_id)
+        for column, index in self._indexes.items():
+            index.remove(row[column], row_id)
+        return dict(row)
+
+    def restore(self, row_id: int, row: Row) -> None:
+        """Re-insert a previously deleted row under its original id (undo)."""
+        if row_id in self._rows:
+            raise ConstraintViolation(
+                f"table {self.name!r}: cannot restore row {row_id}, id in use"
+            )
+        self._rows[row_id] = dict(row)
+        self._next_row_id = max(self._next_row_id, row_id + 1)
+        for column, index in self._indexes.items():
+            index.add(row[column], row_id)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, column: str, value: Any) -> list[int]:
+        """Row ids where ``column == value`` (uses index when available)."""
+        col = self.schema.column(column)
+        needle = coerce(value, col.dtype)
+        if needle is None:
+            return []
+        index = self._indexes.get(column)
+        if index is not None:
+            return sorted(index.lookup(needle))
+        return [rid for rid, row in self._rows.items() if row[column] == needle]
+
+    def scan(self, predicate: Callable[[Row], bool] | None = None) -> list[int]:
+        """Row ids of rows matching ``predicate`` (all rows when ``None``)."""
+        if predicate is None:
+            return self.row_ids()
+        return [rid for rid in sorted(self._rows) if predicate(self._rows[rid])]
+
+    def column_values(self, column: str, row_ids: list[int] | None = None) -> list[Any]:
+        """Values of one column, over all rows or a row-id subset."""
+        self.schema.column(column)
+        if row_ids is None:
+            return [self._rows[rid][column] for rid in sorted(self._rows)]
+        return [self._rows[rid][column] for rid in row_ids]
+
+    def distinct_count(self, column: str) -> int:
+        """Number of distinct non-NULL values in ``column``."""
+        index = self._indexes.get(column)
+        if index is not None:
+            return len(index)
+        values = {
+            row[column] for row in self._rows.values() if not is_null(row[column])
+        }
+        return len(values)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _normalise(self, values: dict[str, Any]) -> Row:
+        for key in values:
+            if not self.schema.has_column(key):
+                raise UnknownColumnError(
+                    f"table {self.name!r} has no column {key!r}"
+                )
+        row: Row = {}
+        for column in self.schema.columns:
+            raw = values.get(column.name)
+            row[column.name] = coerce(raw, column.dtype)
+        return row
+
+    def _check_not_null(self, row: Row) -> None:
+        for column in self.schema.columns:
+            required = not column.nullable or column.name == self.schema.primary_key
+            if required and is_null(row[column.name]):
+                raise ConstraintViolation(
+                    f"table {self.name!r}: column {column.name!r} may not be NULL"
+                )
+
+    def _check_unique(self, row: Row, exclude_row_id: int | None) -> None:
+        unique_columns = [
+            c.name
+            for c in self.schema.columns
+            if c.unique or c.name == self.schema.primary_key
+        ]
+        for column in unique_columns:
+            value = row[column]
+            if is_null(value):
+                continue
+            existing = self._indexes[column].lookup(value)
+            existing.discard(exclude_row_id)  # type: ignore[arg-type]
+            if existing:
+                raise ConstraintViolation(
+                    f"table {self.name!r}: duplicate value {value!r} "
+                    f"for unique column {column!r}"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, rows={len(self)})"

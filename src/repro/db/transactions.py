@@ -1,0 +1,152 @@
+"""Transaction support: undo logging, savepoints, commit/rollback.
+
+The engine is single-threaded (the conversational agent serialises its
+transactions), so isolation is trivial; what the paper's agent needs is
+*atomicity* — a ticket-reservation procedure that fails halfway through
+must leave the database unchanged.  We implement this with an undo log of
+inverse physical operations, replayed in reverse on rollback.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = ["TransactionState", "UndoRecord", "Transaction", "TransactionManager"]
+
+
+class TransactionState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """One inverse physical operation.
+
+    ``kind`` is one of ``"insert"`` (undo by delete), ``"delete"`` (undo by
+    restore) or ``"update"`` (undo by writing back the old image).
+    """
+
+    kind: str
+    table: str
+    row_id: int
+    old_row: dict[str, Any] | None = None
+
+
+@dataclass
+class Transaction:
+    """An open transaction: an id, a state and an undo log."""
+
+    txn_id: int
+    state: TransactionState = TransactionState.ACTIVE
+    undo_log: list[UndoRecord] = field(default_factory=list)
+    savepoints: dict[str, int] = field(default_factory=dict)
+
+    def record(self, record: UndoRecord) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.state.value}, cannot log"
+            )
+        self.undo_log.append(record)
+
+
+class TransactionManager:
+    """Owns the single active transaction of a database.
+
+    Nested ``begin`` calls are not allowed; use savepoints for partial
+    rollback inside stored procedures.
+    """
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._active: Transaction | None = None
+        self._next_txn_id = 1
+        self.committed_count = 0
+        self.aborted_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> Transaction | None:
+        return self._active
+
+    def in_transaction(self) -> bool:
+        return self._active is not None
+
+    # ------------------------------------------------------------------
+    def begin(self) -> Transaction:
+        if self._active is not None:
+            raise TransactionError("a transaction is already active")
+        txn = Transaction(txn_id=self._next_txn_id)
+        self._next_txn_id += 1
+        self._active = txn
+        return txn
+
+    def commit(self) -> None:
+        txn = self._require_active()
+        txn.state = TransactionState.COMMITTED
+        self._active = None
+        self.committed_count += 1
+        self._database.notify_data_changed()
+
+    def rollback(self) -> None:
+        txn = self._require_active()
+        self._undo(txn.undo_log)
+        txn.undo_log.clear()
+        txn.state = TransactionState.ABORTED
+        self._active = None
+        self.aborted_count += 1
+
+    # ------------------------------------------------------------------
+    def savepoint(self, name: str) -> None:
+        txn = self._require_active()
+        txn.savepoints[name] = len(txn.undo_log)
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        txn = self._require_active()
+        if name not in txn.savepoints:
+            raise TransactionError(f"unknown savepoint {name!r}")
+        mark = txn.savepoints[name]
+        tail = txn.undo_log[mark:]
+        self._undo(tail)
+        del txn.undo_log[mark:]
+
+    # ------------------------------------------------------------------
+    def log_insert(self, table: str, row_id: int) -> None:
+        if self._active is not None:
+            self._active.record(UndoRecord("insert", table, row_id))
+
+    def log_delete(self, table: str, row_id: int, old_row: dict[str, Any]) -> None:
+        if self._active is not None:
+            self._active.record(UndoRecord("delete", table, row_id, old_row))
+
+    def log_update(self, table: str, row_id: int, old_row: dict[str, Any]) -> None:
+        if self._active is not None:
+            self._active.record(UndoRecord("update", table, row_id, old_row))
+
+    # ------------------------------------------------------------------
+    def _require_active(self) -> Transaction:
+        if self._active is None:
+            raise TransactionError("no active transaction")
+        return self._active
+
+    def _undo(self, records: list[UndoRecord]) -> None:
+        for record in reversed(records):
+            table = self._database.table(record.table)
+            if record.kind == "insert":
+                table.delete(record.row_id)
+            elif record.kind == "delete":
+                assert record.old_row is not None
+                table.restore(record.row_id, record.old_row)
+            elif record.kind == "update":
+                assert record.old_row is not None
+                table.update(record.row_id, record.old_row)
+            else:  # pragma: no cover - defensive
+                raise TransactionError(f"unknown undo kind {record.kind!r}")

@@ -1,0 +1,176 @@
+"""Column data types for the in-memory relational engine.
+
+The engine supports a small, OLTP-flavoured type system: integers, floats,
+text, booleans, dates and times.  Each type knows how to *coerce* loosely
+typed Python values (as they arrive from user utterances or CSV-like
+sources) into a canonical representation, and how to render a value back
+into natural language for the agent's responses.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+__all__ = ["DataType", "coerce", "render", "is_null", "python_type"]
+
+
+class DataType(enum.Enum):
+    """Declared type of a table column."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    TIME = "time"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_TRUE_WORDS = {"true", "t", "yes", "y", "1"}
+_FALSE_WORDS = {"false", "f", "no", "n", "0"}
+
+_DATE_FORMATS = ("%Y-%m-%d", "%d.%m.%Y", "%m/%d/%Y", "%B %d %Y", "%d %B %Y")
+_TIME_FORMATS = ("%H:%M", "%H:%M:%S", "%I:%M %p", "%I %p")
+
+
+def python_type(dtype: DataType) -> type:
+    """Return the canonical Python type used to store values of ``dtype``."""
+    return {
+        DataType.INTEGER: int,
+        DataType.FLOAT: float,
+        DataType.TEXT: str,
+        DataType.BOOLEAN: bool,
+        DataType.DATE: _dt.date,
+        DataType.TIME: _dt.time,
+    }[dtype]
+
+
+def is_null(value: Any) -> bool:
+    """True when ``value`` represents SQL NULL."""
+    return value is None
+
+
+def coerce(value: Any, dtype: DataType) -> Any:
+    """Coerce ``value`` into the canonical representation of ``dtype``.
+
+    ``None`` passes through unchanged (NULL).  Strings are parsed leniently
+    because values frequently originate from natural-language utterances.
+    Raises :class:`TypeMismatchError` when the value cannot be interpreted.
+    """
+    if value is None:
+        return None
+    try:
+        if dtype is DataType.INTEGER:
+            return _coerce_int(value)
+        if dtype is DataType.FLOAT:
+            return _coerce_float(value)
+        if dtype is DataType.TEXT:
+            return _coerce_text(value)
+        if dtype is DataType.BOOLEAN:
+            return _coerce_bool(value)
+        if dtype is DataType.DATE:
+            return _coerce_date(value)
+        if dtype is DataType.TIME:
+            return _coerce_time(value)
+    except TypeMismatchError:
+        raise
+    except (ValueError, TypeError) as exc:
+        raise TypeMismatchError(f"cannot coerce {value!r} to {dtype}") from exc
+    raise TypeMismatchError(f"unknown data type {dtype!r}")
+
+
+def _coerce_int(value: Any) -> int:
+    if isinstance(value, bool):
+        raise TypeMismatchError(f"cannot coerce boolean {value!r} to integer")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if value != int(value):
+            raise TypeMismatchError(f"cannot coerce non-integral {value!r} to integer")
+        return int(value)
+    if isinstance(value, str):
+        return int(value.strip())
+    raise TypeMismatchError(f"cannot coerce {type(value).__name__} to integer")
+
+
+def _coerce_float(value: Any) -> float:
+    if isinstance(value, bool):
+        raise TypeMismatchError(f"cannot coerce boolean {value!r} to float")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return float(value.strip())
+    raise TypeMismatchError(f"cannot coerce {type(value).__name__} to float")
+
+
+def _coerce_text(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float, bool, _dt.date, _dt.time)):
+        return render(value, DataType.TEXT)
+    raise TypeMismatchError(f"cannot coerce {type(value).__name__} to text")
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        word = value.strip().lower()
+        if word in _TRUE_WORDS:
+            return True
+        if word in _FALSE_WORDS:
+            return False
+    raise TypeMismatchError(f"cannot coerce {value!r} to boolean")
+
+
+def _coerce_date(value: Any) -> _dt.date:
+    if isinstance(value, _dt.datetime):
+        return value.date()
+    if isinstance(value, _dt.date):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        for fmt in _DATE_FORMATS:
+            try:
+                return _dt.datetime.strptime(text, fmt).date()
+            except ValueError:
+                continue
+    raise TypeMismatchError(f"cannot coerce {value!r} to date")
+
+
+def _coerce_time(value: Any) -> _dt.time:
+    if isinstance(value, _dt.datetime):
+        return value.time()
+    if isinstance(value, _dt.time):
+        return value
+    if isinstance(value, str):
+        text = value.strip().lower()
+        for fmt in _TIME_FORMATS:
+            try:
+                return _dt.datetime.strptime(text.upper(), fmt).time()
+            except ValueError:
+                continue
+    raise TypeMismatchError(f"cannot coerce {value!r} to time")
+
+
+def render(value: Any, dtype: DataType) -> str:
+    """Render a stored value as a human-readable string for agent output."""
+    if value is None:
+        return "unknown"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, _dt.date) and not isinstance(value, _dt.datetime):
+        return value.isoformat()
+    if isinstance(value, _dt.time):
+        return value.strftime("%H:%M")
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)

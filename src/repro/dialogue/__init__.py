@@ -1,0 +1,14 @@
+"""Dialogue management: acts, state tracking, learned policy, manager."""
+
+from repro.dialogue import acts
+from repro.dialogue.manager import DialogueManager
+from repro.dialogue.policy import NextActionModel
+from repro.dialogue.state import DialogueState, Phase
+
+__all__ = [
+    "DialogueManager",
+    "DialogueState",
+    "NextActionModel",
+    "Phase",
+    "acts",
+]

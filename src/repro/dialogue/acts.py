@@ -1,0 +1,116 @@
+"""Dialogue-act vocabulary shared by self-play, DM training and runtime.
+
+User acts are produced by the NLU (each maps to an intent); agent acts
+are produced by the dialogue manager.  Task- and entity-parameterised
+acts are realised as structured names (``request_ticket_reservation``,
+``identify_screening``, ``ask_slot_ticket_amount``) so a flat next-action
+classifier can be trained over them, exactly like the high-level actions
+in the paper's Figure 3 DM training data.
+"""
+
+from __future__ import annotations
+
+from repro.annotation import Task
+
+__all__ = [
+    "USER_GREET",
+    "USER_GOODBYE",
+    "USER_AFFIRM",
+    "USER_DENY",
+    "USER_ABORT",
+    "USER_DONT_KNOW",
+    "USER_INFORM",
+    "USER_CHOOSE",
+    "USER_THANK",
+    "AGENT_GREET",
+    "AGENT_GOODBYE",
+    "AGENT_CONFIRM",
+    "AGENT_EXECUTE",
+    "AGENT_SUCCESS",
+    "AGENT_FAILURE",
+    "AGENT_ACK_ABORT",
+    "AGENT_RESTART",
+    "AGENT_FALLBACK",
+    "request_action",
+    "identify_action",
+    "ask_slot_action",
+    "user_acts_for_tasks",
+    "agent_acts_for_tasks",
+]
+
+# User acts ------------------------------------------------------------
+USER_GREET = "greet"
+USER_GOODBYE = "goodbye"
+USER_AFFIRM = "affirm"
+USER_DENY = "deny"
+USER_ABORT = "abort"
+USER_DONT_KNOW = "dont_know"
+USER_INFORM = "inform"
+USER_CHOOSE = "choose"
+USER_THANK = "thank"
+
+# Agent acts -----------------------------------------------------------
+AGENT_GREET = "agent_greet"
+AGENT_GOODBYE = "agent_goodbye"
+AGENT_CONFIRM = "confirm_transaction"
+AGENT_EXECUTE = "execute_transaction"
+AGENT_SUCCESS = "report_success"
+AGENT_FAILURE = "report_failure"
+AGENT_ACK_ABORT = "acknowledge_abort"
+AGENT_RESTART = "restart_task"
+AGENT_FALLBACK = "fallback"
+
+
+def request_action(task_name: str) -> str:
+    """User act that initiates a task."""
+    return f"request_{task_name}"
+
+
+def identify_action(entity_table: str) -> str:
+    """Agent act that covers the whole entity-identification subdialogue."""
+    return f"identify_{entity_table}"
+
+
+def ask_slot_action(slot_name: str) -> str:
+    """Agent act requesting one plain value slot."""
+    return f"ask_slot_{slot_name}"
+
+
+def user_acts_for_tasks(tasks: list[Task]) -> list[str]:
+    acts = [
+        USER_GREET,
+        USER_GOODBYE,
+        USER_AFFIRM,
+        USER_DENY,
+        USER_ABORT,
+        USER_DONT_KNOW,
+        USER_INFORM,
+        USER_CHOOSE,
+        USER_THANK,
+    ]
+    acts.extend(request_action(task.name) for task in tasks)
+    return acts
+
+
+def agent_acts_for_tasks(tasks: list[Task]) -> list[str]:
+    acts = [
+        AGENT_GREET,
+        AGENT_GOODBYE,
+        AGENT_CONFIRM,
+        AGENT_EXECUTE,
+        AGENT_SUCCESS,
+        AGENT_FAILURE,
+        AGENT_ACK_ABORT,
+        AGENT_RESTART,
+        AGENT_FALLBACK,
+    ]
+    for task in tasks:
+        for lookup in task.lookups:
+            action = identify_action(lookup.table)
+            if action not in acts:
+                acts.append(action)
+        for slot in task.value_slots:
+            action = ask_slot_action(slot.name)
+            if action not in acts:
+                acts.append(action)
+    return acts

@@ -1,0 +1,81 @@
+"""Hybrid dialogue manager: learned proposals constrained by state rules.
+
+The learned :class:`~repro.dialogue.policy.NextActionModel` proposes the
+next agent action from the dialogue history; the manager intersects that
+proposal with the actions that are *legal* in the current state (you
+cannot execute a transaction whose slots are missing, or confirm twice).
+When the model's top choices are all illegal the manager falls back to
+the deterministic task progression — the same guard rails a production
+dialogue system puts around a learned policy.
+"""
+
+from __future__ import annotations
+
+from repro.annotation import Task
+from repro.dialogue import acts
+from repro.dialogue.policy import NextActionModel
+from repro.dialogue.state import DialogueState, Phase
+from repro.errors import DialogueError
+
+__all__ = ["DialogueManager"]
+
+
+class DialogueManager:
+    """Chooses the next high-level agent action."""
+
+    def __init__(self, model: NextActionModel, tasks: list[Task]) -> None:
+        self._model = model
+        self._tasks = {task.name: task for task in tasks}
+
+    # ------------------------------------------------------------------
+    def task(self, name: str) -> Task:
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise DialogueError(f"unknown task {name!r}") from None
+
+    def task_names(self) -> list[str]:
+        return sorted(self._tasks)
+
+    # ------------------------------------------------------------------
+    def legal_actions(self, state: DialogueState) -> list[str]:
+        """Agent actions permitted by the current dialogue state."""
+        if state.phase is Phase.IDLE:
+            legal = [acts.AGENT_GOODBYE]
+            if not state.greeted:
+                legal.append(acts.AGENT_GREET)
+            return legal
+        if state.phase is Phase.GATHERING:
+            assert state.task is not None
+            legal = []
+            for slot_name in state.missing_slots():
+                slot = state.task.slot(slot_name)
+                if slot.is_entity:
+                    lookup = state.task.lookup_for(slot_name)
+                    assert lookup is not None
+                    legal.append(acts.identify_action(lookup.table))
+                else:
+                    legal.append(acts.ask_slot_action(slot_name))
+                break  # only the *next* requirement is actionable
+            if not legal:
+                legal.append(acts.AGENT_CONFIRM)
+            return legal
+        if state.phase is Phase.CONFIRMING:
+            return [acts.AGENT_EXECUTE, acts.AGENT_RESTART]
+        if state.phase is Phase.CHOOSING:
+            return []
+        return [acts.AGENT_GOODBYE]
+
+    def propose(self, state: DialogueState) -> str | None:
+        """The learned model's best *legal* action (rule fallback)."""
+        legal = self.legal_actions(state)
+        if not legal:
+            return None
+        try:
+            ranked = self._model.predict_ranked(state.recent_history())
+        except Exception:
+            ranked = []
+        for action, __ in ranked:
+            if action in legal:
+                return action
+        return legal[0]

@@ -1,0 +1,86 @@
+"""Learned dialogue-management policy: next agent action from history.
+
+Trained on the self-played flows (Section 3): every agent turn in a flow
+is a supervised example "(recent action history) -> next agent action".
+The model is a back-off n-gram predictor — it looks up the longest
+matching history suffix seen in training and returns the most frequent
+continuation.  This is the deterministic, inspectable equivalent of the
+RNN-based dialogue policies RASA trains, and it is exactly as expressive
+as the high-level flow data the paper synthesizes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.errors import DialogueError, NotFittedError
+from repro.synthesis.corpus import FlowDataset
+
+__all__ = ["NextActionModel"]
+
+
+class NextActionModel:
+    """Back-off suffix model over dialogue-action histories."""
+
+    def __init__(self, max_context: int = 4) -> None:
+        if max_context < 1:
+            raise DialogueError("max_context must be >= 1")
+        self.max_context = max_context
+        self._tables: list[dict[tuple[str, ...], Counter]] | None = None
+        self._global: Counter | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, flows: FlowDataset) -> "NextActionModel":
+        if len(flows) == 0:
+            raise DialogueError("cannot train on an empty flow dataset")
+        tables: list[dict[tuple[str, ...], Counter]] = [
+            defaultdict(Counter) for __ in range(self.max_context + 1)
+        ]
+        global_counts: Counter = Counter()
+        for history, action in flows.decision_points():
+            global_counts[action] += 1
+            for size in range(1, self.max_context + 1):
+                suffix = tuple(history[-size:]) if size <= len(history) else None
+                if suffix is not None and len(suffix) == size:
+                    tables[size][suffix][action] += 1
+            tables[0][()][action] += 1
+        self._tables = [dict(t) for t in tables]
+        self._global = global_counts
+        return self
+
+    # ------------------------------------------------------------------
+    def predict(self, history: tuple[str, ...]) -> str:
+        """Most likely next agent action given the action history."""
+        return self.predict_ranked(history)[0][0]
+
+    def predict_ranked(self, history: tuple[str, ...]) -> list[tuple[str, float]]:
+        """Ranked ``(action, probability)`` list with back-off."""
+        if self._tables is None or self._global is None:
+            raise NotFittedError("next-action model is not trained")
+        for size in range(min(self.max_context, len(history)), 0, -1):
+            suffix = tuple(history[-size:])
+            counts = self._tables[size].get(suffix)
+            if counts:
+                return _normalise(counts)
+        return _normalise(self._global)
+
+    def actions(self) -> list[str]:
+        if self._global is None:
+            raise NotFittedError("next-action model is not trained")
+        return sorted(self._global)
+
+    def evaluate(self, flows: FlowDataset) -> float:
+        """Next-action accuracy over the decision points of ``flows``."""
+        points = flows.decision_points()
+        if not points:
+            raise DialogueError("no decision points to evaluate")
+        correct = sum(
+            1 for history, action in points if self.predict(history) == action
+        )
+        return correct / len(points)
+
+
+def _normalise(counts: Counter) -> list[tuple[str, float]]:
+    total = sum(counts.values())
+    ranked = [(action, count / total) for action, count in counts.most_common()]
+    return ranked

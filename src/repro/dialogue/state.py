@@ -1,0 +1,86 @@
+"""Dialogue state: what the agent knows at each point of a conversation.
+
+Tracks the active task, collected slot values, the per-entity
+identification sessions, the action history (used by the learned DM
+policy) and the current phase of the task state machine.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.annotation import Task
+from repro.dataaware.identification import IdentificationSession
+from repro.errors import DialogueError
+
+__all__ = ["Phase", "DialogueState"]
+
+
+class Phase(enum.Enum):
+    """Coarse phase of the conversation."""
+
+    IDLE = "idle"                    # no active task
+    GATHERING = "gathering"          # filling slots / identifying entities
+    CHOOSING = "choosing"            # a choice list is presented
+    CONFIRMING = "confirming"        # waiting for yes/no on the summary
+    DONE = "done"                    # conversation closed
+
+
+@dataclass
+class DialogueState:
+    """Mutable state of one conversation."""
+
+    phase: Phase = Phase.IDLE
+    task: Task | None = None
+    collected: dict[str, Any] = field(default_factory=dict)
+    identification: IdentificationSession | None = None
+    current_slot: str | None = None
+    history: list[str] = field(default_factory=list)
+    greeted: bool = False
+    turn_count: int = 0
+
+    # ------------------------------------------------------------------
+    def record(self, speaker: str, action: str) -> None:
+        self.history.append(f"{speaker}:{action}")
+
+    def recent_history(self, window: int = 6) -> tuple[str, ...]:
+        return tuple(self.history[-window:])
+
+    # ------------------------------------------------------------------
+    def start_task(self, task: Task) -> None:
+        self.task = task
+        self.collected = {}
+        self.identification = None
+        self.current_slot = None
+        self.phase = Phase.GATHERING
+
+    def clear_task(self) -> None:
+        self.task = None
+        self.collected = {}
+        self.identification = None
+        self.current_slot = None
+        self.phase = Phase.IDLE
+
+    def restart_task(self) -> None:
+        """Drop collected values but stay on the same task."""
+        if self.task is None:
+            raise DialogueError("no task to restart")
+        task = self.task
+        self.start_task(task)
+
+    # ------------------------------------------------------------------
+    def missing_slots(self) -> list[str]:
+        """Names of required task slots not collected yet, in order."""
+        if self.task is None:
+            return []
+        return [
+            slot.name
+            for slot in self.task.slots
+            if not slot.optional and slot.name not in self.collected
+        ]
+
+    @property
+    def all_slots_collected(self) -> bool:
+        return self.task is not None and not self.missing_slots()

@@ -1,0 +1,97 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems define narrower
+subclasses: the database engine raises :class:`DatabaseError` and its
+children, the synthesis pipeline raises :class:`SynthesisError`, and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Database engine
+# ---------------------------------------------------------------------------
+
+class DatabaseError(ReproError):
+    """Base class for errors raised by the :mod:`repro.db` engine."""
+
+
+class SchemaError(DatabaseError):
+    """A schema definition is invalid (duplicate column, bad FK, ...)."""
+
+
+class TypeMismatchError(DatabaseError):
+    """A value could not be coerced to its column's declared type."""
+
+
+class ConstraintViolation(DatabaseError):
+    """A primary-key, foreign-key, unique or not-null constraint failed."""
+
+
+class UnknownTableError(DatabaseError):
+    """A referenced table does not exist in the database."""
+
+
+class UnknownColumnError(DatabaseError):
+    """A referenced column does not exist in its table."""
+
+
+class TransactionError(DatabaseError):
+    """Illegal transaction state transition (e.g. commit without begin)."""
+
+
+class ProcedureError(DatabaseError):
+    """A stored procedure is invalid or was invoked incorrectly."""
+
+
+class QueryError(DatabaseError):
+    """A query expression is malformed."""
+
+
+# ---------------------------------------------------------------------------
+# Annotation / task extraction
+# ---------------------------------------------------------------------------
+
+class AnnotationError(ReproError):
+    """A schema annotation references unknown schema elements."""
+
+
+class ExtractionError(ReproError):
+    """Task extraction could not derive slots from a procedure."""
+
+
+# ---------------------------------------------------------------------------
+# Training-data synthesis
+# ---------------------------------------------------------------------------
+
+class SynthesisError(ReproError):
+    """Base class for training-data generation errors."""
+
+
+class TemplateError(SynthesisError):
+    """A natural-language template is malformed or references bad slots."""
+
+
+# ---------------------------------------------------------------------------
+# NLU / dialogue
+# ---------------------------------------------------------------------------
+
+class NLUError(ReproError):
+    """Base class for natural-language-understanding errors."""
+
+
+class NotFittedError(NLUError):
+    """A model was used before being trained."""
+
+
+class DialogueError(ReproError):
+    """Illegal dialogue state or action."""
+
+
+class PolicyError(ReproError):
+    """A slot-selection policy was misconfigured or misused."""

@@ -1,0 +1,33 @@
+"""Evaluation: metrics, simulated-user dialogue eval, result tables."""
+
+from repro.eval.dialogue_eval import (
+    EpisodeResult,
+    PolicyExperiment,
+    PolicySummary,
+    SimulatedUser,
+    run_episode,
+)
+from repro.eval.harness import ResultTable
+from repro.eval.metrics import (
+    PRF,
+    evaluate_slot_model,
+    intent_accuracy,
+    intent_confusion,
+    macro_f1,
+    slot_prf,
+)
+
+__all__ = [
+    "PRF",
+    "EpisodeResult",
+    "PolicyExperiment",
+    "PolicySummary",
+    "ResultTable",
+    "SimulatedUser",
+    "evaluate_slot_model",
+    "intent_accuracy",
+    "intent_confusion",
+    "macro_f1",
+    "run_episode",
+    "slot_prf",
+]

@@ -1,0 +1,230 @@
+"""Simulated-user evaluation of slot-selection policies (Section 4 eval).
+
+A :class:`SimulatedUser` impersonates a user who wants a specific target
+entity: asked about an attribute, they answer with the target's true
+value with a probability given by a ground-truth awareness table (and
+say "don't know" otherwise).  :func:`run_episode` plays one full
+identification; :class:`PolicyExperiment` sweeps policies over many
+targets and reports the turn statistics the paper compares ("speedup in
+terms of interaction turns").
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+
+from repro.annotation import EntityLookup, SchemaAnnotations
+from repro.dataaware import (
+    AttributeValueCache,
+    CandidateSet,
+    IdentificationSession,
+    IdentificationStatus,
+    SlotSelectionPolicy,
+)
+from repro.db.catalog import Catalog, ColumnRef
+from repro.db.database import Database
+from repro.errors import ReproError
+
+__all__ = ["SimulatedUser", "EpisodeResult", "PolicyExperiment", "run_episode"]
+
+
+class SimulatedUser:
+    """A user who knows their target entity with attribute-level awareness.
+
+    ``awareness`` maps attributes to the ground-truth probability that
+    the user can provide the value; attributes not listed fall back to
+    ``annotations``' priors (the developer's estimate, which the
+    simulation treats as roughly correct).
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        catalog: Catalog,
+        annotations: SchemaAnnotations,
+        lookup: EntityLookup,
+        target_row_id: int,
+        seed: int = 0,
+        awareness: dict[ColumnRef, float] | None = None,
+        cache: AttributeValueCache | None = None,
+    ) -> None:
+        self._database = database
+        self._catalog = catalog
+        self._annotations = annotations
+        self._lookup = lookup
+        self.target_row_id = target_row_id
+        self._rng = random.Random(seed)
+        self._awareness = awareness or {}
+        self._cache = cache
+
+    def knows(self, attribute: ColumnRef) -> bool:
+        probability = self._awareness.get(attribute)
+        if probability is None:
+            probability = self._annotations.awareness_prior(
+                attribute.table, attribute.column
+            )
+        return self._rng.random() < probability
+
+    def value_of(self, attribute: ColumnRef):
+        """The target entity's true value for ``attribute`` (or None)."""
+        base = CandidateSet.initial(
+            self._database, self._catalog, self._lookup.table,
+            shared_cache=self._cache,
+        )
+        values = base.values_for(attribute).get(self.target_row_id, frozenset())
+        if not values:
+            return None
+        # Deterministic pick among multi-values (e.g. one of the actors).
+        return sorted(values, key=str)[0]
+
+    def target_key(self):
+        row = self._database.table(self._lookup.table).get(self.target_row_id)
+        return row[self._lookup.key_column]
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """Outcome of one simulated identification episode."""
+
+    policy: str
+    turns: int
+    questions: int
+    success: bool
+    status: IdentificationStatus
+
+
+def run_episode(
+    database: Database,
+    catalog: Catalog,
+    lookup: EntityLookup,
+    policy: SlotSelectionPolicy,
+    user: SimulatedUser,
+    cache: AttributeValueCache | None = None,
+    choice_list_size: int = 3,
+    max_questions: int = 25,
+) -> EpisodeResult:
+    """Play one identification episode of ``policy`` against ``user``."""
+    candidates = CandidateSet.initial(
+        database, catalog, lookup.table, shared_cache=cache
+    )
+    session = IdentificationSession(
+        candidates,
+        policy,
+        lookup.key_column,
+        choice_list_size=choice_list_size,
+        max_questions=max_questions,
+    )
+    while not session.finished:
+        attribute = session.next_question()
+        if attribute is None:
+            break
+        value = user.value_of(attribute) if user.knows(attribute) else None
+        if value is None:
+            session.dont_know()
+        else:
+            session.answer(value)
+    if session.status is IdentificationStatus.CHOICE_LIST:
+        # The user recognises their entity in the presented list.
+        session.choose(user.target_key())
+    outcome = session.outcome()
+    success = (
+        session.status is IdentificationStatus.UNIQUE
+        and session.candidates.the_row()[lookup.key_column] == user.target_key()
+    )
+    return EpisodeResult(
+        policy=policy.name,
+        turns=outcome.turns,
+        questions=outcome.questions_asked,
+        success=success,
+        status=session.status,
+    )
+
+
+@dataclass(frozen=True)
+class PolicySummary:
+    """Aggregate over many episodes of one policy."""
+
+    policy: str
+    episodes: int
+    mean_turns: float
+    median_turns: float
+    p90_turns: float
+    success_rate: float
+
+    def speedup_vs(self, other: "PolicySummary") -> float:
+        """Relative turn reduction vs ``other`` (0.8 = 80 % fewer turns)."""
+        if other.mean_turns == 0:
+            return 0.0
+        return 1.0 - self.mean_turns / other.mean_turns
+
+
+class PolicyExperiment:
+    """Sweeps one or more policies over sampled identification targets."""
+
+    def __init__(
+        self,
+        database: Database,
+        catalog: Catalog,
+        annotations: SchemaAnnotations,
+        lookup: EntityLookup,
+        seed: int = 17,
+        awareness: dict[ColumnRef, float] | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        self._database = database
+        self._catalog = catalog
+        self._annotations = annotations
+        self._lookup = lookup
+        self._seed = seed
+        self._awareness = awareness
+        self._cache = (
+            AttributeValueCache(database, catalog) if use_cache else None
+        )
+
+    def run(
+        self,
+        policy: SlotSelectionPolicy,
+        n_episodes: int = 50,
+    ) -> tuple[PolicySummary, list[EpisodeResult]]:
+        rng = random.Random(self._seed)
+        row_ids = self._database.table(self._lookup.table).row_ids()
+        if not row_ids:
+            raise ReproError(f"table {self._lookup.table!r} is empty")
+        results: list[EpisodeResult] = []
+        for episode in range(n_episodes):
+            target = rng.choice(row_ids)
+            user = SimulatedUser(
+                self._database,
+                self._catalog,
+                self._annotations,
+                self._lookup,
+                target,
+                seed=rng.randrange(1 << 30),
+                awareness=self._awareness,
+                cache=self._cache,
+            )
+            results.append(
+                run_episode(
+                    self._database,
+                    self._catalog,
+                    self._lookup,
+                    policy,
+                    user,
+                    cache=self._cache,
+                )
+            )
+        return self._summarise(policy.name, results), results
+
+    @staticmethod
+    def _summarise(name: str, results: list[EpisodeResult]) -> PolicySummary:
+        turns = [r.turns for r in results]
+        return PolicySummary(
+            policy=name,
+            episodes=len(results),
+            mean_turns=statistics.mean(turns),
+            median_turns=statistics.median(turns),
+            p90_turns=sorted(turns)[max(0, int(0.9 * len(turns)) - 1)],
+            success_rate=sum(r.success for r in results) / len(results),
+        )

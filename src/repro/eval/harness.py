@@ -1,0 +1,54 @@
+"""Experiment harness: result tables in the style of the paper's claims.
+
+Small utilities to run named experiment configurations and print aligned
+text tables, used by the ``benchmarks/`` drivers and the examples so the
+reproduction output can be compared against EXPERIMENTS.md at a glance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ResultTable"]
+
+
+@dataclass
+class ResultTable:
+    """An aligned text table with a caption."""
+
+    caption: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def formatted(self) -> str:
+        def render(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.3f}"
+            return str(value)
+
+        rendered = [[render(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]), *(len(r[i]) for r in rendered))
+            if rendered
+            else len(self.columns[i])
+            for i in range(len(self.columns))
+        ]
+        lines = [self.caption, ""]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.formatted())
+        print()

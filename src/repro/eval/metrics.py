@@ -1,0 +1,118 @@
+"""Evaluation metrics: intent accuracy and conlleval-style slot F1.
+
+Slot F1 follows the CoNLL convention used by the ATIS literature: a
+predicted slot counts as correct only when both its label and its exact
+span match a gold slot (here compared on normalised value text, which is
+equivalent for our aligned corpora).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.synthesis.corpus import NLUDataset, SlotSpan
+
+__all__ = [
+    "PRF",
+    "slot_prf",
+    "intent_accuracy",
+    "intent_confusion",
+    "macro_f1",
+]
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision / recall / F1 triple with raw counts."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __add__(self, other: "PRF") -> "PRF":
+        return PRF(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+        )
+
+
+def _span_key(span: SlotSpan) -> tuple[str, str]:
+    return (span.name, span.value.strip().lower())
+
+
+def slot_prf(
+    gold: list[tuple[SlotSpan, ...]],
+    predicted: list[list[SlotSpan]],
+) -> PRF:
+    """Micro-averaged slot P/R/F1 over parallel gold/predicted lists."""
+    if len(gold) != len(predicted):
+        raise ReproError(
+            f"gold ({len(gold)}) and predictions ({len(predicted)}) differ"
+        )
+    tp = fp = fn = 0
+    for gold_spans, predicted_spans in zip(gold, predicted):
+        gold_keys = Counter(_span_key(s) for s in gold_spans)
+        pred_keys = Counter(_span_key(s) for s in predicted_spans)
+        overlap = gold_keys & pred_keys
+        matched = sum(overlap.values())
+        tp += matched
+        fp += sum(pred_keys.values()) - matched
+        fn += sum(gold_keys.values()) - matched
+    return PRF(tp, fp, fn)
+
+
+def intent_accuracy(gold: list[str], predicted: list[str]) -> float:
+    if len(gold) != len(predicted):
+        raise ReproError("gold and predictions differ in length")
+    if not gold:
+        raise ReproError("cannot compute accuracy over zero examples")
+    return sum(1 for g, p in zip(gold, predicted) if g == p) / len(gold)
+
+
+def intent_confusion(
+    gold: list[str], predicted: list[str]
+) -> dict[tuple[str, str], int]:
+    """``(gold, predicted) -> count`` confusion counts."""
+    confusion: Counter = Counter()
+    for g, p in zip(gold, predicted):
+        confusion[(g, p)] += 1
+    return dict(confusion)
+
+
+def macro_f1(gold: list[str], predicted: list[str]) -> float:
+    """Macro-averaged F1 over intent labels."""
+    labels = sorted(set(gold))
+    if not labels:
+        raise ReproError("cannot compute macro F1 over zero examples")
+    total = 0.0
+    for label in labels:
+        tp = sum(1 for g, p in zip(gold, predicted) if g == label and p == label)
+        fp = sum(1 for g, p in zip(gold, predicted) if g != label and p == label)
+        fn = sum(1 for g, p in zip(gold, predicted) if g == label and p != label)
+        total += PRF(tp, fp, fn).f1
+    return total / len(labels)
+
+
+def evaluate_slot_model(model, dataset: NLUDataset) -> PRF:
+    """Run ``model.tag`` over a dataset and score against gold slots."""
+    gold = [example.slots for example in dataset]
+    predicted = [model.tag(example.text) for example in dataset]
+    return slot_prf(gold, predicted)

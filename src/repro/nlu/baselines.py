@@ -1,0 +1,205 @@
+"""Baseline models for the NLU evaluation (Section 3's comparison).
+
+The paper compares CAT (trained on synthesized data only) against
+"state-of-the-art approaches for intent classification and slot filling"
+that require manually crafted training data.  We implement the classic
+baseline ladder:
+
+* :class:`MajorityIntentBaseline` — predicts the most frequent intent.
+* :class:`KeywordIntentBaseline` — class-conditional keyword scoring
+  (a naive-Bayes-style bag of words).
+* :class:`NearestNeighborIntentBaseline` — 1-NN over n-gram vectors.
+* :class:`GazetteerSlotBaseline` — dictionary slot filler that matches
+  known training values in the utterance (no learning beyond a lexicon).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro.errors import NLUError, NotFittedError
+from repro.nlu.features import NGramFeaturizer
+from repro.nlu.tokenizer import tokenize
+from repro.synthesis.corpus import NLUDataset, SlotSpan
+
+__all__ = [
+    "MajorityIntentBaseline",
+    "KeywordIntentBaseline",
+    "NearestNeighborIntentBaseline",
+    "GazetteerSlotBaseline",
+]
+
+
+class MajorityIntentBaseline:
+    """Always predicts the most frequent training intent."""
+
+    name = "majority"
+
+    def __init__(self) -> None:
+        self._intent: str | None = None
+
+    def fit(self, dataset: NLUDataset) -> "MajorityIntentBaseline":
+        if len(dataset) == 0:
+            raise NLUError("cannot train on an empty dataset")
+        counts = Counter(e.intent for e in dataset)
+        self._intent = counts.most_common(1)[0][0]
+        return self
+
+    def predict_intent(self, text: str) -> str:
+        if self._intent is None:
+            raise NotFittedError("majority baseline is not trained")
+        return self._intent
+
+    def accuracy(self, dataset: NLUDataset) -> float:
+        return _intent_accuracy(self, dataset)
+
+
+class KeywordIntentBaseline:
+    """Multinomial naive Bayes over unigrams with add-one smoothing."""
+
+    name = "keyword"
+
+    def __init__(self) -> None:
+        self._priors: dict[str, float] | None = None
+        self._likelihoods: dict[str, dict[str, float]] | None = None
+        self._default: dict[str, float] | None = None
+
+    def fit(self, dataset: NLUDataset) -> "KeywordIntentBaseline":
+        if len(dataset) == 0:
+            raise NLUError("cannot train on an empty dataset")
+        word_counts: dict[str, Counter] = defaultdict(Counter)
+        intent_counts: Counter = Counter()
+        vocabulary: set[str] = set()
+        for example in dataset:
+            intent_counts[example.intent] += 1
+            for token in tokenize(example.text):
+                word_counts[example.intent][token.lower] += 1
+                vocabulary.add(token.lower)
+        total = sum(intent_counts.values())
+        self._priors = {
+            intent: math.log(count / total)
+            for intent, count in intent_counts.items()
+        }
+        self._likelihoods = {}
+        self._default = {}
+        v = len(vocabulary) or 1
+        for intent, counts in word_counts.items():
+            denominator = sum(counts.values()) + v
+            self._likelihoods[intent] = {
+                word: math.log((count + 1) / denominator)
+                for word, count in counts.items()
+            }
+            self._default[intent] = math.log(1 / denominator)
+        return self
+
+    def predict_intent(self, text: str) -> str:
+        if self._priors is None or self._likelihoods is None or self._default is None:
+            raise NotFittedError("keyword baseline is not trained")
+        words = [t.lower for t in tokenize(text)]
+        best_intent, best_score = None, float("-inf")
+        for intent, prior in self._priors.items():
+            score = prior
+            likelihood = self._likelihoods[intent]
+            default = self._default[intent]
+            for word in words:
+                score += likelihood.get(word, default)
+            if score > best_score:
+                best_intent, best_score = intent, score
+        assert best_intent is not None
+        return best_intent
+
+    def accuracy(self, dataset: NLUDataset) -> float:
+        return _intent_accuracy(self, dataset)
+
+
+class NearestNeighborIntentBaseline:
+    """1-nearest-neighbour over n-gram feature vectors (cosine)."""
+
+    name = "nearest_neighbor"
+
+    def __init__(self, featurizer: NGramFeaturizer | None = None) -> None:
+        self.featurizer = featurizer or NGramFeaturizer(use_char_trigrams=False)
+        self._matrix: np.ndarray | None = None
+        self._intents: list[str] | None = None
+
+    def fit(self, dataset: NLUDataset) -> "NearestNeighborIntentBaseline":
+        if len(dataset) == 0:
+            raise NLUError("cannot train on an empty dataset")
+        self._matrix = self.featurizer.fit_transform([e.text for e in dataset])
+        self._intents = [e.intent for e in dataset]
+        return self
+
+    def predict_intent(self, text: str) -> str:
+        if self._matrix is None or self._intents is None:
+            raise NotFittedError("nearest-neighbor baseline is not trained")
+        vector = self.featurizer.transform([text])[0]
+        similarities = self._matrix @ vector
+        return self._intents[int(np.argmax(similarities))]
+
+    def accuracy(self, dataset: NLUDataset) -> float:
+        return _intent_accuracy(self, dataset)
+
+
+class GazetteerSlotBaseline:
+    """Slot filler that string-matches values seen in training data.
+
+    Builds a value -> slot-name lexicon from the training annotations and
+    finds the longest non-overlapping matches in the input.
+    """
+
+    name = "gazetteer"
+
+    def __init__(self) -> None:
+        self._lexicon: dict[str, str] | None = None
+
+    def fit(self, dataset: NLUDataset) -> "GazetteerSlotBaseline":
+        lexicon: dict[str, str] = {}
+        for example in dataset:
+            for span in example.slots:
+                lexicon[span.value.lower()] = span.name
+        self._lexicon = lexicon
+        return self
+
+    def tag(self, text: str) -> list[SlotSpan]:
+        if self._lexicon is None:
+            raise NotFittedError("gazetteer baseline is not trained")
+        lowered = text.lower()
+        matches: list[SlotSpan] = []
+        # Longest values first so e.g. "new york city" beats "new york".
+        for value in sorted(self._lexicon, key=len, reverse=True):
+            start = lowered.find(value)
+            while start != -1:
+                end = start + len(value)
+                if not _word_aligned(lowered, start, end):
+                    start = lowered.find(value, start + 1)
+                    continue
+                if not any(s.start < end and s.end > start for s in matches):
+                    matches.append(
+                        SlotSpan(
+                            name=self._lexicon[value],
+                            value=text[start:end],
+                            start=start,
+                            end=end,
+                        )
+                    )
+                start = lowered.find(value, end)
+        matches.sort(key=lambda s: s.start)
+        return matches
+
+
+def _word_aligned(text: str, start: int, end: int) -> bool:
+    before_ok = start == 0 or not text[start - 1].isalnum()
+    after_ok = end == len(text) or not text[end].isalnum()
+    return before_ok and after_ok
+
+
+def _intent_accuracy(model, dataset: NLUDataset) -> float:
+    if len(dataset) == 0:
+        raise NLUError("cannot evaluate on an empty dataset")
+    correct = sum(
+        1 for e in dataset if model.predict_intent(e.text) == e.intent
+    )
+    return correct / len(dataset)

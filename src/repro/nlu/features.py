@@ -1,0 +1,81 @@
+"""Bag-of-n-gram featurizer for the intent classifier.
+
+Builds a vocabulary of word unigrams, bigrams and character trigrams
+from the training corpus and maps utterances to L2-normalised count
+vectors (dense numpy — intent vocabularies in this setting stay small).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError
+from repro.nlu.tokenizer import tokenize
+
+__all__ = ["NGramFeaturizer"]
+
+
+class NGramFeaturizer:
+    """Fits an n-gram vocabulary and vectorises utterances."""
+
+    def __init__(
+        self,
+        use_bigrams: bool = True,
+        use_char_trigrams: bool = True,
+        min_count: int = 1,
+        max_features: int = 20000,
+    ) -> None:
+        self.use_bigrams = use_bigrams
+        self.use_char_trigrams = use_char_trigrams
+        self.min_count = min_count
+        self.max_features = max_features
+        self._vocabulary: dict[str, int] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_features(self) -> int:
+        if self._vocabulary is None:
+            raise NotFittedError("featurizer is not fitted")
+        return len(self._vocabulary)
+
+    def fit(self, texts: list[str]) -> "NGramFeaturizer":
+        counts: dict[str, int] = {}
+        for text in texts:
+            for feature in self._extract(text):
+                counts[feature] = counts.get(feature, 0) + 1
+        kept = [f for f, c in counts.items() if c >= self.min_count]
+        kept.sort(key=lambda f: (-counts[f], f))
+        kept = kept[: self.max_features]
+        self._vocabulary = {feature: i for i, feature in enumerate(sorted(kept))}
+        return self
+
+    def transform(self, texts: list[str]) -> np.ndarray:
+        if self._vocabulary is None:
+            raise NotFittedError("featurizer is not fitted")
+        matrix = np.zeros((len(texts), len(self._vocabulary)), dtype=np.float64)
+        for row, text in enumerate(texts):
+            for feature in self._extract(text):
+                column = self._vocabulary.get(feature)
+                if column is not None:
+                    matrix[row, column] += 1.0
+        norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return matrix / norms
+
+    def fit_transform(self, texts: list[str]) -> np.ndarray:
+        return self.fit(texts).transform(texts)
+
+    # ------------------------------------------------------------------
+    def _extract(self, text: str) -> list[str]:
+        tokens = [t.lower for t in tokenize(text)]
+        features = [f"w:{t}" for t in tokens]
+        if self.use_bigrams:
+            features.extend(
+                f"b:{left}_{right}" for left, right in zip(tokens, tokens[1:])
+            )
+        if self.use_char_trigrams:
+            padded = f"  {text.lower()} "
+            features.extend(
+                f"c:{padded[i:i + 3]}" for i in range(len(padded) - 2)
+            )
+        return features

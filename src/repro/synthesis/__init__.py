@@ -1,0 +1,43 @@
+"""Training-data synthesis (Section 3 of the paper)."""
+
+from repro.synthesis.corpus import (
+    DialogueFlow,
+    FlowDataset,
+    FlowTurn,
+    NLUDataset,
+    NLUExample,
+    SlotSpan,
+)
+from repro.synthesis.filling import TemplateFiller
+from repro.synthesis.paraphrase import ParaphraseConfig, Paraphraser
+from repro.synthesis.pipeline import GenerationConfig, TrainingDataGenerator
+from repro.synthesis.selfplay import SelfPlayConfig, SelfPlaySimulator
+from repro.synthesis.templates import (
+    SlotVocabulary,
+    Template,
+    TemplateLibrary,
+    slot_name_for,
+)
+from repro.synthesis.user_model import DEFAULT_PROFILES, UserProfile
+
+__all__ = [
+    "DEFAULT_PROFILES",
+    "DialogueFlow",
+    "FlowDataset",
+    "FlowTurn",
+    "GenerationConfig",
+    "NLUDataset",
+    "NLUExample",
+    "ParaphraseConfig",
+    "Paraphraser",
+    "SelfPlayConfig",
+    "SelfPlaySimulator",
+    "SlotSpan",
+    "SlotVocabulary",
+    "Template",
+    "TemplateFiller",
+    "TemplateLibrary",
+    "TrainingDataGenerator",
+    "UserProfile",
+    "slot_name_for",
+]

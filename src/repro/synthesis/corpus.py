@@ -1,0 +1,240 @@
+"""Corpus data structures for synthesized training data.
+
+Two kinds of training data come out of CAT's offline pipeline (Figure 3):
+
+* *NLU training data* — annotated utterances: raw text, the user intent,
+  and character-span slot annotations
+  (``"The movie title is Forrest Gump." -> intent inform;
+  slots movie_title='Forrest Gump'``).
+* *DM training data* — high-level dialogue flows: alternating
+  user/agent action sequences from dialogue self-play.
+
+Both are plain, JSON-serialisable dataclasses with deterministic
+train/test splitting helpers.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import SynthesisError
+
+__all__ = [
+    "SlotSpan",
+    "NLUExample",
+    "NLUDataset",
+    "FlowTurn",
+    "DialogueFlow",
+    "FlowDataset",
+]
+
+
+@dataclass(frozen=True)
+class SlotSpan:
+    """One annotated slot value inside an utterance (char offsets)."""
+
+    name: str
+    value: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise SynthesisError(
+                f"bad slot span [{self.start}, {self.end}) for {self.name!r}"
+            )
+
+
+@dataclass(frozen=True)
+class NLUExample:
+    """One annotated training utterance."""
+
+    text: str
+    intent: str
+    slots: tuple[SlotSpan, ...] = ()
+
+    def __post_init__(self) -> None:
+        for span in self.slots:
+            if span.end > len(self.text):
+                raise SynthesisError(
+                    f"slot span {span} exceeds text length {len(self.text)}"
+                )
+            actual = self.text[span.start : span.end]
+            if actual != span.value:
+                raise SynthesisError(
+                    f"slot span mismatch: text has {actual!r}, "
+                    f"annotation says {span.value!r}"
+                )
+
+    def slot_values(self) -> dict[str, str]:
+        return {span.name: span.value for span in self.slots}
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "text": self.text,
+            "intent": self.intent,
+            "slots": [
+                {"name": s.name, "value": s.value, "start": s.start, "end": s.end}
+                for s in self.slots
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "NLUExample":
+        return cls(
+            text=payload["text"],
+            intent=payload["intent"],
+            slots=tuple(
+                SlotSpan(s["name"], s["value"], s["start"], s["end"])
+                for s in payload.get("slots", ())
+            ),
+        )
+
+
+class NLUDataset:
+    """An ordered collection of :class:`NLUExample` with split helpers."""
+
+    def __init__(self, examples: list[NLUExample] | None = None) -> None:
+        self.examples: list[NLUExample] = list(examples or ())
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self) -> Iterator[NLUExample]:
+        return iter(self.examples)
+
+    def __getitem__(self, index: int) -> NLUExample:
+        return self.examples[index]
+
+    def add(self, example: NLUExample) -> None:
+        self.examples.append(example)
+
+    def extend(self, examples: list[NLUExample]) -> None:
+        self.examples.extend(examples)
+
+    def intents(self) -> list[str]:
+        return sorted({e.intent for e in self.examples})
+
+    def slot_names(self) -> list[str]:
+        names = {span.name for e in self.examples for span in e.slots}
+        return sorted(names)
+
+    def split(
+        self, test_fraction: float = 0.2, seed: int = 13
+    ) -> tuple["NLUDataset", "NLUDataset"]:
+        """Deterministic shuffled train/test split, stratified by intent."""
+        if not 0.0 < test_fraction < 1.0:
+            raise SynthesisError("test_fraction must be in (0, 1)")
+        rng = random.Random(seed)
+        by_intent: dict[str, list[NLUExample]] = {}
+        for example in self.examples:
+            by_intent.setdefault(example.intent, []).append(example)
+        train: list[NLUExample] = []
+        test: list[NLUExample] = []
+        for intent in sorted(by_intent):
+            bucket = list(by_intent[intent])
+            rng.shuffle(bucket)
+            cut = max(1, int(len(bucket) * test_fraction)) if len(bucket) > 1 else 0
+            test.extend(bucket[:cut])
+            train.extend(bucket[cut:])
+        rng.shuffle(train)
+        rng.shuffle(test)
+        return NLUDataset(train), NLUDataset(test)
+
+    # Serialization ---------------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps([e.to_dict() for e in self.examples], indent=2)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "NLUDataset":
+        return cls([NLUExample.from_dict(d) for d in json.loads(payload)])
+
+
+# ---------------------------------------------------------------------------
+# Dialogue flows (DM training data)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FlowTurn:
+    """One turn of a high-level dialogue flow."""
+
+    speaker: str  # "user" | "agent"
+    action: str
+
+    def __post_init__(self) -> None:
+        if self.speaker not in ("user", "agent"):
+            raise SynthesisError(f"unknown speaker {self.speaker!r}")
+
+
+@dataclass(frozen=True)
+class DialogueFlow:
+    """A full self-played dialogue outline."""
+
+    task: str
+    turns: tuple[FlowTurn, ...]
+
+    def agent_decision_points(self) -> list[tuple[tuple[str, ...], str]]:
+        """(history-of-actions, next-agent-action) pairs for DM training."""
+        pairs: list[tuple[tuple[str, ...], str]] = []
+        history: list[str] = []
+        for turn in self.turns:
+            if turn.speaker == "agent":
+                pairs.append((tuple(history), turn.action))
+            history.append(f"{turn.speaker}:{turn.action}")
+        return pairs
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "task": self.task,
+            "turns": [{"speaker": t.speaker, "action": t.action} for t in self.turns],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "DialogueFlow":
+        return cls(
+            task=payload["task"],
+            turns=tuple(
+                FlowTurn(t["speaker"], t["action"]) for t in payload["turns"]
+            ),
+        )
+
+
+class FlowDataset:
+    """A collection of dialogue flows."""
+
+    def __init__(self, flows: list[DialogueFlow] | None = None) -> None:
+        self.flows: list[DialogueFlow] = list(flows or ())
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def __iter__(self) -> Iterator[DialogueFlow]:
+        return iter(self.flows)
+
+    def add(self, flow: DialogueFlow) -> None:
+        self.flows.append(flow)
+
+    def agent_actions(self) -> list[str]:
+        actions = {
+            turn.action
+            for flow in self.flows
+            for turn in flow.turns
+            if turn.speaker == "agent"
+        }
+        return sorted(actions)
+
+    def decision_points(self) -> list[tuple[tuple[str, ...], str]]:
+        pairs: list[tuple[tuple[str, ...], str]] = []
+        for flow in self.flows:
+            pairs.extend(flow.agent_decision_points())
+        return pairs
+
+    def to_json(self) -> str:
+        return json.dumps([f.to_dict() for f in self.flows], indent=2)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FlowDataset":
+        return cls([DialogueFlow.from_dict(d) for d in json.loads(payload)])

@@ -1,0 +1,151 @@
+"""Template filling: instantiate placeholders with live database values.
+
+"By filling the placeholders with actual data stored in the database, we
+synthesize annotated natural language statements" (Section 3).  The
+filler samples distinct values from the referenced columns (or plausible
+values for plain typed parameters), substitutes them into the template
+and records exact character spans — producing ready-to-train
+:class:`~repro.synthesis.corpus.NLUExample` objects.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import random
+import re
+
+from repro.db.database import Database
+from repro.db.types import DataType, render
+from repro.errors import SynthesisError
+from repro.synthesis.corpus import NLUExample, SlotSpan
+from repro.synthesis.templates import SlotVocabulary, Template
+
+__all__ = ["TemplateFiller"]
+
+_PLACEHOLDER_RE = re.compile(r"\{([a-z_][a-z0-9_]*)\}")
+
+
+def _lowercased(example: NLUExample) -> NLUExample:
+    """Lower-case an example, keeping slot spans consistent."""
+    return NLUExample(
+        text=example.text.lower(),
+        intent=example.intent,
+        slots=tuple(
+            SlotSpan(s.name, s.value.lower(), s.start, s.end)
+            for s in example.slots
+        ),
+    )
+
+
+class TemplateFiller:
+    """Fills templates with sampled database values."""
+
+    def __init__(
+        self,
+        database: Database,
+        vocabulary: SlotVocabulary,
+        seed: int = 23,
+        max_values_per_slot: int = 200,
+    ) -> None:
+        self._database = database
+        self._vocabulary = vocabulary
+        self._rng = random.Random(seed)
+        self._max_values = max_values_per_slot
+        self._value_pool: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    def fill(
+        self,
+        template: Template,
+        n_samples: int = 5,
+        lowercase_fraction: float = 0.3,
+    ) -> list[NLUExample]:
+        """Instantiate ``template`` ``n_samples`` times with random values.
+
+        A fraction of the produced utterances is lower-cased wholesale —
+        real users rarely bother with capitalisation, so the slot tagger
+        must not rely on casing.
+        """
+        examples: list[NLUExample] = []
+        seen_texts: set[str] = set()
+        attempts = max(n_samples * 3, n_samples + 3)
+        for __ in range(attempts):
+            if len(examples) >= n_samples:
+                break
+            example = self._fill_once(template)
+            if self._rng.random() < lowercase_fraction:
+                example = _lowercased(example)
+            if example.text not in seen_texts:
+                seen_texts.add(example.text)
+                examples.append(example)
+        return examples
+
+    def _fill_once(self, template: Template) -> NLUExample:
+        text = template.text
+        pieces: list[str] = []
+        spans: list[SlotSpan] = []
+        cursor = 0
+        offset = 0
+        for match in _PLACEHOLDER_RE.finditer(text):
+            slot_name = match.group(1)
+            value = self._sample_value(slot_name)
+            pieces.append(text[cursor : match.start()])
+            start = match.start() + offset
+            pieces.append(value)
+            spans.append(SlotSpan(slot_name, value, start, start + len(value)))
+            offset += len(value) - (match.end() - match.start())
+            cursor = match.end()
+        pieces.append(text[cursor:])
+        return NLUExample(
+            text="".join(pieces), intent=template.intent, slots=tuple(spans)
+        )
+
+    # ------------------------------------------------------------------
+    def _sample_value(self, slot_name: str) -> str:
+        pool = self._value_pool.get(slot_name)
+        if pool is None:
+            pool = self._build_pool(slot_name)
+            if not pool:
+                raise SynthesisError(
+                    f"no values available to fill slot {slot_name!r}"
+                )
+            self._value_pool[slot_name] = pool
+        return self._rng.choice(pool)
+
+    def _build_pool(self, slot_name: str) -> list[str]:
+        source = self._vocabulary.source(slot_name)
+        if source.attribute is not None:
+            table = self._database.table(source.attribute.table)
+            values = {
+                render(v, source.dtype)
+                for v in table.column_values(source.attribute.column)
+                if v is not None
+            }
+            pool = sorted(values)
+            if len(pool) > self._max_values:
+                pool = self._rng.sample(pool, self._max_values)
+            if source.dtype is DataType.DATE:
+                # Users say "today"/"tomorrow" far more often than ISO
+                # dates; teach the tagger these are date values (the
+                # entity linker resolves them against a reference date).
+                pool = pool + ["today", "tomorrow", "tonight"] * 3
+            return pool
+        return self._synthetic_pool(source.dtype)
+
+    def _synthetic_pool(self, dtype: DataType) -> list[str]:
+        """Plausible values for parameters without a backing column."""
+        if dtype is DataType.INTEGER:
+            return [str(n) for n in range(1, 11)]
+        if dtype is DataType.FLOAT:
+            return [f"{n / 2:.1f}" for n in range(2, 41)]
+        if dtype is DataType.BOOLEAN:
+            return ["yes", "no"]
+        if dtype is DataType.DATE:
+            base = _dt.date(2022, 3, 20)
+            return [
+                (base + _dt.timedelta(days=d)).isoformat() for d in range(30)
+            ]
+        if dtype is DataType.TIME:
+            return [f"{hour:02d}:{minute:02d}" for hour in range(10, 23)
+                    for minute in (0, 30)]
+        return ["something", "anything", "that thing"]

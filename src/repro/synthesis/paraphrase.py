@@ -1,0 +1,241 @@
+"""Rule-based paraphrasing to augment synthesized utterances.
+
+The paper augments template utterances with "automated paraphrasing, as
+done by Weir et al. [DBPal]".  DBPal's augmentation mixes lexical
+paraphrasing with noise injection; we implement the same categories as
+deterministic rules so the pipeline is reproducible offline:
+
+* synonym substitution from a small lexicon ("want" -> "would like"),
+* politeness / discourse wrappers ("could you ...", "... please"),
+* contraction and expansion ("i do not" <-> "i don't"),
+* filler-word dropping ("the", "a") and
+* character-level typo noise (optional; never inside placeholders).
+
+Paraphrasing operates on the *template string*, before slot values are
+substituted, so annotation spans never break.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+
+from repro.errors import SynthesisError
+
+__all__ = ["ParaphraseConfig", "Paraphraser"]
+
+_PLACEHOLDER_RE = re.compile(r"\{[a-z_][a-z0-9_]*\}")
+
+_SYNONYMS: dict[str, tuple[str, ...]] = {
+    "want": ("would like", "need", "wish"),
+    "want to": ("would like to", "need to", "plan to"),
+    "buy": ("purchase", "get", "book"),
+    "reserve": ("book", "get", "secure"),
+    "watch": ("see", "catch"),
+    "movie": ("film", "picture"),
+    "tickets": ("seats", "places"),
+    "ticket": ("seat", "place"),
+    "cancel": ("call off", "drop", "revoke"),
+    "show": ("tell", "give"),
+    "list": ("show", "display"),
+    "tonight": ("this evening", "later today"),
+    "today": ("this day",),
+    "screening": ("show", "showing"),
+    "please": ("kindly",),
+    "hello": ("hi", "hey"),
+    "is": ("would be",),
+    "my": ("the",),
+}
+
+_PREFIXES = (
+    "please ",
+    "could you ",
+    "can you ",
+    "i would like to say that ",
+    "well ",
+    "hi there ",
+    "hey ",
+    "so ",
+)
+
+_SUFFIXES = (
+    " please",
+    " thanks",
+    " thank you",
+    " if possible",
+    " right away",
+)
+
+_CONTRACTIONS = {
+    "i do not": "i don't",
+    "do not": "don't",
+    "cannot": "can't",
+    "i am": "i'm",
+    "it is": "it's",
+    "that is": "that's",
+    "i would": "i'd",
+    "i will": "i'll",
+}
+
+_DROPPABLE = ("the", "a", "an")
+
+
+class ParaphraseConfig:
+    """Knobs for the paraphraser."""
+
+    def __init__(
+        self,
+        variants_per_template: int = 4,
+        synonym_probability: float = 0.6,
+        wrapper_probability: float = 0.4,
+        contraction_probability: float = 0.3,
+        drop_probability: float = 0.15,
+        typo_probability: float = 0.0,
+        seed: int = 97,
+    ) -> None:
+        if variants_per_template < 0:
+            raise SynthesisError("variants_per_template must be >= 0")
+        for name, p in (
+            ("synonym_probability", synonym_probability),
+            ("wrapper_probability", wrapper_probability),
+            ("contraction_probability", contraction_probability),
+            ("drop_probability", drop_probability),
+            ("typo_probability", typo_probability),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise SynthesisError(f"{name} must be in [0, 1]")
+        self.variants_per_template = variants_per_template
+        self.synonym_probability = synonym_probability
+        self.wrapper_probability = wrapper_probability
+        self.contraction_probability = contraction_probability
+        self.drop_probability = drop_probability
+        self.typo_probability = typo_probability
+        self.seed = seed
+
+
+class Paraphraser:
+    """Produces paraphrase variants of template strings."""
+
+    def __init__(self, config: ParaphraseConfig | None = None) -> None:
+        self.config = config or ParaphraseConfig()
+        self._rng = random.Random(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def variants(self, template_text: str) -> list[str]:
+        """Distinct paraphrases of ``template_text`` (placeholders intact).
+
+        The original string is *not* included.  The number of results is
+        at most ``variants_per_template`` (duplicates are dropped).
+        """
+        results: list[str] = []
+        seen = {template_text}
+        attempts = self.config.variants_per_template * 4
+        for __ in range(attempts):
+            if len(results) >= self.config.variants_per_template:
+                break
+            variant = self._paraphrase_once(template_text)
+            if variant not in seen and _same_placeholders(template_text, variant):
+                seen.add(variant)
+                results.append(variant)
+        return results
+
+    # ------------------------------------------------------------------
+    def _paraphrase_once(self, text: str) -> str:
+        rng = self._rng
+        out = text
+        if rng.random() < self.config.synonym_probability:
+            out = self._substitute_synonym(out)
+        if rng.random() < self.config.contraction_probability:
+            out = self._apply_contraction(out)
+        if rng.random() < self.config.drop_probability:
+            out = self._drop_filler(out)
+        if rng.random() < self.config.wrapper_probability:
+            out = self._wrap(out)
+        if rng.random() < self.config.typo_probability:
+            out = self._inject_typo(out)
+        return _normalise_spaces(out)
+
+    def _substitute_synonym(self, text: str) -> str:
+        rng = self._rng
+        lowered = text.lower()
+        candidates = [
+            phrase
+            for phrase in sorted(_SYNONYMS, key=len, reverse=True)
+            if _phrase_in(phrase, lowered)
+        ]
+        if not candidates:
+            return text
+        phrase = rng.choice(candidates)
+        replacement = rng.choice(_SYNONYMS[phrase])
+        return _replace_phrase(text, phrase, replacement)
+
+    def _apply_contraction(self, text: str) -> str:
+        lowered = text.lower()
+        for long_form, short_form in _CONTRACTIONS.items():
+            if _phrase_in(long_form, lowered):
+                return _replace_phrase(text, long_form, short_form)
+        # Try the reverse direction (expansion) as well.
+        for long_form, short_form in _CONTRACTIONS.items():
+            if _phrase_in(short_form, lowered):
+                return _replace_phrase(text, short_form, long_form)
+        return text
+
+    def _drop_filler(self, text: str) -> str:
+        words = text.split(" ")
+        indexes = [
+            i
+            for i, word in enumerate(words)
+            if word.lower() in _DROPPABLE
+        ]
+        if not indexes:
+            return text
+        drop = self._rng.choice(indexes)
+        return " ".join(w for i, w in enumerate(words) if i != drop)
+
+    def _wrap(self, text: str) -> str:
+        rng = self._rng
+        if rng.random() < 0.5:
+            prefix = rng.choice(_PREFIXES)
+            return prefix + text
+        return text + rng.choice(_SUFFIXES)
+
+    def _inject_typo(self, text: str) -> str:
+        """Swap two adjacent characters of one word (never a placeholder)."""
+        rng = self._rng
+        protected = [(m.start(), m.end()) for m in _PLACEHOLDER_RE.finditer(text)]
+
+        def inside_placeholder(index: int) -> bool:
+            return any(start <= index < end for start, end in protected)
+
+        positions = [
+            i
+            for i in range(len(text) - 1)
+            if text[i].isalpha()
+            and text[i + 1].isalpha()
+            and not inside_placeholder(i)
+            and not inside_placeholder(i + 1)
+        ]
+        if not positions:
+            return text
+        i = rng.choice(positions)
+        return text[:i] + text[i + 1] + text[i] + text[i + 2 :]
+
+
+def _phrase_in(phrase: str, lowered_text: str) -> bool:
+    return re.search(rf"\b{re.escape(phrase)}\b", lowered_text) is not None
+
+
+def _replace_phrase(text: str, phrase: str, replacement: str) -> str:
+    return re.sub(
+        rf"\b{re.escape(phrase)}\b", replacement, text, count=1, flags=re.IGNORECASE
+    )
+
+
+def _normalise_spaces(text: str) -> str:
+    return re.sub(r"\s+", " ", text).strip()
+
+
+def _same_placeholders(original: str, variant: str) -> bool:
+    return sorted(_PLACEHOLDER_RE.findall(original)) == sorted(
+        _PLACEHOLDER_RE.findall(variant)
+    )

@@ -1,0 +1,89 @@
+"""End-to-end training-data generation (the offline half of Figure 2).
+
+Ties the pieces together: extracted tasks + developer templates
+-> paraphrase augmentation -> database filling -> NLU dataset, and
+self-play -> DM flow dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annotation import Task
+from repro.db.catalog import Catalog
+from repro.db.database import Database
+from repro.errors import SynthesisError
+from repro.synthesis.corpus import FlowDataset, NLUDataset
+from repro.synthesis.filling import TemplateFiller
+from repro.synthesis.paraphrase import ParaphraseConfig, Paraphraser
+from repro.synthesis.selfplay import SelfPlayConfig, SelfPlaySimulator
+from repro.synthesis.templates import SlotVocabulary, Template, TemplateLibrary
+
+__all__ = ["GenerationConfig", "TrainingDataGenerator"]
+
+
+@dataclass(frozen=True)
+class GenerationConfig:
+    """Knobs for the full generation pipeline."""
+
+    samples_per_template: int = 6
+    paraphrase: ParaphraseConfig | None = None
+    use_paraphrasing: bool = True
+    selfplay: SelfPlayConfig | None = None
+    seed: int = 23
+
+
+class TrainingDataGenerator:
+    """Generates NLU and DM training data for one database + task set."""
+
+    def __init__(
+        self,
+        database: Database,
+        catalog: Catalog,
+        tasks: list[Task],
+        config: GenerationConfig | None = None,
+    ) -> None:
+        if not tasks:
+            raise SynthesisError("training data generation needs tasks")
+        self._database = database
+        self._catalog = catalog
+        self._tasks = list(tasks)
+        self.config = config or GenerationConfig()
+        self.vocabulary = SlotVocabulary.from_tasks(self._tasks, catalog)
+        self.library = TemplateLibrary(self.vocabulary)
+
+    # ------------------------------------------------------------------
+    # Developer input
+    # ------------------------------------------------------------------
+    def add_templates(self, intent: str, texts: list[str]) -> None:
+        """Register developer-provided templates for one intent."""
+        self.library.add_many(texts, intent)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def generate_nlu(self) -> NLUDataset:
+        """Fill (and optionally paraphrase) every template in the library."""
+        filler = TemplateFiller(self._database, self.vocabulary,
+                                seed=self.config.seed)
+        paraphraser = (
+            Paraphraser(self.config.paraphrase)
+            if self.config.use_paraphrasing
+            else None
+        )
+        dataset = NLUDataset()
+        for template in self.library:
+            variants = [template]
+            if paraphraser is not None:
+                for text in paraphraser.variants(template.text):
+                    variants.append(Template(text, template.intent))
+            for variant in variants:
+                dataset.extend(
+                    filler.fill(variant, self.config.samples_per_template)
+                )
+        return dataset
+
+    def generate_flows(self) -> FlowDataset:
+        """Run dialogue self-play over the extracted tasks."""
+        simulator = SelfPlaySimulator(self._tasks, self.config.selfplay)
+        return simulator.run()

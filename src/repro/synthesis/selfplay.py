@@ -1,0 +1,125 @@
+"""Dialogue self-play: synthesize high-level DM training flows.
+
+Following Shah et al.'s dialogue self-play (as adapted in Section 3), a
+simulated user and a simulated agent exchange *actions* (not text).  The
+action set is derived from the transaction definitions; entity
+identification is deliberately kept as a single high-level action
+(``identify_screening``) because slot-level identification is decided by
+the data-aware policy at runtime, not learned.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.annotation import Task
+from repro.dialogue import acts
+from repro.errors import SynthesisError
+from repro.synthesis.corpus import DialogueFlow, FlowDataset, FlowTurn
+from repro.synthesis.user_model import DEFAULT_PROFILES, UserProfile
+
+__all__ = ["SelfPlayConfig", "SelfPlaySimulator"]
+
+
+@dataclass(frozen=True)
+class SelfPlayConfig:
+    """Controls the amount and variety of synthesized flows."""
+
+    n_flows: int = 300
+    seed: int = 41
+    profiles: tuple[tuple[UserProfile, float], ...] = DEFAULT_PROFILES
+
+    def __post_init__(self) -> None:
+        if self.n_flows <= 0:
+            raise SynthesisError("n_flows must be positive")
+        if not self.profiles:
+            raise SynthesisError("at least one user profile is required")
+
+
+class SelfPlaySimulator:
+    """Simulates user/agent action exchanges to produce dialogue flows."""
+
+    def __init__(self, tasks: list[Task], config: SelfPlayConfig | None = None) -> None:
+        if not tasks:
+            raise SynthesisError("self-play needs at least one task")
+        self._tasks = list(tasks)
+        self.config = config or SelfPlayConfig()
+        self._rng = random.Random(self.config.seed)
+
+    # ------------------------------------------------------------------
+    def run(self) -> FlowDataset:
+        """Generate the configured number of dialogue flows."""
+        dataset = FlowDataset()
+        for __ in range(self.config.n_flows):
+            profile = self._sample_profile()
+            task = self._rng.choice(self._tasks)
+            dataset.add(self._simulate_dialogue(task, profile))
+        return dataset
+
+    # ------------------------------------------------------------------
+    def _sample_profile(self) -> UserProfile:
+        profiles = [p for p, __ in self.config.profiles]
+        weights = [w for __, w in self.config.profiles]
+        return self._rng.choices(profiles, weights=weights, k=1)[0]
+
+    def _simulate_dialogue(self, task: Task, profile: UserProfile) -> DialogueFlow:
+        rng = self._rng
+        turns: list[FlowTurn] = []
+        if rng.random() < profile.greet_probability:
+            turns.append(FlowTurn("user", acts.USER_GREET))
+            turns.append(FlowTurn("agent", acts.AGENT_GREET))
+
+        completed = self._play_task(task, profile, turns)
+        if completed and rng.random() < profile.second_task_probability:
+            next_task = rng.choice(self._tasks)
+            self._play_task(next_task, profile, turns)
+
+        if rng.random() < profile.thank_probability:
+            turns.append(FlowTurn("user", acts.USER_THANK))
+        turns.append(FlowTurn("user", acts.USER_GOODBYE))
+        turns.append(FlowTurn("agent", acts.AGENT_GOODBYE))
+        return DialogueFlow(task=task.name, turns=tuple(turns))
+
+    def _play_task(
+        self, task: Task, profile: UserProfile, turns: list[FlowTurn]
+    ) -> bool:
+        """Append one task episode; returns True when executed successfully."""
+        rng = self._rng
+        turns.append(FlowTurn("user", acts.request_action(task.name)))
+
+        # Information gathering: one high-level action per entity slot,
+        # one ask/inform exchange per plain value slot.
+        steps: list[FlowTurn] = []
+        for lookup in task.lookups:
+            steps.append(FlowTurn("agent", acts.identify_action(lookup.table)))
+        for slot in task.value_slots:
+            steps.append(FlowTurn("agent", acts.ask_slot_action(slot.name)))
+            steps.append(FlowTurn("user", acts.USER_INFORM))
+
+        for step in steps:
+            if step.speaker == "agent" and rng.random() < profile.abort_probability:
+                turns.append(step)
+                turns.append(FlowTurn("user", acts.USER_ABORT))
+                turns.append(FlowTurn("agent", acts.AGENT_ACK_ABORT))
+                if rng.random() < profile.retry_after_abort_probability:
+                    return self._play_task(task, profile, turns)
+                return False
+            turns.append(step)
+
+        turns.append(FlowTurn("agent", acts.AGENT_CONFIRM))
+        if rng.random() < profile.deny_at_confirm_probability:
+            turns.append(FlowTurn("user", acts.USER_DENY))
+            turns.append(FlowTurn("agent", acts.AGENT_RESTART))
+            # After a restart the corrected values are re-collected and
+            # confirmed again; the user accepts the second confirmation.
+            for lookup in task.lookups:
+                turns.append(FlowTurn("agent", acts.identify_action(lookup.table)))
+            for slot in task.value_slots:
+                turns.append(FlowTurn("agent", acts.ask_slot_action(slot.name)))
+                turns.append(FlowTurn("user", acts.USER_INFORM))
+            turns.append(FlowTurn("agent", acts.AGENT_CONFIRM))
+        turns.append(FlowTurn("user", acts.USER_AFFIRM))
+        turns.append(FlowTurn("agent", acts.AGENT_EXECUTE))
+        turns.append(FlowTurn("agent", acts.AGENT_SUCCESS))
+        return True

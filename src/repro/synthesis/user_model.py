@@ -1,0 +1,59 @@
+"""Simulated user behaviour profiles for dialogue self-play.
+
+"By sampling different user behavior during the simulation (e.g.,
+sometimes performing the whole action and sometimes aborting it) the
+synthesized dialogue flows consist of different outlines" (Section 3).
+A :class:`UserProfile` is a small bundle of behaviour probabilities; the
+module ships the mix of profiles used to synthesize training flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SynthesisError
+
+__all__ = ["UserProfile", "DEFAULT_PROFILES"]
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Behaviour probabilities of one simulated user type."""
+
+    name: str
+    greet_probability: float = 0.5
+    thank_probability: float = 0.4
+    abort_probability: float = 0.0       # chance to abort at each step
+    deny_at_confirm_probability: float = 0.1
+    retry_after_abort_probability: float = 0.3
+    second_task_probability: float = 0.15
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "greet_probability",
+            "thank_probability",
+            "abort_probability",
+            "deny_at_confirm_probability",
+            "retry_after_abort_probability",
+            "second_task_probability",
+        ):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise SynthesisError(
+                    f"profile {self.name!r}: {field_name} must be in [0, 1]"
+                )
+
+
+#: The default population of simulated users, weighted by frequency.
+DEFAULT_PROFILES: tuple[tuple[UserProfile, float], ...] = (
+    (UserProfile("cooperative", abort_probability=0.0,
+                 deny_at_confirm_probability=0.05), 0.55),
+    (UserProfile("hesitant", abort_probability=0.05,
+                 deny_at_confirm_probability=0.3,
+                 greet_probability=0.7), 0.2),
+    (UserProfile("impatient", abort_probability=0.25,
+                 greet_probability=0.2, thank_probability=0.1,
+                 retry_after_abort_probability=0.5), 0.15),
+    (UserProfile("chatty", greet_probability=0.95, thank_probability=0.9,
+                 second_task_probability=0.4), 0.1),
+)

@@ -1,0 +1,128 @@
+"""String-similarity primitives shared by entity linking and candidates.
+
+The demo agent "corrects misspellings" of user-provided values; both the
+NLU entity linker and the candidate-set refinement rely on the same
+tolerant string matching: Levenshtein edit distance (iterative DP with
+two rows) and character-trigram Jaccard similarity for longer strings.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "damerau_levenshtein",
+    "levenshtein",
+    "normalized_edit_similarity",
+    "trigrams",
+    "trigram_similarity",
+    "best_match",
+]
+
+
+def damerau_levenshtein(left: str, right: str) -> int:
+    """Optimal-string-alignment distance (edits + adjacent transpositions).
+
+    A transposition ("gmup" -> "gump") counts as one edit, matching how
+    humans actually mistype values.
+    """
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    rows = [list(range(len(right) + 1))]
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            best = min(
+                rows[i - 1][j] + 1,
+                current[j - 1] + 1,
+                rows[i - 1][j - 1] + cost,
+            )
+            if (
+                i > 1
+                and j > 1
+                and left_char == right[j - 2]
+                and left[i - 2] == right_char
+            ):
+                best = min(best, rows[i - 2][j - 2] + 1)
+            current.append(best)
+        rows.append(current)
+    return rows[-1][-1]
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Edit distance between two strings (insert/delete/substitute = 1)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    if len(left) < len(right):
+        left, right = right, left
+    previous = list(range(len(right) + 1))
+    for i, left_char in enumerate(left, start=1):
+        current = [i]
+        for j, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_edit_similarity(left: str, right: str) -> float:
+    """1 - normalised edit distance, in [0, 1] (1 = identical)."""
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    return 1.0 - levenshtein(left, right) / longest
+
+
+def trigrams(text: str) -> set[str]:
+    """Padded character trigrams of a lower-cased string."""
+    padded = f"  {text.lower().strip()} "
+    if len(padded.strip()) == 0:
+        return set()
+    return {padded[i : i + 3] for i in range(len(padded) - 2)}
+
+
+def trigram_similarity(left: str, right: str) -> float:
+    """Jaccard similarity of character trigram sets."""
+    left_grams = trigrams(left)
+    right_grams = trigrams(right)
+    if not left_grams and not right_grams:
+        return 1.0
+    if not left_grams or not right_grams:
+        return 0.0
+    union = left_grams | right_grams
+    return len(left_grams & right_grams) / len(union)
+
+
+def best_match(
+    needle: str,
+    haystack: list[str],
+    threshold: float = 0.75,
+) -> tuple[str, float] | None:
+    """Best fuzzy match for ``needle`` among ``haystack`` strings.
+
+    Uses a blend of normalised edit similarity and trigram similarity;
+    returns ``(match, score)`` or ``None`` when nothing reaches
+    ``threshold``.  Exact (case-insensitive) matches short-circuit.
+    """
+    target = needle.strip().lower()
+    best: tuple[str, float] | None = None
+    for candidate in haystack:
+        lowered = candidate.strip().lower()
+        if lowered == target:
+            return (candidate, 1.0)
+        score = 0.6 * normalized_edit_similarity(target, lowered)
+        score += 0.4 * trigram_similarity(target, lowered)
+        if best is None or score > best[1]:
+            best = (candidate, score)
+    if best is not None and best[1] >= threshold:
+        return best
+    return None

@@ -1,0 +1,120 @@
+"""Tests for responder, executor and builder components."""
+
+import pytest
+
+from repro.agent import CAT, Responder, TransactionExecutor
+from repro.annotation import TaskExtractor
+from repro.db import Catalog
+from repro.errors import SynthesisError
+
+
+@pytest.fixture()
+def env(movie_tasks):
+    database, annotations, catalog, tasks = movie_tasks
+    return database, annotations, catalog, tasks
+
+
+class TestResponder:
+    def test_ask_attribute_uses_display_name(self, env):
+        database, annotations, __, __ = env
+        responder = Responder(database, annotations)
+        from repro.db import ColumnRef
+
+        text = responder.ask_attribute(ColumnRef("movie", "title"))
+        assert "movie title" in text
+
+    def test_describe_row_skips_pk(self, env):
+        database, annotations, __, __ = env
+        responder = Responder(database, annotations)
+        row = database.rows("customer")[0]
+        description = responder.describe_row("customer", row)
+        assert str(row["customer_id"]) not in description.split()[0]
+        assert row["first_name"] in description
+
+    def test_describe_row_resolves_fk(self, env):
+        database, annotations, __, __ = env
+        responder = Responder(database, annotations)
+        row = database.rows("screening")[0]
+        description = responder.describe_row("screening", row)
+        movie = database.find_one("movie", "movie_id", row["movie_id"])
+        assert movie["title"] in description
+
+    def test_propose_choices_numbered(self, env):
+        database, annotations, __, __ = env
+        responder = Responder(database, annotations)
+        rows = database.rows("customer")[:3]
+        text = responder.propose_choices("customer", rows)
+        assert "1." in text and "3." in text
+
+    def test_listing_truncates(self, env):
+        database, annotations, __, __ = env
+        responder = Responder(database, annotations)
+        rows = [{"a": i} for i in range(15)]
+        text = responder.listing(rows)
+        assert "and 5 more" in text
+
+    def test_listing_empty(self, env):
+        database, annotations, __, __ = env
+        responder = Responder(database, annotations)
+        assert "no matching" in responder.listing([])
+
+
+class TestExecutor:
+    def test_execute_success(self, env):
+        database, annotations, catalog, tasks = env
+        task = next(t for t in tasks if t.name == "ticket_reservation")
+        executor = TransactionExecutor(database)
+        outcome = executor.execute(
+            task,
+            {"customer_id": 1, "screening_id": 1, "ticket_amount": 1},
+        )
+        assert outcome.success
+        assert outcome.result.value["no_tickets"] == 1
+
+    def test_execute_failure_is_captured(self, env):
+        database, annotations, catalog, tasks = env
+        task = next(t for t in tasks if t.name == "ticket_reservation")
+        executor = TransactionExecutor(database)
+        outcome = executor.execute(
+            task,
+            {"customer_id": 1, "screening_id": 1, "ticket_amount": 10_000},
+        )
+        assert not outcome.success
+        assert "seats" in outcome.error
+
+    def test_requires_confirmation_for_writes(self, env):
+        database, annotations, catalog, tasks = env
+        executor = TransactionExecutor(database)
+        reserve = next(t for t in tasks if t.name == "ticket_reservation")
+        listing = next(t for t in tasks if t.name == "list_screenings")
+        assert executor.requires_confirmation(reserve)
+        assert not executor.requires_confirmation(listing)
+
+
+class TestBuilder:
+    def test_requires_procedures(self, env):
+        from repro.db import Column, Database, DatabaseSchema, DataType, TableSchema
+
+        empty = Database(
+            DatabaseSchema(
+                [TableSchema("t", [Column("a", DataType.INTEGER)],
+                             primary_key="a")]
+            )
+        )
+        with pytest.raises(SynthesisError):
+            CAT(empty)
+
+    def test_report_before_synthesis_rejected(self, env):
+        database, annotations, __, __ = env
+        cat = CAT(database, annotations)
+        with pytest.raises(SynthesisError):
+            cat.report()
+
+    def test_report_after_synthesis(self, trained_agent):
+        cat, agent = trained_agent
+        report = cat.report()
+        assert report.n_tasks == 3
+        assert report.n_nlu_examples > 100
+        assert report.n_flows == 150
+        assert "inform" in report.intents
+        assert "identify_customer" in report.agent_actions

@@ -1,0 +1,79 @@
+"""Tests for relative-date understanding and cross-entity buffering."""
+
+import datetime as dt
+
+import pytest
+
+from repro.agent import ConversationSession
+from repro.annotation import TaskExtractor
+from repro.db import Catalog
+from repro.nlu import EntityLinker
+from repro.synthesis import SlotVocabulary
+
+REFERENCE = dt.date(2022, 3, 26)
+
+
+@pytest.fixture()
+def linker(movie_tasks):
+    database, annotations, catalog, tasks = movie_tasks
+    vocabulary = SlotVocabulary.from_tasks(tasks, catalog)
+    return EntityLinker(database, vocabulary, reference_date=REFERENCE)
+
+
+class TestRelativeDates:
+    def test_today(self, linker):
+        linked = linker.link("screening_date", "today")
+        assert linked is not None and linked.value == REFERENCE
+
+    def test_tonight(self, linker):
+        linked = linker.link("screening_date", "tonight")
+        assert linked is not None and linked.value == REFERENCE
+
+    def test_tomorrow(self, linker):
+        linked = linker.link("screening_date", "tomorrow")
+        assert linked.value == REFERENCE + dt.timedelta(days=1)
+
+    def test_day_after_tomorrow(self, linker):
+        linked = linker.link("screening_date", "the day after tomorrow")
+        assert linked.value == REFERENCE + dt.timedelta(days=2)
+
+    def test_embedded_in_sentence(self, linker):
+        linked = linker.link("screening_date", "4 tickets for today please")
+        assert linked.value == REFERENCE
+
+    def test_absolute_dates_still_work(self, linker):
+        linked = linker.link("screening_date", "2022-04-02")
+        assert linked.value == dt.date(2022, 4, 2)
+
+    def test_without_reference_uses_today(self, movie_tasks):
+        database, annotations, catalog, tasks = movie_tasks
+        vocabulary = SlotVocabulary.from_tasks(tasks, catalog)
+        linker = EntityLinker(database, vocabulary)
+        linked = linker.link("screening_date", "today")
+        assert linked.value == dt.date.today()
+
+
+class TestCrossEntityBuffering:
+    def test_future_entity_constraint_survives(self, trained_agent):
+        cat, agent = trained_agent
+        agent.reset()
+        database = agent._database
+        customer = database.rows("customer")[0]
+        title = None
+        # A movie that actually has screenings in the fixture.
+        for row in database.rows("screening"):
+            movie = database.find_one("movie", "movie_id", row["movie_id"])
+            title = movie["title"]
+            break
+        session = ConversationSession(agent)
+        # Volunteer the movie title while the *customer* is being
+        # identified; it must be applied when screening identification
+        # starts.
+        session.say(f"i want to buy 2 tickets for {title}")
+        session.say(f"my email is {customer['email']}")
+        ident = agent.state.identification
+        if ident is not None and ident.candidates.table == "screening":
+            constrained_tables = {
+                c.attribute.table for c in ident.candidates.constraints
+            }
+            assert "movie" in constrained_tables

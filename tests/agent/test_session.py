@@ -1,0 +1,51 @@
+"""Tests for conversation sessions and transcripts."""
+
+import pytest
+
+from repro.agent import ConversationSession
+
+
+@pytest.fixture()
+def session(trained_agent):
+    __, agent = trained_agent
+    agent.reset()
+    return ConversationSession(agent)
+
+
+class TestSession:
+    def test_transcript_records_turns(self, session):
+        session.say("hello")
+        session.say("goodbye")
+        assert len(session.transcript) == 2
+        assert session.transcript[0].user == "hello"
+        assert session.transcript[0].intent == "greet"
+
+    def test_format_transcript(self, session):
+        session.say("hello")
+        text = session.format_transcript()
+        assert text.startswith("USER : hello")
+        assert "AGENT:" in text
+
+    def test_multiline_agent_reply_formatted(self, session, trained_agent):
+        __, agent = trained_agent
+        session.say("i want to buy 2 tickets")
+        session.say("my name is alice")
+        text = session.format_transcript()
+        # A choice list (if presented) renders as separate AGENT lines.
+        assert text.count("USER :") == 2
+
+    def test_executed_results_empty_without_transaction(self, session):
+        session.say("hello")
+        assert session.executed_results() == []
+
+    def test_restart_keeps_transcript(self, session, trained_agent):
+        __, agent = trained_agent
+        session.say("i want to buy 2 tickets")
+        session.restart()
+        assert agent.state.task is None
+        assert len(session.transcript) == 1
+
+    def test_agent_never_silent(self, session):
+        for utterance in ("hello", "1", "yes", "maybe", "qqq zzz", "4"):
+            reply = session.say(utterance)
+            assert reply.text.strip(), f"silent reply to {utterance!r}"

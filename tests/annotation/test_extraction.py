@@ -1,0 +1,112 @@
+"""Tests for task extraction from procedures."""
+
+import pytest
+
+from repro.annotation import SchemaAnnotations, TaskExtractor
+from repro.db import Catalog, ColumnRef
+from repro.errors import ExtractionError
+
+
+@pytest.fixture()
+def extractor(movie_db):
+    database, annotations = movie_db
+    return database, TaskExtractor(Catalog(database), annotations)
+
+
+class TestTaskShape:
+    def test_one_task_per_procedure(self, extractor):
+        database, ext = extractor
+        tasks = ext.extract_all()
+        assert {t.name for t in tasks} == set(database.procedures.names())
+
+    def test_slots_match_parameters(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("ticket_reservation"))
+        assert [s.name for s in task.slots] == [
+            "customer_id", "screening_id", "ticket_amount",
+        ]
+
+    def test_entity_and_value_slots_partition(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("ticket_reservation"))
+        assert {s.name for s in task.entity_slots} == {
+            "customer_id", "screening_id",
+        }
+        assert {s.name for s in task.value_slots} == {"ticket_amount"}
+
+    def test_slot_lookup_helpers(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("ticket_reservation"))
+        assert task.slot("ticket_amount").dtype.value == "integer"
+        with pytest.raises(ExtractionError):
+            task.slot("nope")
+        assert task.lookup_for("customer_id") is not None
+        assert task.lookup_for("ticket_amount") is None
+
+    def test_action_names(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("ticket_reservation"))
+        assert task.request_action == "request_ticket_reservation"
+        assert set(task.identify_actions) == {
+            "identify_customer", "identify_screening",
+        }
+
+
+class TestLookups:
+    def test_own_columns_at_hop_zero(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("ticket_reservation"))
+        lookup = task.lookup_for("screening_id")
+        hop0 = set(lookup.identifying_attributes[0])
+        assert ColumnRef("screening", "date") in hop0
+
+    def test_never_ask_columns_excluded(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("ticket_reservation"))
+        lookup = task.lookup_for("screening_id")
+        all_attributes = set(lookup.all_attributes())
+        assert ColumnRef("screening", "screening_id") not in all_attributes
+        assert ColumnRef("screening", "capacity") not in all_attributes
+
+    def test_joined_attributes_at_hop_one(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("ticket_reservation"))
+        lookup = task.lookup_for("screening_id")
+        hop1 = set(lookup.identifying_attributes[1])
+        assert ColumnRef("movie", "title") in hop1
+
+    def test_customer_lookup_stays_local(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("ticket_reservation"))
+        lookup = task.lookup_for("customer_id")
+        tables = {a.table for a in lookup.all_attributes()}
+        assert tables == {"customer"}
+
+    def test_reservation_lookup_spans_parents(self, extractor):
+        database, ext = extractor
+        task = ext.extract(database.procedures.get("cancel_reservation"))
+        lookup = task.lookup_for("reservation_id")
+        tables = {a.table for a in lookup.all_attributes()}
+        assert {"reservation", "customer", "screening", "movie"} <= tables
+
+    def test_hop_bound_limits_attributes(self, movie_db):
+        database, annotations = movie_db
+        shallow = TaskExtractor(Catalog(database), annotations, max_join_hops=0)
+        task = shallow.extract(database.procedures.get("ticket_reservation"))
+        lookup = task.lookup_for("screening_id")
+        assert set(lookup.identifying_attributes) == {0}
+
+    def test_negative_hops_rejected(self, movie_db):
+        database, annotations = movie_db
+        with pytest.raises(ExtractionError):
+            TaskExtractor(Catalog(database), annotations, max_join_hops=-1)
+
+    def test_all_never_ask_raises(self, movie_db):
+        database, __ = movie_db
+        annotations = SchemaAnnotations(database)
+        for column in database.schema.table("customer").column_names:
+            annotations.annotate("customer", column, never_ask=True)
+        extractor = TaskExtractor(Catalog(database), annotations,
+                                  max_join_hops=0)
+        with pytest.raises(ExtractionError):
+            extractor.extract(database.procedures.get("ticket_reservation"))

@@ -1,0 +1,59 @@
+"""Shared fixtures: small databases and a session-scoped trained agent."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.annotation import TaskExtractor
+from repro.datasets import MovieConfig, build_movie_database, movie_templates
+from repro.db import Catalog
+from repro.synthesis import GenerationConfig, SelfPlayConfig
+
+
+SMALL_MOVIE_CONFIG = MovieConfig(
+    seed=7,
+    n_customers=60,
+    n_movies=15,
+    n_actors=20,
+    n_screenings=40,
+    n_reservations=25,
+    extra_dimensions=1,
+)
+
+
+@pytest.fixture()
+def movie_db():
+    """A freshly generated small movie database (mutable per test)."""
+    database, annotations = build_movie_database(SMALL_MOVIE_CONFIG)
+    return database, annotations
+
+
+@pytest.fixture()
+def movie_tasks(movie_db):
+    database, annotations = movie_db
+    catalog = Catalog(database)
+    tasks = TaskExtractor(catalog, annotations).extract_all()
+    return database, annotations, catalog, tasks
+
+
+@pytest.fixture(scope="session")
+def trained_agent():
+    """A fully synthesized agent (expensive; shared across the session).
+
+    Tests using this fixture must call ``agent.reset()`` and must not
+    mutate the underlying database destructively.
+    """
+    from repro import CAT
+
+    database, annotations = build_movie_database(SMALL_MOVIE_CONFIG)
+    cat = CAT(
+        database,
+        annotations,
+        generation=GenerationConfig(
+            samples_per_template=4,
+            selfplay=SelfPlayConfig(n_flows=150),
+        ),
+    )
+    cat.add_template_catalog(movie_templates())
+    agent = cat.synthesize()
+    return cat, agent

@@ -1,0 +1,60 @@
+"""Tests for persisting the awareness model across sessions."""
+
+import json
+
+import pytest
+
+from repro.dataaware import UserAwarenessModel
+from repro.db import ColumnRef
+from repro.errors import PolicyError
+
+
+@pytest.fixture()
+def model(movie_db):
+    __, annotations = movie_db
+    return annotations, UserAwarenessModel(annotations)
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_probabilities(self, model):
+        annotations, first = model
+        attribute = ColumnRef("screening", "room")
+        for __ in range(15):
+            first.observe(attribute, user_knew=False)
+        payload = json.loads(json.dumps(first.to_dict()))
+
+        second = UserAwarenessModel(annotations)
+        second.load_observations(payload)
+        assert second.probability(attribute) == pytest.approx(
+            first.probability(attribute)
+        )
+
+    def test_load_merges_counts(self, model):
+        annotations, first = model
+        attribute = ColumnRef("movie", "genre")
+        first.observe(attribute, True)
+        second = UserAwarenessModel(annotations)
+        second.observe(attribute, True)
+        second.load_observations(first.to_dict())
+        assert second.estimate(attribute).observations == 2
+
+    def test_empty_model_serialises_empty(self, model):
+        __, fresh = model
+        assert fresh.to_dict() == {}
+
+    def test_malformed_key_rejected(self, model):
+        __, fresh = model
+        with pytest.raises(PolicyError):
+            fresh.load_observations({"nodot": [1, 0]})
+
+    def test_cross_session_learning_effect(self, model):
+        """Observations from 'previous sessions' shift a fresh model."""
+        annotations, veteran = model
+        attribute = ColumnRef("screening", "price")
+        prior = UserAwarenessModel(annotations).probability(attribute)
+        for __ in range(30):
+            veteran.observe(attribute, user_knew=False)
+
+        newcomer = UserAwarenessModel(annotations)
+        newcomer.load_observations(veteran.to_dict())
+        assert newcomer.probability(attribute) < prior

@@ -1,0 +1,197 @@
+"""Tests for candidate-set tracking and refinement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataaware import AttributeValueCache, CandidateSet
+from repro.db import Catalog, ColumnRef
+from repro.errors import PolicyError
+
+
+@pytest.fixture()
+def env(movie_db):
+    database, annotations = movie_db
+    return database, Catalog(database)
+
+
+class TestInitial:
+    def test_all_rows_are_candidates(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        assert len(candidates) == database.count("screening")
+        assert not candidates.is_unique
+        assert not candidates.is_empty
+
+    def test_rows_materialise(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "movie")
+        rows = candidates.rows()
+        assert len(rows) == len(candidates)
+        assert "title" in rows[0]
+
+
+class TestValuesFor:
+    def test_own_column(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        values = candidates.values_for(ColumnRef("screening", "room"))
+        assert set(values) == set(candidates.row_ids)
+        assert all(len(v) <= 1 for v in values.values())
+
+    def test_joined_column(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        values = candidates.values_for(ColumnRef("movie", "title"))
+        assert all(len(v) == 1 for v in values.values())
+
+    def test_junction_join_multivalued(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "movie")
+        values = candidates.values_for(ColumnRef("actor", "name"))
+        assert any(len(v) > 1 for v in values.values())
+
+    def test_unreachable_table_raises(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "customer")
+        with pytest.raises(PolicyError):
+            candidates.values_for(ColumnRef("movie", "title"))
+
+    def test_cached_between_calls(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        first = candidates.values_for(ColumnRef("movie", "title"))
+        second = candidates.values_for(ColumnRef("movie", "title"))
+        assert first is second
+
+
+class TestRefine:
+    def test_refine_narrows(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        room = database.rows("screening")[0]["room"]
+        refined = candidates.refine(ColumnRef("screening", "room"), room)
+        assert 0 < len(refined) < len(candidates)
+
+    def test_refine_is_immutable(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        before = len(candidates)
+        candidates.refine(ColumnRef("screening", "room"), "room A")
+        assert len(candidates) == before
+
+    def test_refine_records_constraint(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        refined = candidates.refine(ColumnRef("screening", "room"), "room A")
+        assert len(refined.constraints) == 1
+        assert str(refined.constraints[0].attribute) == "screening.room"
+
+    def test_refine_via_join(self, env):
+        database, catalog = env
+        title = database.rows("movie")[0]["title"]
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        refined = candidates.refine(ColumnRef("movie", "title"), title)
+        movie_id = database.find_one("movie", "title", title)["movie_id"]
+        for row in refined.rows():
+            assert row["movie_id"] == movie_id
+
+    def test_text_matching_case_insensitive(self, env):
+        database, catalog = env
+        title = database.rows("movie")[0]["title"]
+        candidates = CandidateSet.initial(database, catalog, "movie")
+        refined = candidates.refine(ColumnRef("movie", "title"), title.upper())
+        assert len(refined) >= 1
+
+    def test_text_matching_fuzzy(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "movie")
+        refined = candidates.refine(ColumnRef("movie", "title"), "Forrest Gmup")
+        assert any(r["title"] == "Forrest Gump" for r in refined.rows())
+
+    def test_contradiction_empties(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "movie")
+        refined = candidates.refine(ColumnRef("movie", "year"), 1)
+        assert refined.is_empty
+
+    def test_typed_coercion(self, env):
+        database, catalog = env
+        year = database.rows("movie")[0]["year"]
+        candidates = CandidateSet.initial(database, catalog, "movie")
+        refined = candidates.refine(ColumnRef("movie", "year"), str(year))
+        assert len(refined) >= 1
+
+    def test_the_row_requires_unique(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "movie")
+        with pytest.raises(PolicyError):
+            candidates.the_row()
+
+    def test_reset_restores_full_set(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        refined = candidates.refine(ColumnRef("screening", "room"), "room A")
+        assert len(refined.reset()) == len(candidates)
+
+
+class TestSharedCache:
+    def test_same_results_with_cache(self, env):
+        database, catalog = env
+        cache = AttributeValueCache(database, catalog)
+        plain = CandidateSet.initial(database, catalog, "screening")
+        cached = CandidateSet.initial(database, catalog, "screening",
+                                      shared_cache=cache)
+        attribute = ColumnRef("movie", "title")
+        assert plain.values_for(attribute) == cached.values_for(attribute)
+
+    def test_cache_hit_statistics(self, env):
+        database, catalog = env
+        cache = AttributeValueCache(database, catalog)
+        attribute = ColumnRef("movie", "title")
+        a = CandidateSet.initial(database, catalog, "screening",
+                                 shared_cache=cache)
+        a.values_for(attribute)
+        b = a.refine(ColumnRef("screening", "room"), "room A")
+        b.values_for(attribute)
+        # Two distinct attributes were materialised (title + the room used
+        # by refine); the second title access is served from the cache.
+        assert cache.misses == 2
+        assert cache.hits == 1
+
+    def test_cache_invalidated_on_write(self, env):
+        database, catalog = env
+        cache = AttributeValueCache(database, catalog)
+        attribute = ColumnRef("screening", "room")
+        CandidateSet.initial(
+            database, catalog, "screening", shared_cache=cache
+        ).values_for(attribute)
+        database.insert(
+            "screening",
+            {"screening_id": 9999, "movie_id": 1, "date": "2022-04-01",
+             "start_time": "20:00", "room": "room Z", "price": 10.0,
+             "capacity": 10},
+        )
+        fresh = CandidateSet.initial(
+            database, catalog, "screening", shared_cache=cache
+        )
+        values = fresh.values_for(attribute)
+        assert any("room Z" in v for v in values.values())
+
+
+class TestRefineProperties:
+    @given(st.sampled_from(["room A", "room B", "room C", "nonexistent"]))
+    @settings(max_examples=20)
+    def test_refine_monotone(self, value):
+        # hypothesis cannot combine with fixtures; build a DB inline.
+        from repro.datasets import MovieConfig, build_movie_database
+
+        database, __ = build_movie_database(MovieConfig(
+            n_customers=10, n_movies=5, n_screenings=15, n_reservations=5,
+            extra_dimensions=0, n_actors=6,
+        ))
+        catalog = Catalog(database)
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        refined = candidates.refine(ColumnRef("screening", "room"), value)
+        assert len(refined) <= len(candidates)
+        assert set(refined.row_ids) <= set(candidates.row_ids)

@@ -1,0 +1,98 @@
+"""Tests for FK join-path planning and value mapping."""
+
+import pytest
+
+from repro.dataaware import JoinPlanner, map_values
+from repro.db import Catalog, ColumnRef
+from repro.errors import PolicyError
+
+
+@pytest.fixture()
+def env(movie_db):
+    database, __ = movie_db
+    return database, Catalog(database)
+
+
+class TestJoinPlanner:
+    def test_identity_path(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "screening")
+        path = planner.path_to("screening")
+        assert path is not None and path.length == 0
+        assert path.target == "screening"
+
+    def test_forward_path(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "screening")
+        path = planner.path_to("movie")
+        assert path is not None
+        assert [s.to_table for s in path.steps] == ["movie"]
+        assert path.steps[0].source_column == "movie_id"
+
+    def test_junction_path(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "movie")
+        path = planner.path_to("actor")
+        assert path is not None
+        assert [s.to_table for s in path.steps] == ["movie_actor", "actor"]
+
+    def test_unreachable_is_none(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "customer")
+        assert planner.path_to("movie") is None
+
+    def test_paths_cached(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "screening")
+        assert planner.path_to("movie") is planner.path_to("movie")
+
+
+class TestMapValues:
+    def test_direct_column(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "screening")
+        path = planner.path_to("movie")
+        row_ids = database.table("screening").row_ids()[:5]
+        values = map_values(database, path, ColumnRef("movie", "title"), row_ids)
+        assert set(values) == set(row_ids)
+        for rid in row_ids:
+            movie_id = database.table("screening").get(rid)["movie_id"]
+            expected = database.find_one("movie", "movie_id", movie_id)["title"]
+            assert values[rid] == frozenset({expected})
+
+    def test_junction_fanout(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "movie")
+        path = planner.path_to("actor")
+        row_ids = database.table("movie").row_ids()[:3]
+        values = map_values(database, path, ColumnRef("actor", "name"), row_ids)
+        for rid in row_ids:
+            movie_id = database.table("movie").get(rid)["movie_id"]
+            cast_links = database.find("movie_actor", "movie_id", movie_id)
+            expected = {
+                database.find_one("actor", "actor_id", link["actor_id"])["name"]
+                for link in cast_links
+            }
+            assert values[rid] == frozenset(expected)
+
+    def test_wrong_target_rejected(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "screening")
+        path = planner.path_to("movie")
+        with pytest.raises(PolicyError):
+            map_values(database, path, ColumnRef("actor", "name"), [1])
+
+    def test_empty_row_ids(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "screening")
+        path = planner.path_to("movie")
+        assert map_values(database, path, ColumnRef("movie", "title"), []) == {}
+
+    def test_null_values_dropped(self, env):
+        database, catalog = env
+        planner = JoinPlanner(catalog, "screening")
+        path = planner.path_to("screening")
+        rid = database.table("screening").row_ids()[0]
+        database.table("screening").update(rid, {"room": None})
+        values = map_values(database, path, ColumnRef("screening", "room"), [rid])
+        assert values[rid] == frozenset()

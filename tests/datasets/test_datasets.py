@@ -1,0 +1,191 @@
+"""Tests for the synthetic datasets (movies + ATIS-like)."""
+
+import pytest
+
+from repro.datasets import (
+    ATIS_INTENTS,
+    AtisConfig,
+    MovieConfig,
+    build_flight_database,
+    build_movie_database,
+    generate_cat_corpus,
+    generate_gold_corpus,
+    movie_templates,
+)
+
+
+class TestMovieDatabase:
+    def test_sizes_match_config(self):
+        config = MovieConfig(n_customers=30, n_movies=10, n_screenings=20,
+                             n_reservations=12, n_actors=8,
+                             extra_dimensions=0)
+        database, __ = build_movie_database(config)
+        assert database.count("customer") == 30
+        assert database.count("movie") == 10
+        assert database.count("screening") == 20
+        assert database.count("reservation") == 12
+
+    def test_deterministic_under_seed(self):
+        a, __ = build_movie_database(MovieConfig(seed=5, n_customers=20,
+                                                 n_movies=5, n_screenings=10,
+                                                 n_reservations=5))
+        b, __ = build_movie_database(MovieConfig(seed=5, n_customers=20,
+                                                 n_movies=5, n_screenings=10,
+                                                 n_reservations=5))
+        assert a.rows("customer") == b.rows("customer")
+        assert a.rows("screening") == b.rows("screening")
+
+    def test_classic_titles_present(self, movie_db):
+        database, __ = movie_db
+        titles = {row["title"] for row in database.rows("movie")}
+        assert "Forrest Gump" in titles
+
+    def test_extra_dimensions_add_tables(self):
+        database, __ = build_movie_database(MovieConfig(extra_dimensions=4))
+        assert "studio" in database.table_names
+        assert "distributor" in database.table_names
+        fk_columns = {
+            fk.column
+            for fk in database.schema.table("movie").foreign_keys
+        }
+        assert "studio_id" in fk_columns
+
+    def test_too_many_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            MovieConfig(extra_dimensions=99)
+
+    def test_duplicate_customers_create_families(self):
+        config = MovieConfig(n_customers=100,
+                             duplicate_customer_fraction=0.5)
+        database, __ = build_movie_database(config)
+        keys = {}
+        for row in database.rows("customer"):
+            key = (row["last_name"], row["city"], row["street"])
+            keys[key] = keys.get(key, 0) + 1
+        assert any(count >= 2 for count in keys.values())
+
+    def test_procedures_registered(self, movie_db):
+        database, __ = movie_db
+        assert set(database.procedures.names()) == {
+            "ticket_reservation", "cancel_reservation", "list_screenings",
+        }
+
+    def test_ticket_reservation_procedure(self, movie_db):
+        database, __ = movie_db
+        before = database.count("reservation")
+        result = database.procedures.call(
+            "ticket_reservation", customer_id=1, screening_id=1,
+            ticket_amount=2,
+        )
+        assert database.count("reservation") == before + 1
+        assert result.value["no_tickets"] == 2
+
+    def test_overbooking_rejected(self, movie_db):
+        database, __ = movie_db
+        from repro.errors import ProcedureError
+
+        with pytest.raises(ProcedureError):
+            database.procedures.call(
+                "ticket_reservation", customer_id=1, screening_id=1,
+                ticket_amount=10_000,
+            )
+
+    def test_cancel_reservation_procedure(self, movie_db):
+        database, __ = movie_db
+        reservation_id = database.rows("reservation")[0]["reservation_id"]
+        database.procedures.call("cancel_reservation",
+                                 reservation_id=reservation_id)
+        assert database.find_one(
+            "reservation", "reservation_id", reservation_id
+        ) is None
+
+    def test_list_screenings_procedure(self, movie_db):
+        database, __ = movie_db
+        movie_id = database.rows("screening")[0]["movie_id"]
+        result = database.procedures.call("list_screenings", movie_id=movie_id)
+        assert all(row["movie_id"] == movie_id for row in result.value)
+
+    def test_genre_skew_changes_distribution(self):
+        from collections import Counter
+
+        uniform, __ = build_movie_database(MovieConfig(n_movies=200,
+                                                       genre_skew=0.0))
+        skewed, __ = build_movie_database(MovieConfig(n_movies=200,
+                                                      genre_skew=2.0))
+        c_uniform = Counter(r["genre"] for r in uniform.rows("movie"))
+        c_skewed = Counter(r["genre"] for r in skewed.rows("movie"))
+        assert max(c_skewed.values()) > max(c_uniform.values())
+
+    def test_templates_cover_all_tasks(self):
+        templates = movie_templates()
+        assert "request_ticket_reservation" in templates
+        assert "request_cancel_reservation" in templates
+        assert "request_list_screenings" in templates
+        assert "inform" in templates
+
+
+class TestAtis:
+    def test_flight_database(self):
+        database = build_flight_database()
+        assert database.count("city") > 20
+        assert database.count("flight") == 300
+
+    def test_gold_corpus_size_and_skew(self):
+        corpus = generate_gold_corpus()
+        assert len(corpus) == AtisConfig().n_gold
+        from collections import Counter
+
+        counts = Counter(e.intent for e in corpus)
+        assert counts["atis_flight"] > 0.6 * len(corpus)
+        assert set(counts) == {name for name, __ in ATIS_INTENTS}
+
+    def test_gold_spans_valid(self):
+        corpus = generate_gold_corpus(config=AtisConfig(n_gold=200))
+        for example in corpus:
+            for span in example.slots:
+                assert example.text[span.start:span.end] == span.value
+
+    def test_cat_corpus_spans_valid(self):
+        corpus = generate_cat_corpus(config=AtisConfig())
+        assert len(corpus) > 300
+        for example in corpus:
+            for span in example.slots:
+                assert example.text[span.start:span.end] == span.value
+
+    def test_corpora_share_value_vocabulary(self):
+        config = AtisConfig(n_gold=400)
+        database = build_flight_database(config)
+        gold = generate_gold_corpus(database, config)
+        cat = generate_cat_corpus(database, config)
+        gold_cities = {
+            s.value for e in gold for s in e.slots if s.name == "toloc_city"
+        }
+        cat_cities = {
+            s.value for e in cat for s in e.slots if s.name == "toloc_city"
+        }
+        assert gold_cities & cat_cities
+
+    def test_from_to_cities_differ(self):
+        corpus = generate_gold_corpus(config=AtisConfig(n_gold=300))
+        for example in corpus:
+            values = example.slot_values()
+            if "fromloc_city" in values and "toloc_city" in values:
+                assert values["fromloc_city"] != values["toloc_city"]
+
+    def test_noise_disabled(self):
+        clean = generate_gold_corpus(config=AtisConfig(n_gold=200,
+                                                       gold_noise=0.0))
+        assert not any(e.text.startswith("uh ") for e in clean)
+
+    def test_deterministic(self):
+        a = generate_gold_corpus(config=AtisConfig(n_gold=100))
+        b = generate_gold_corpus(config=AtisConfig(n_gold=100))
+        assert [e.text for e in a] == [e.text for e in b]
+
+    def test_bad_config_rejected(self):
+        from repro.errors import SynthesisError
+
+        with pytest.raises(SynthesisError):
+            AtisConfig(n_gold=0)
+        with pytest.raises(SynthesisError):
+            AtisConfig(gold_noise=2.0)

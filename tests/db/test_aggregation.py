@@ -1,0 +1,77 @@
+"""Tests for group-by aggregation."""
+
+import pytest
+
+from repro.db import (
+    aggregate,
+    avg,
+    count,
+    count_distinct,
+    max_,
+    min_,
+    sum_,
+)
+from repro.errors import QueryError
+
+ROWS = [
+    {"screening_id": 1, "no_tickets": 2, "customer_id": 10},
+    {"screening_id": 1, "no_tickets": 3, "customer_id": 11},
+    {"screening_id": 2, "no_tickets": 1, "customer_id": 10},
+    {"screening_id": 2, "no_tickets": None, "customer_id": 12},
+]
+
+
+class TestAggregate:
+    def test_global_count(self):
+        result = aggregate(ROWS, {"n": count()})
+        assert result == [{"n": 4}]
+
+    def test_group_by_sum(self):
+        result = aggregate(ROWS, {"booked": sum_("no_tickets")},
+                           group_by=["screening_id"])
+        assert result == [
+            {"screening_id": 1, "booked": 5},
+            {"screening_id": 2, "booked": 1},
+        ]
+
+    def test_nulls_skipped(self):
+        result = aggregate(ROWS, {"n": count(), "a": avg("no_tickets")},
+                           group_by=["screening_id"])
+        # count(*) counts the NULL row; avg skips it.
+        assert result[1]["n"] == 2
+        assert result[1]["a"] == 1.0
+
+    def test_min_max(self):
+        result = aggregate(ROWS, {"lo": min_("no_tickets"),
+                                  "hi": max_("no_tickets")})
+        assert result == [{"lo": 1, "hi": 3}]
+
+    def test_count_distinct(self):
+        result = aggregate(ROWS, {"customers": count_distinct("customer_id")})
+        assert result == [{"customers": 3}]
+
+    def test_empty_input_global_group(self):
+        result = aggregate([], {"n": count(), "s": sum_("x"),
+                                "a": avg("x")})
+        assert result == [{"n": 0, "s": 0, "a": None}]
+
+    def test_empty_input_group_by(self):
+        assert aggregate([], {"n": count()}, group_by=["g"]) == []
+
+    def test_group_order_is_first_appearance(self):
+        rows = [{"g": "b"}, {"g": "a"}, {"g": "b"}]
+        result = aggregate(rows, {"n": count()}, group_by=["g"])
+        assert [r["g"] for r in result] == ["b", "a"]
+
+    def test_multi_column_group(self):
+        result = aggregate(ROWS, {"n": count()},
+                           group_by=["screening_id", "customer_id"])
+        assert len(result) == 4
+
+    def test_no_aggregates_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate(ROWS, {})
+
+    def test_unknown_group_column_rejected(self):
+        with pytest.raises(QueryError):
+            aggregate(ROWS, {"n": count()}, group_by=["ghost"])

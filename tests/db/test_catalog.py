@@ -1,0 +1,106 @@
+"""Tests for catalog introspection: join graphs and reachability."""
+
+import pytest
+
+from repro.db import Catalog, ColumnRef
+from repro.db.types import DataType
+
+
+@pytest.fixture()
+def catalog(movie_db):
+    database, __ = movie_db
+    return Catalog(database)
+
+
+class TestBasics:
+    def test_tables_listed(self, catalog):
+        names = {t.name for t in catalog.tables()}
+        assert {"movie", "screening", "customer", "reservation"} <= names
+
+    def test_columns(self, catalog):
+        assert any(c.name == "title" for c in catalog.columns("movie"))
+
+    def test_column_type(self, catalog):
+        assert catalog.column_type(ColumnRef("movie", "title")) is DataType.TEXT
+
+    def test_primary_key(self, catalog):
+        assert catalog.primary_key("movie") == "movie_id"
+
+    def test_foreign_keys(self, catalog):
+        fks = catalog.foreign_keys("screening")
+        assert any(fk.target_table == "movie" for fk in fks)
+
+    def test_all_column_refs(self, catalog):
+        refs = catalog.all_column_refs()
+        assert ColumnRef("movie", "title") in refs
+
+    def test_procedures(self, catalog):
+        names = {p.name for p in catalog.procedures()}
+        assert "ticket_reservation" in names
+
+
+class TestJunctionDetection:
+    def test_movie_actor_is_junction(self, catalog):
+        assert catalog.is_junction_table("movie_actor")
+
+    def test_reservation_is_not_junction(self, catalog):
+        # reservation carries a payload column (no_tickets).
+        assert not catalog.is_junction_table("reservation")
+
+    def test_plain_table_is_not_junction(self, catalog):
+        assert not catalog.is_junction_table("movie")
+
+
+class TestReachability:
+    def test_root_at_distance_zero(self, catalog):
+        distances = catalog.tables_within("screening", 2)
+        assert distances["screening"] == 0
+
+    def test_forward_fk_one_hop(self, catalog):
+        distances = catalog.tables_within("screening", 2)
+        assert distances["movie"] == 1
+
+    def test_actor_via_junction_two_hops(self, catalog):
+        distances = catalog.tables_within("screening", 2)
+        assert distances.get("actor") == 2
+
+    def test_reverse_fan_in_excluded(self, catalog):
+        # reservation references screening; identifying a screening via
+        # its reservations' customers is excluded by design.
+        distances = catalog.tables_within("screening", 3)
+        assert "customer" not in distances
+
+    def test_reservation_reaches_both_parents(self, catalog):
+        distances = catalog.tables_within("reservation", 2)
+        assert distances["customer"] == 1
+        assert distances["screening"] == 1
+        assert distances["movie"] == 2
+
+    def test_hop_bound_respected(self, catalog):
+        distances = catalog.tables_within("screening", 1)
+        assert "actor" not in distances
+
+    def test_unknown_root(self, catalog):
+        assert catalog.tables_within("ghost", 2) == {"ghost": 0}
+
+
+class TestJoinPaths:
+    def test_direct_path(self, catalog):
+        assert catalog.join_path("screening", "movie") == ["screening", "movie"]
+
+    def test_junction_path(self, catalog):
+        path = catalog.join_path("movie", "actor")
+        assert path == ["movie", "movie_actor", "actor"]
+
+    def test_no_path(self, catalog):
+        # customer is a root table with no outgoing FKs.
+        assert catalog.join_path("customer", "movie") is None
+
+    def test_fk_between(self, catalog):
+        link = catalog.fk_between("screening", "movie")
+        assert link is not None
+        table, fk = link
+        assert table == "screening" and fk.target_table == "movie"
+
+    def test_fk_between_unrelated(self, catalog):
+        assert catalog.fk_between("movie", "customer") is None

@@ -1,0 +1,97 @@
+"""Tests for database JSON snapshots."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    ForeignKey,
+    TableSchema,
+    dump_database,
+    dumps_database,
+    load_database,
+    loads_database,
+)
+from repro.errors import DatabaseError
+
+
+class TestRoundtrip:
+    def test_movie_db_roundtrip(self, movie_db):
+        database, __ = movie_db
+        restored = loads_database(dumps_database(database))
+        assert restored.table_names == database.table_names
+        for name in database.table_names:
+            assert restored.rows(name) == database.rows(name)
+
+    def test_dates_and_times_survive(self, movie_db):
+        database, __ = movie_db
+        restored = loads_database(dumps_database(database))
+        import datetime as dt
+
+        row = restored.rows("screening")[0]
+        assert isinstance(row["date"], dt.date)
+        assert isinstance(row["start_time"], dt.time)
+
+    def test_schema_constraints_survive(self, movie_db):
+        database, __ = movie_db
+        restored = loads_database(dumps_database(database))
+        schema = restored.schema.table("screening")
+        assert schema.primary_key == "screening_id"
+        fk = schema.foreign_key_for("movie_id")
+        assert fk is not None and fk.target_table == "movie"
+        from repro.errors import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            restored.insert(
+                "screening",
+                {"screening_id": 1, "movie_id": 1, "date": "2022-01-01",
+                 "start_time": "20:00", "capacity": 10},
+            )
+
+    def test_file_roundtrip(self, movie_db, tmp_path):
+        database, __ = movie_db
+        path = tmp_path / "snapshot.json"
+        dump_database(database, str(path))
+        restored = load_database(str(path))
+        assert restored.count("customer") == database.count("customer")
+
+    def test_restored_db_is_mutable(self, movie_db):
+        database, __ = movie_db
+        restored = loads_database(dumps_database(database))
+        before = restored.count("customer")
+        restored.insert(
+            "customer",
+            {"customer_id": 9999, "first_name": "Zoe", "last_name": "Zett",
+             "email": "zoe@example.com"},
+        )
+        assert restored.count("customer") == before + 1
+
+    def test_fk_dependency_order_resolved(self):
+        # Child serialised before its parent must still load.
+        schema = DatabaseSchema(
+            [
+                TableSchema(
+                    "zchild",
+                    [Column("id", DataType.INTEGER),
+                     Column("parent_id", DataType.INTEGER)],
+                    primary_key="id",
+                    foreign_keys=[ForeignKey("parent_id", "aparent", "id")],
+                ),
+                TableSchema(
+                    "aparent",
+                    [Column("id", DataType.INTEGER)],
+                    primary_key="id",
+                ),
+            ]
+        )
+        database = Database(schema)
+        database.insert("aparent", {"id": 1})
+        database.insert("zchild", {"id": 1, "parent_id": 1})
+        restored = loads_database(dumps_database(database))
+        assert restored.count("zchild") == 1
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(DatabaseError):
+            loads_database('{"format_version": 99, "schema": [], "rows": {}}')

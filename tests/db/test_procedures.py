@@ -1,0 +1,160 @@
+"""Tests for stored procedures: binding, registry, atomic execution."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    Parameter,
+    Procedure,
+    TableSchema,
+)
+from repro.errors import ProcedureError
+
+
+@pytest.fixture()
+def db():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "item",
+                [
+                    Column("item_id", DataType.INTEGER),
+                    Column("stock", DataType.INTEGER, nullable=False),
+                ],
+                primary_key="item_id",
+            )
+        ]
+    )
+    database = Database(schema)
+    database.insert("item", {"item_id": 1, "stock": 5})
+    return database
+
+
+def take_stock(database, item_id, amount):
+    rid = database.table("item").lookup("item_id", item_id)[0]
+    row = database.table("item").get(rid)
+    database.update("item", rid, {"stock": row["stock"] - amount})
+    if row["stock"] - amount < 0:
+        raise ProcedureError("stock would go negative")
+    return row["stock"] - amount
+
+
+def make_procedure():
+    return Procedure(
+        name="take_stock",
+        parameters=[
+            Parameter("item_id", DataType.INTEGER, references=("item", "item_id")),
+            Parameter("amount", DataType.INTEGER),
+        ],
+        body=take_stock,
+        writes=("item",),
+    )
+
+
+class TestProcedureDefinition:
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ProcedureError):
+            Procedure("bad name!", [], lambda db: None)
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(ProcedureError):
+            Procedure(
+                "p",
+                [Parameter("a", DataType.INTEGER),
+                 Parameter("a", DataType.INTEGER)],
+                lambda db, a: None,
+            )
+
+    def test_description_defaults_to_name(self):
+        procedure = Procedure("do_thing", [], lambda db: None)
+        assert procedure.description == "do thing"
+
+    def test_parameter_lookup(self):
+        procedure = make_procedure()
+        assert procedure.parameter("amount").dtype is DataType.INTEGER
+        with pytest.raises(ProcedureError):
+            procedure.parameter("nope")
+
+    def test_entity_reference_flag(self):
+        procedure = make_procedure()
+        assert procedure.parameter("item_id").is_entity_reference
+        assert not procedure.parameter("amount").is_entity_reference
+
+
+class TestBinding:
+    def test_bind_coerces(self):
+        bound = make_procedure().bind({"item_id": "1", "amount": "2"})
+        assert bound == {"item_id": 1, "amount": 2}
+
+    def test_missing_required_rejected(self):
+        with pytest.raises(ProcedureError):
+            make_procedure().bind({"item_id": 1})
+
+    def test_unknown_argument_rejected(self):
+        with pytest.raises(ProcedureError):
+            make_procedure().bind({"item_id": 1, "amount": 1, "zzz": 2})
+
+    def test_optional_defaults_to_none(self):
+        procedure = Procedure(
+            "p",
+            [Parameter("a", DataType.INTEGER, optional=True)],
+            lambda db, a: a,
+        )
+        assert procedure.bind({}) == {"a": None}
+
+
+class TestRegistry:
+    def test_register_and_call(self, db):
+        db.procedures.register(make_procedure())
+        result = db.procedures.call("take_stock", item_id=1, amount=2)
+        assert result.value == 3
+        assert db.find_one("item", "item_id", 1)["stock"] == 3
+
+    def test_duplicate_registration_rejected(self, db):
+        db.procedures.register(make_procedure())
+        with pytest.raises(ProcedureError):
+            db.procedures.register(make_procedure())
+
+    def test_unknown_procedure_rejected(self, db):
+        with pytest.raises(ProcedureError):
+            db.procedures.call("nope")
+
+    def test_reference_validated_at_registration(self, db):
+        bad = Procedure(
+            "p",
+            [Parameter("x", DataType.INTEGER, references=("ghost", "id"))],
+            lambda db, x: None,
+        )
+        with pytest.raises(Exception):
+            db.procedures.register(bad)
+
+    def test_names_and_iteration(self, db):
+        db.procedures.register(make_procedure())
+        assert "take_stock" in db.procedures
+        assert db.procedures.names() == ("take_stock",)
+        assert [p.name for p in db.procedures] == ["take_stock"]
+
+
+class TestAtomicity:
+    def test_failed_call_rolls_back(self, db):
+        db.procedures.register(make_procedure())
+        with pytest.raises(ProcedureError):
+            db.procedures.call("take_stock", item_id=1, amount=99)
+        # The update ran before the failure but must have been undone.
+        assert db.find_one("item", "item_id", 1)["stock"] == 5
+
+    def test_successful_call_commits(self, db):
+        db.procedures.register(make_procedure())
+        before = db.data_version
+        db.procedures.call("take_stock", item_id=1, amount=1)
+        assert db.data_version > before
+
+    def test_call_inside_open_transaction_joins_it(self, db):
+        db.procedures.register(make_procedure())
+        db.transactions.begin()
+        db.procedures.call("take_stock", item_id=1, amount=1)
+        db.transactions.rollback()
+        assert db.find_one("item", "item_id", 1)["stock"] == 5

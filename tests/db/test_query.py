@@ -1,0 +1,178 @@
+"""Tests for the predicate and query layer."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    ForeignKey,
+    Query,
+    TableSchema,
+    and_,
+    contains,
+    eq,
+    ge,
+    gt,
+    in_,
+    le,
+    lt,
+    ne,
+    not_,
+    or_,
+)
+from repro.db.query import TruePredicate
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def db():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "movie",
+                [
+                    Column("movie_id", DataType.INTEGER),
+                    Column("title", DataType.TEXT, nullable=False),
+                    Column("year", DataType.INTEGER),
+                ],
+                primary_key="movie_id",
+            ),
+            TableSchema(
+                "screening",
+                [
+                    Column("screening_id", DataType.INTEGER),
+                    Column("movie_id", DataType.INTEGER),
+                    Column("room", DataType.TEXT),
+                ],
+                primary_key="screening_id",
+                foreign_keys=[ForeignKey("movie_id", "movie", "movie_id")],
+            ),
+        ]
+    )
+    database = Database(schema)
+    database.insert("movie", {"movie_id": 1, "title": "Heat", "year": 1995})
+    database.insert("movie", {"movie_id": 2, "title": "Ran", "year": 1985})
+    database.insert("movie", {"movie_id": 3, "title": "Alien", "year": None})
+    database.insert("screening", {"screening_id": 1, "movie_id": 1, "room": "A"})
+    database.insert("screening", {"screening_id": 2, "movie_id": 1, "room": "B"})
+    database.insert("screening", {"screening_id": 3, "movie_id": 2, "room": "A"})
+    return database
+
+
+class TestPredicates:
+    def test_eq(self):
+        assert eq("a", 1).matches({"a": 1})
+        assert not eq("a", 1).matches({"a": 2})
+
+    def test_null_rejected_by_all_comparisons(self):
+        row = {"a": None}
+        for predicate in (eq("a", 1), ne("a", 1), lt("a", 1), gt("a", 1)):
+            assert not predicate.matches(row)
+
+    def test_ordering_operators(self):
+        row = {"a": 5}
+        assert lt("a", 6).matches(row)
+        assert le("a", 5).matches(row)
+        assert gt("a", 4).matches(row)
+        assert ge("a", 5).matches(row)
+
+    def test_contains_case_insensitive(self):
+        assert contains("t", "gump").matches({"t": "Forrest Gump"})
+        assert not contains("t", "xyz").matches({"t": "Forrest Gump"})
+
+    def test_in(self):
+        assert in_("a", [1, 2]).matches({"a": 2})
+        assert not in_("a", [1, 2]).matches({"a": 3})
+
+    def test_and_or_not(self):
+        row = {"a": 1, "b": 2}
+        assert and_(eq("a", 1), eq("b", 2)).matches(row)
+        assert not and_(eq("a", 1), eq("b", 3)).matches(row)
+        assert or_(eq("a", 9), eq("b", 2)).matches(row)
+        assert not_(eq("a", 9)).matches(row)
+
+    def test_and_identity(self):
+        assert isinstance(and_(), TruePredicate)
+        single = eq("a", 1)
+        assert and_(single) is single
+
+    def test_or_requires_argument(self):
+        with pytest.raises(QueryError):
+            or_()
+
+    def test_unknown_operator_rejected(self):
+        from repro.db.query import Comparison
+
+        with pytest.raises(QueryError):
+            Comparison("a", "<>", 1)
+
+    def test_missing_column_raises(self):
+        with pytest.raises(QueryError):
+            eq("missing", 1).matches({"a": 1})
+
+    def test_equality_bindings(self):
+        predicate = and_(eq("a", 1), gt("b", 2), eq("c", 3))
+        assert predicate.equality_bindings() == {"a": 1, "c": 3}
+
+    def test_columns_collected(self):
+        predicate = or_(eq("a", 1), and_(eq("b", 2), not_(eq("c", 3))))
+        assert predicate.columns() == {"a", "b", "c"}
+
+    def test_type_error_comparison_is_false(self):
+        assert not lt("a", "zzz").matches({"a": 5})
+
+
+class TestQuery:
+    def test_select_all(self, db):
+        rows = Query("movie").run(db)
+        assert len(rows) == 3
+
+    def test_where_eq_uses_index(self, db):
+        rows = Query("movie").where(eq("movie_id", 2)).run(db)
+        assert [r["title"] for r in rows] == ["Ran"]
+
+    def test_where_non_indexed(self, db):
+        rows = Query("movie").where(gt("year", 1990)).run(db)
+        assert [r["title"] for r in rows] == ["Heat"]
+
+    def test_join_widens_rows(self, db):
+        rows = (
+            Query("screening")
+            .join("movie_id", "movie", "movie_id")
+            .where(eq("movie.title", "Heat"))
+            .run(db)
+        )
+        assert len(rows) == 2
+        assert all(r["movie.year"] == 1995 for r in rows)
+
+    def test_order_by(self, db):
+        rows = Query("movie").order_by("title").run(db)
+        assert [r["title"] for r in rows] == ["Alien", "Heat", "Ran"]
+
+    def test_order_by_descending(self, db):
+        rows = Query("movie").order_by("title", descending=True).run(db)
+        assert rows[0]["title"] == "Ran"
+
+    def test_order_by_nulls_last(self, db):
+        rows = Query("movie").order_by("year").run(db)
+        assert rows[-1]["title"] == "Alien"
+
+    def test_limit(self, db):
+        assert len(Query("movie").limit(2).run(db)) == 2
+
+    def test_negative_limit_rejected(self, db):
+        with pytest.raises(QueryError):
+            Query("movie").limit(-1)
+
+    def test_projection(self, db):
+        rows = Query("movie").select("title").limit(1).run(db)
+        assert list(rows[0]) == ["title"]
+
+    def test_count(self, db):
+        assert Query("screening").where(eq("room", "A")).count(db) == 2
+
+    def test_fluent_chaining_returns_self(self, db):
+        query = Query("movie")
+        assert query.where(eq("movie_id", 1)) is query

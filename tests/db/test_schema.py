@@ -1,0 +1,163 @@
+"""Tests for schema declaration and validation."""
+
+import pytest
+
+from repro.db import Column, DatabaseSchema, DataType, ForeignKey, TableSchema
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+
+
+def make_movie_table():
+    return TableSchema(
+        "movie",
+        [
+            Column("movie_id", DataType.INTEGER),
+            Column("title", DataType.TEXT, nullable=False),
+        ],
+        primary_key="movie_id",
+    )
+
+
+def make_screening_table():
+    return TableSchema(
+        "screening",
+        [
+            Column("screening_id", DataType.INTEGER),
+            Column("movie_id", DataType.INTEGER),
+        ],
+        primary_key="screening_id",
+        foreign_keys=[ForeignKey("movie_id", "movie", "movie_id")],
+    )
+
+
+class TestColumn:
+    def test_bad_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("Bad Name", DataType.TEXT)
+
+    def test_uppercase_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("Title", DataType.TEXT)
+
+    def test_dtype_must_be_datatype(self):
+        with pytest.raises(SchemaError):
+            Column("title", "text")  # type: ignore[arg-type]
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        table = make_movie_table()
+        assert table.column("title").dtype is DataType.TEXT
+        assert table.has_column("movie_id")
+        assert not table.has_column("nope")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            make_movie_table().column("nope")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", DataType.TEXT), Column("a", DataType.TEXT)],
+            )
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", DataType.TEXT)], primary_key="b")
+
+    def test_fk_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", DataType.TEXT)],
+                foreign_keys=[ForeignKey("b", "other", "id")],
+            )
+
+    def test_duplicate_fk_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", DataType.INTEGER)],
+                foreign_keys=[
+                    ForeignKey("a", "x", "id"),
+                    ForeignKey("a", "y", "id"),
+                ],
+            )
+
+    def test_foreign_key_for(self):
+        table = make_screening_table()
+        fk = table.foreign_key_for("movie_id")
+        assert fk is not None and fk.target_table == "movie"
+        assert table.foreign_key_for("screening_id") is None
+
+    def test_column_names_order(self):
+        assert make_movie_table().column_names == ("movie_id", "title")
+
+
+class TestDatabaseSchema:
+    def test_valid_fk_passes(self):
+        schema = DatabaseSchema([make_movie_table(), make_screening_table()])
+        schema.validate()
+
+    def test_fk_to_unknown_table(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema([make_screening_table()])
+
+    def test_fk_to_unknown_column(self):
+        bad = TableSchema(
+            "screening",
+            [Column("screening_id", DataType.INTEGER),
+             Column("movie_id", DataType.INTEGER)],
+            primary_key="screening_id",
+            foreign_keys=[ForeignKey("movie_id", "movie", "nope")],
+        )
+        with pytest.raises(SchemaError):
+            DatabaseSchema([make_movie_table(), bad])
+
+    def test_fk_must_hit_key_column(self):
+        bad = TableSchema(
+            "screening",
+            [Column("screening_id", DataType.INTEGER),
+             Column("title", DataType.TEXT)],
+            primary_key="screening_id",
+            foreign_keys=[ForeignKey("title", "movie", "title")],
+        )
+        with pytest.raises(SchemaError):
+            DatabaseSchema([make_movie_table(), bad])
+
+    def test_fk_type_mismatch(self):
+        bad = TableSchema(
+            "screening",
+            [Column("screening_id", DataType.INTEGER),
+             Column("movie_id", DataType.TEXT)],
+            primary_key="screening_id",
+            foreign_keys=[ForeignKey("movie_id", "movie", "movie_id")],
+        )
+        with pytest.raises(SchemaError):
+            DatabaseSchema([make_movie_table(), bad])
+
+    def test_duplicate_table_rejected(self):
+        schema = DatabaseSchema([make_movie_table()])
+        with pytest.raises(SchemaError):
+            schema.add_table(make_movie_table())
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(UnknownTableError):
+            DatabaseSchema([]).table("nope")
+
+    def test_referencing_tables(self):
+        schema = DatabaseSchema([make_movie_table(), make_screening_table()])
+        refs = schema.referencing_tables("movie")
+        assert [(name, fk.column) for name, fk in refs] == [
+            ("screening", "movie_id")
+        ]
+        assert schema.referencing_tables("screening") == []
+
+    def test_iteration_and_contains(self):
+        schema = DatabaseSchema([make_movie_table(), make_screening_table()])
+        assert "movie" in schema
+        assert sorted(t.name for t in schema) == ["movie", "screening"]

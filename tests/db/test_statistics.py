@@ -1,0 +1,148 @@
+"""Tests for database statistics: entropy, selectivity, caching."""
+
+import math
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    StatisticsCatalog,
+    TableSchema,
+    entropy,
+    gini_impurity,
+    normalized_entropy,
+)
+from repro.db.statistics import compute_column_statistics
+
+
+class TestEntropy:
+    def test_empty_is_zero(self):
+        assert entropy([]) == 0.0
+
+    def test_single_value_is_zero(self):
+        assert entropy(["a", "a", "a"]) == 0.0
+
+    def test_uniform_two_values(self):
+        assert entropy(["a", "b"]) == pytest.approx(1.0)
+
+    def test_uniform_n_values(self):
+        assert entropy(list(range(8))) == pytest.approx(3.0)
+
+    def test_skew_reduces_entropy(self):
+        balanced = entropy(["a", "b", "a", "b"])
+        skewed = entropy(["a", "a", "a", "b"])
+        assert skewed < balanced
+
+    def test_nulls_form_their_own_category(self):
+        assert entropy(["a", None]) == pytest.approx(1.0)
+
+    def test_normalized_in_unit_interval(self):
+        values = ["a", "a", "b", "c", "c", "c"]
+        assert 0.0 < normalized_entropy(values) <= 1.0
+
+    def test_normalized_uniform_is_one(self):
+        assert normalized_entropy(["a", "b", "c"]) == pytest.approx(1.0)
+
+    def test_gini_bounds(self):
+        assert gini_impurity([]) == 0.0
+        assert gini_impurity(["a", "a"]) == 0.0
+        assert gini_impurity(["a", "b"]) == pytest.approx(0.5)
+
+
+class TestColumnStatistics:
+    def test_basic_counts(self):
+        stats = compute_column_statistics("t", "c", ["a", "a", "b", None])
+        assert stats.row_count == 4
+        assert stats.distinct_count == 2
+        assert stats.null_count == 1
+        assert stats.null_fraction == pytest.approx(0.25)
+
+    def test_most_common(self):
+        stats = compute_column_statistics("t", "c", ["a", "a", "b"])
+        assert stats.most_common[0] == ("a", 2)
+
+    def test_min_max(self):
+        stats = compute_column_statistics("t", "c", [3, 1, 2])
+        assert stats.min_value == 1 and stats.max_value == 3
+
+    def test_mixed_unorderable_min_max_none(self):
+        stats = compute_column_statistics("t", "c", ["a", 1])
+        assert stats.min_value is None and stats.max_value is None
+
+    def test_selectivity_known_value(self):
+        stats = compute_column_statistics("t", "c", ["a", "a", "b", "b"])
+        assert stats.selectivity("a") == pytest.approx(0.5)
+
+    def test_selectivity_unknown_value(self):
+        values = [f"v{i}" for i in range(100)]
+        stats = compute_column_statistics("t", "c", values, most_common_k=4)
+        # Unknown values approximated as uniform over the tail.
+        assert stats.selectivity("v99") == pytest.approx(1 / 100, rel=0.2)
+
+    def test_average_selectivity_uniform(self):
+        values = [f"v{i}" for i in range(10)]
+        stats = compute_column_statistics("t", "c", values)
+        assert stats.average_selectivity == pytest.approx(0.1)
+
+    def test_key_like_detection(self):
+        unique = compute_column_statistics("t", "c", list(range(50)))
+        repeated = compute_column_statistics("t", "c", [1] * 50)
+        assert unique.is_key_like
+        assert not repeated.is_key_like
+
+    def test_entropy_matches_function(self):
+        values = ["a", "b", "b"]
+        stats = compute_column_statistics("t", "c", values)
+        assert stats.entropy == pytest.approx(entropy(values))
+
+
+@pytest.fixture()
+def db():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "movie",
+                [
+                    Column("movie_id", DataType.INTEGER),
+                    Column("genre", DataType.TEXT),
+                ],
+                primary_key="movie_id",
+            )
+        ]
+    )
+    database = Database(schema)
+    for i, genre in enumerate(["drama", "drama", "comedy", "horror"], start=1):
+        database.insert("movie", {"movie_id": i, "genre": genre})
+    return database
+
+
+class TestStatisticsCatalog:
+    def test_table_statistics(self, db):
+        catalog = StatisticsCatalog(db)
+        stats = catalog.table("movie")
+        assert stats.row_count == 4
+        assert stats.column("genre").distinct_count == 3
+
+    def test_cache_hit_on_second_access(self, db):
+        catalog = StatisticsCatalog(db)
+        catalog.table("movie")
+        catalog.table("movie")
+        assert catalog.hits == 1
+        assert catalog.misses == 1
+
+    def test_cache_invalidated_by_write(self, db):
+        catalog = StatisticsCatalog(db)
+        assert catalog.column("movie", "genre").distinct_count == 3
+        db.insert("movie", {"movie_id": 5, "genre": "western"})
+        assert catalog.column("movie", "genre").distinct_count == 4
+        assert catalog.misses == 2
+
+    def test_explicit_invalidate(self, db):
+        catalog = StatisticsCatalog(db)
+        catalog.table("movie")
+        catalog.invalidate()
+        catalog.table("movie")
+        assert catalog.misses == 2

@@ -1,0 +1,158 @@
+"""Tests for the column type system."""
+
+import datetime as dt
+
+import pytest
+
+from repro.db.types import DataType, coerce, is_null, python_type, render
+from repro.errors import TypeMismatchError
+
+
+class TestCoerceInteger:
+    def test_int_passthrough(self):
+        assert coerce(42, DataType.INTEGER) == 42
+
+    def test_string_parses(self):
+        assert coerce(" 17 ", DataType.INTEGER) == 17
+
+    def test_integral_float(self):
+        assert coerce(3.0, DataType.INTEGER) == 3
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(3.5, DataType.INTEGER)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, DataType.INTEGER)
+
+    def test_garbage_string_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("four", DataType.INTEGER)
+
+
+class TestCoerceFloat:
+    def test_int_widens(self):
+        assert coerce(2, DataType.FLOAT) == 2.0
+
+    def test_string_parses(self):
+        assert coerce("2.5", DataType.FLOAT) == 2.5
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(False, DataType.FLOAT)
+
+
+class TestCoerceText:
+    def test_string_passthrough(self):
+        assert coerce("hello", DataType.TEXT) == "hello"
+
+    def test_number_rendered(self):
+        assert coerce(4, DataType.TEXT) == "4"
+
+    def test_list_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce([1, 2], DataType.TEXT)
+
+
+class TestCoerceBoolean:
+    @pytest.mark.parametrize("word", ["yes", "Y", "true", "1", "t"])
+    def test_truthy_words(self, word):
+        assert coerce(word, DataType.BOOLEAN) is True
+
+    @pytest.mark.parametrize("word", ["no", "N", "false", "0", "f"])
+    def test_falsy_words(self, word):
+        assert coerce(word, DataType.BOOLEAN) is False
+
+    def test_int_zero_one(self):
+        assert coerce(1, DataType.BOOLEAN) is True
+        assert coerce(0, DataType.BOOLEAN) is False
+
+    def test_other_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(2, DataType.BOOLEAN)
+
+    def test_maybe_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("maybe", DataType.BOOLEAN)
+
+
+class TestCoerceDate:
+    def test_iso_format(self):
+        assert coerce("2022-03-26", DataType.DATE) == dt.date(2022, 3, 26)
+
+    def test_german_format(self):
+        assert coerce("26.03.2022", DataType.DATE) == dt.date(2022, 3, 26)
+
+    def test_us_format(self):
+        assert coerce("3/26/2022", DataType.DATE) == dt.date(2022, 3, 26)
+
+    def test_date_passthrough(self):
+        today = dt.date(2022, 1, 1)
+        assert coerce(today, DataType.DATE) is today
+
+    def test_datetime_truncates(self):
+        moment = dt.datetime(2022, 3, 26, 20, 30)
+        assert coerce(moment, DataType.DATE) == dt.date(2022, 3, 26)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("not a date", DataType.DATE)
+
+
+class TestCoerceTime:
+    def test_24h(self):
+        assert coerce("20:30", DataType.TIME) == dt.time(20, 30)
+
+    def test_am_pm(self):
+        assert coerce("8:30 PM", DataType.TIME) == dt.time(20, 30)
+
+    def test_time_passthrough(self):
+        t = dt.time(9, 15)
+        assert coerce(t, DataType.TIME) is t
+
+
+class TestNull:
+    @pytest.mark.parametrize("dtype", list(DataType))
+    def test_none_passes_through(self, dtype):
+        assert coerce(None, dtype) is None
+
+    def test_is_null(self):
+        assert is_null(None)
+        assert not is_null(0)
+        assert not is_null("")
+
+
+class TestRender:
+    def test_none_is_unknown(self):
+        assert render(None, DataType.TEXT) == "unknown"
+
+    def test_bool_words(self):
+        assert render(True, DataType.BOOLEAN) == "yes"
+        assert render(False, DataType.BOOLEAN) == "no"
+
+    def test_date_iso(self):
+        assert render(dt.date(2022, 3, 26), DataType.DATE) == "2022-03-26"
+
+    def test_time_hhmm(self):
+        assert render(dt.time(20, 30), DataType.TIME) == "20:30"
+
+    def test_float_compact(self):
+        assert render(8.5, DataType.FLOAT) == "8.5"
+        assert render(8.0, DataType.FLOAT) == "8"
+
+
+class TestPythonType:
+    @pytest.mark.parametrize(
+        "dtype,expected",
+        [
+            (DataType.INTEGER, int),
+            (DataType.FLOAT, float),
+            (DataType.TEXT, str),
+            (DataType.BOOLEAN, bool),
+            (DataType.DATE, dt.date),
+            (DataType.TIME, dt.time),
+        ],
+    )
+    def test_mapping(self, dtype, expected):
+        assert python_type(dtype) is expected

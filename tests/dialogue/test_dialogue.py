@@ -1,0 +1,176 @@
+"""Tests for dialogue acts, state, learned policy and manager."""
+
+import pytest
+
+from repro.dialogue import DialogueManager, DialogueState, NextActionModel, Phase, acts
+from repro.errors import DialogueError, NotFittedError
+from repro.synthesis import (
+    DialogueFlow,
+    FlowDataset,
+    FlowTurn,
+    SelfPlayConfig,
+    SelfPlaySimulator,
+)
+
+
+class TestActs:
+    def test_structured_names(self):
+        assert acts.request_action("book") == "request_book"
+        assert acts.identify_action("customer") == "identify_customer"
+        assert acts.ask_slot_action("n") == "ask_slot_n"
+
+    def test_vocabularies_from_tasks(self, movie_tasks):
+        __, __, __, tasks = movie_tasks
+        user_acts = acts.user_acts_for_tasks(tasks)
+        agent_acts = acts.agent_acts_for_tasks(tasks)
+        assert "request_ticket_reservation" in user_acts
+        assert "identify_screening" in agent_acts
+        assert "ask_slot_ticket_amount" in agent_acts
+        assert len(agent_acts) == len(set(agent_acts))
+
+
+class TestState:
+    def test_initial(self):
+        state = DialogueState()
+        assert state.phase is Phase.IDLE
+        assert state.missing_slots() == []
+        assert not state.all_slots_collected
+
+    def test_start_and_clear_task(self, movie_tasks):
+        __, __, __, tasks = movie_tasks
+        task = tasks[0]
+        state = DialogueState()
+        state.start_task(task)
+        assert state.phase is Phase.GATHERING
+        assert state.missing_slots() == [s.name for s in task.slots]
+        state.clear_task()
+        assert state.phase is Phase.IDLE
+
+    def test_restart_clears_collected(self, movie_tasks):
+        __, __, __, tasks = movie_tasks
+        state = DialogueState()
+        state.start_task(tasks[0])
+        state.collected["ticket_amount"] = 3
+        state.restart_task()
+        assert state.collected == {}
+        assert state.task is tasks[0]
+
+    def test_restart_without_task_rejected(self):
+        with pytest.raises(DialogueError):
+            DialogueState().restart_task()
+
+    def test_history_window(self):
+        state = DialogueState()
+        for i in range(10):
+            state.record("user", f"a{i}")
+        assert len(state.recent_history(4)) == 4
+        assert state.recent_history(4)[-1] == "user:a9"
+
+
+@pytest.fixture()
+def flows(movie_tasks):
+    __, __, __, tasks = movie_tasks
+    return tasks, SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=200)).run()
+
+
+class TestNextActionModel:
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            NextActionModel().predict(())
+
+    def test_bad_context_rejected(self):
+        with pytest.raises(DialogueError):
+            NextActionModel(max_context=0)
+
+    def test_empty_flows_rejected(self):
+        with pytest.raises(DialogueError):
+            NextActionModel().fit(FlowDataset())
+
+    def test_high_training_accuracy(self, flows):
+        __, dataset = flows
+        model = NextActionModel().fit(dataset)
+        assert model.evaluate(dataset) > 0.8
+
+    def test_generalises_to_heldout_flows(self, movie_tasks):
+        __, __, __, tasks = movie_tasks
+        train = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=200, seed=1)).run()
+        test = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=50, seed=2)).run()
+        model = NextActionModel().fit(train)
+        assert model.evaluate(test) > 0.7
+
+    def test_predict_after_request(self, flows):
+        tasks, dataset = flows
+        model = NextActionModel().fit(dataset)
+        prediction = model.predict(("user:request_ticket_reservation",))
+        assert prediction.startswith("identify_") or prediction.startswith(
+            "ask_slot_"
+        )
+
+    def test_ranked_probabilities_normalised(self, flows):
+        __, dataset = flows
+        model = NextActionModel().fit(dataset)
+        ranked = model.predict_ranked(("user:greet",))
+        assert sum(p for __, p in ranked) == pytest.approx(1.0)
+
+    def test_backoff_on_unseen_history(self, flows):
+        __, dataset = flows
+        model = NextActionModel().fit(dataset)
+        # Completely unseen context falls back without crashing.
+        assert model.predict(("user:zzz", "agent:qqq")) in model.actions()
+
+
+class TestManager:
+    def make(self, flows):
+        tasks, dataset = flows
+        model = NextActionModel().fit(dataset)
+        return tasks, DialogueManager(model, tasks)
+
+    def test_task_lookup(self, flows):
+        tasks, manager = self.make(flows)
+        assert manager.task("ticket_reservation").name == "ticket_reservation"
+        with pytest.raises(DialogueError):
+            manager.task("ghost")
+        assert "cancel_reservation" in manager.task_names()
+
+    def test_idle_legal_actions(self, flows):
+        __, manager = self.make(flows)
+        state = DialogueState()
+        legal = manager.legal_actions(state)
+        assert acts.AGENT_GREET in legal
+
+    def test_gathering_proposes_first_requirement(self, flows):
+        tasks, manager = self.make(flows)
+        task = manager.task("ticket_reservation")
+        state = DialogueState()
+        state.start_task(task)
+        action = manager.propose(state)
+        assert action == "identify_customer"
+
+    def test_gathering_advances_with_collected(self, flows):
+        tasks, manager = self.make(flows)
+        task = manager.task("ticket_reservation")
+        state = DialogueState()
+        state.start_task(task)
+        state.collected["customer_id"] = 1
+        assert manager.propose(state) == "identify_screening"
+        state.collected["screening_id"] = 1
+        assert manager.propose(state) == "ask_slot_ticket_amount"
+        state.collected["ticket_amount"] = 2
+        assert manager.propose(state) == acts.AGENT_CONFIRM
+
+    def test_confirming_offers_execute(self, flows):
+        tasks, manager = self.make(flows)
+        state = DialogueState()
+        state.start_task(manager.task("ticket_reservation"))
+        state.phase = Phase.CONFIRMING
+        legal = manager.legal_actions(state)
+        assert acts.AGENT_EXECUTE in legal
+        assert acts.AGENT_RESTART in legal
+
+    def test_choosing_has_no_agent_actions(self, flows):
+        __, manager = self.make(flows)
+        state = DialogueState()
+        state.start_task(manager.task("ticket_reservation"))
+        state.phase = Phase.CHOOSING
+        assert manager.legal_actions(state) == []
+        assert manager.propose(state) is None

@@ -1,0 +1,113 @@
+"""Tests for the NLU baseline models."""
+
+import pytest
+
+from repro.errors import NLUError, NotFittedError
+from repro.nlu import (
+    GazetteerSlotBaseline,
+    KeywordIntentBaseline,
+    MajorityIntentBaseline,
+    NearestNeighborIntentBaseline,
+)
+from repro.synthesis import NLUDataset, NLUExample, SlotSpan
+
+
+def intent_data():
+    examples = []
+    for i in range(8):
+        examples.append(NLUExample(f"book a flight {i}", "flight"))
+        examples.append(NLUExample(f"what is the fare {i}", "airfare"))
+    examples.append(NLUExample("extra flight query", "flight"))
+    return NLUDataset(examples)
+
+
+class TestMajority:
+    def test_predicts_most_frequent(self):
+        model = MajorityIntentBaseline().fit(intent_data())
+        assert model.predict_intent("anything at all") == "flight"
+
+    def test_accuracy_equals_majority_share(self):
+        data = intent_data()
+        model = MajorityIntentBaseline().fit(data)
+        assert model.accuracy(data) == pytest.approx(9 / 17)
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            MajorityIntentBaseline().predict_intent("x")
+
+    def test_empty_rejected(self):
+        with pytest.raises(NLUError):
+            MajorityIntentBaseline().fit(NLUDataset())
+
+
+class TestKeyword:
+    def test_learns_discriminative_words(self):
+        model = KeywordIntentBaseline().fit(intent_data())
+        assert model.predict_intent("book a flight to boston") == "flight"
+        assert model.predict_intent("what is the cheapest fare") == "airfare"
+
+    def test_unseen_words_fall_back_to_prior(self):
+        model = KeywordIntentBaseline().fit(intent_data())
+        assert model.predict_intent("zzz qqq") == "flight"  # majority prior
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            KeywordIntentBaseline().predict_intent("x")
+
+
+class TestNearestNeighbor:
+    def test_memorises_training_examples(self):
+        data = intent_data()
+        model = NearestNeighborIntentBaseline().fit(data)
+        assert model.accuracy(data) == 1.0
+
+    def test_nearby_example_wins(self):
+        model = NearestNeighborIntentBaseline().fit(intent_data())
+        assert model.predict_intent("book a flight 99") == "flight"
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            NearestNeighborIntentBaseline().predict_intent("x")
+
+
+class TestGazetteer:
+    def fit_model(self):
+        data = NLUDataset(
+            [
+                NLUExample(
+                    "fly to boston", "f", (SlotSpan("city", "boston", 7, 13),)
+                ),
+                NLUExample(
+                    "fly to new york", "f", (SlotSpan("city", "new york", 7, 15),)
+                ),
+            ]
+        )
+        return GazetteerSlotBaseline().fit(data)
+
+    def test_finds_known_value(self):
+        model = self.fit_model()
+        spans = model.tag("please go to boston tomorrow")
+        assert [(s.name, s.value) for s in spans] == [("city", "boston")]
+
+    def test_longest_match_preferred(self):
+        model = self.fit_model()
+        spans = model.tag("i want new york please")
+        assert spans[0].value == "new york"
+
+    def test_word_alignment_required(self):
+        model = self.fit_model()
+        # 'boston' inside 'bostonian' must not match
+        assert model.tag("the bostonian hotel") == []
+
+    def test_multiple_occurrences(self):
+        model = self.fit_model()
+        spans = model.tag("boston to boston")
+        assert len(spans) == 2
+
+    def test_unknown_value_not_found(self):
+        model = self.fit_model()
+        assert model.tag("fly to chicago") == []
+
+    def test_unfitted(self):
+        with pytest.raises(NotFittedError):
+            GazetteerSlotBaseline().tag("x")

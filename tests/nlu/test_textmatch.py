@@ -1,0 +1,113 @@
+"""Tests (incl. property-based) for string similarity primitives."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.textutil import (
+    best_match,
+    levenshtein,
+    normalized_edit_similarity,
+    trigram_similarity,
+    trigrams,
+)
+
+short_text = st.text(alphabet="abcdef ", max_size=12)
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+
+    def test_substitution(self):
+        assert levenshtein("kitten", "sitten") == 1
+
+    def test_classic(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_misspelled_title(self):
+        assert levenshtein("forest gump", "forrest gump") == 1
+
+    @given(short_text, short_text)
+    @settings(max_examples=60)
+    def test_symmetry(self, a, b):
+        assert levenshtein(a, b) == levenshtein(b, a)
+
+    @given(short_text, short_text)
+    @settings(max_examples=60)
+    def test_bounded_by_longer_length(self, a, b):
+        assert levenshtein(a, b) <= max(len(a), len(b))
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c)
+
+    @given(short_text)
+    def test_identity(self, a):
+        assert levenshtein(a, a) == 0
+
+
+class TestNormalizedSimilarity:
+    def test_identical_is_one(self):
+        assert normalized_edit_similarity("abc", "abc") == 1.0
+
+    def test_empty_pair_is_one(self):
+        assert normalized_edit_similarity("", "") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert normalized_edit_similarity("aaa", "bbb") == 0.0
+
+    @given(short_text, short_text)
+    @settings(max_examples=60)
+    def test_in_unit_interval(self, a, b):
+        assert 0.0 <= normalized_edit_similarity(a, b) <= 1.0
+
+
+class TestTrigrams:
+    def test_padding(self):
+        grams = trigrams("ab")
+        assert "  a" in grams
+
+    def test_empty(self):
+        assert trigrams("") == set()
+
+    def test_similarity_identical(self):
+        assert trigram_similarity("movie", "movie") == 1.0
+
+    def test_similarity_disjoint(self):
+        assert trigram_similarity("aaa", "zzz") == 0.0
+
+    def test_both_empty(self):
+        assert trigram_similarity("", "") == 1.0
+
+    def test_one_empty(self):
+        assert trigram_similarity("abc", "") == 0.0
+
+
+class TestBestMatch:
+    TITLES = ["Forrest Gump", "The Silent Horizon", "Roman Holiday"]
+
+    def test_exact_match_shortcircuits(self):
+        assert best_match("forrest gump", self.TITLES) == ("Forrest Gump", 1.0)
+
+    def test_misspelling_matches(self):
+        result = best_match("forest gump", self.TITLES)
+        assert result is not None
+        assert result[0] == "Forrest Gump"
+
+    def test_below_threshold_returns_none(self):
+        assert best_match("zzzzzz", self.TITLES, threshold=0.9) is None
+
+    def test_empty_haystack(self):
+        assert best_match("anything", []) is None
+
+    def test_score_monotonic_with_similarity(self):
+        close = best_match("roman holida", self.TITLES, threshold=0.0)
+        far = best_match("raman haliday", self.TITLES, threshold=0.0)
+        assert close is not None and far is not None
+        assert close[1] >= far[1]

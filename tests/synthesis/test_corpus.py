@@ -1,0 +1,142 @@
+"""Tests for corpus data structures."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.synthesis import (
+    DialogueFlow,
+    FlowDataset,
+    FlowTurn,
+    NLUDataset,
+    NLUExample,
+    SlotSpan,
+)
+
+
+class TestSlotSpan:
+    def test_valid(self):
+        span = SlotSpan("title", "Heat", 0, 4)
+        assert span.value == "Heat"
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(SynthesisError):
+            SlotSpan("title", "x", 3, 3)
+        with pytest.raises(SynthesisError):
+            SlotSpan("title", "x", -1, 2)
+
+
+class TestNLUExample:
+    def test_span_must_match_text(self):
+        with pytest.raises(SynthesisError):
+            NLUExample("see Heat", "inform", (SlotSpan("t", "Cold", 4, 8),))
+
+    def test_span_must_fit_text(self):
+        with pytest.raises(SynthesisError):
+            NLUExample("short", "inform", (SlotSpan("t", "xxxxx", 3, 8),))
+
+    def test_slot_values(self):
+        example = NLUExample(
+            "see Heat", "inform", (SlotSpan("title", "Heat", 4, 8),)
+        )
+        assert example.slot_values() == {"title": "Heat"}
+
+    def test_dict_roundtrip(self):
+        example = NLUExample(
+            "see Heat", "inform", (SlotSpan("title", "Heat", 4, 8),)
+        )
+        assert NLUExample.from_dict(example.to_dict()) == example
+
+
+class TestNLUDataset:
+    def make(self, n=10):
+        dataset = NLUDataset()
+        for i in range(n):
+            intent = "a" if i % 2 == 0 else "b"
+            dataset.add(NLUExample(f"text {i}", intent))
+        return dataset
+
+    def test_len_iter_index(self):
+        dataset = self.make(4)
+        assert len(dataset) == 4
+        assert dataset[0].text == "text 0"
+        assert len(list(dataset)) == 4
+
+    def test_intents_sorted(self):
+        assert self.make().intents() == ["a", "b"]
+
+    def test_slot_names(self):
+        dataset = NLUDataset(
+            [NLUExample("see Heat", "i", (SlotSpan("title", "Heat", 4, 8),))]
+        )
+        assert dataset.slot_names() == ["title"]
+
+    def test_split_is_deterministic(self):
+        dataset = self.make(20)
+        a1, b1 = dataset.split(0.25, seed=3)
+        a2, b2 = dataset.split(0.25, seed=3)
+        assert [e.text for e in a1] == [e.text for e in a2]
+        assert [e.text for e in b1] == [e.text for e in b2]
+
+    def test_split_partitions(self):
+        dataset = self.make(20)
+        train, test = dataset.split(0.25)
+        assert len(train) + len(test) == 20
+        assert {e.text for e in train}.isdisjoint({e.text for e in test})
+
+    def test_split_stratified(self):
+        dataset = self.make(20)
+        __, test = dataset.split(0.2)
+        assert {e.intent for e in test} == {"a", "b"}
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(SynthesisError):
+            self.make().split(0.0)
+
+    def test_json_roundtrip(self):
+        dataset = NLUDataset(
+            [NLUExample("see Heat", "i", (SlotSpan("title", "Heat", 4, 8),))]
+        )
+        restored = NLUDataset.from_json(dataset.to_json())
+        assert restored.examples == dataset.examples
+
+
+class TestFlows:
+    def make_flow(self):
+        return DialogueFlow(
+            task="book",
+            turns=(
+                FlowTurn("user", "request_book"),
+                FlowTurn("agent", "identify_item"),
+                FlowTurn("agent", "confirm"),
+                FlowTurn("user", "affirm"),
+                FlowTurn("agent", "execute"),
+            ),
+        )
+
+    def test_bad_speaker_rejected(self):
+        with pytest.raises(SynthesisError):
+            FlowTurn("robot", "x")
+
+    def test_decision_points(self):
+        points = self.make_flow().agent_decision_points()
+        assert len(points) == 3
+        history, action = points[0]
+        assert history == ("user:request_book",)
+        assert action == "identify_item"
+
+    def test_decision_point_histories_grow(self):
+        points = self.make_flow().agent_decision_points()
+        assert len(points[2][0]) == 4
+
+    def test_dict_roundtrip(self):
+        flow = self.make_flow()
+        assert DialogueFlow.from_dict(flow.to_dict()) == flow
+
+    def test_dataset_agent_actions(self):
+        dataset = FlowDataset([self.make_flow()])
+        assert dataset.agent_actions() == ["confirm", "execute", "identify_item"]
+
+    def test_dataset_json_roundtrip(self):
+        dataset = FlowDataset([self.make_flow()])
+        restored = FlowDataset.from_json(dataset.to_json())
+        assert restored.flows == dataset.flows

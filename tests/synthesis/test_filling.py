@@ -1,0 +1,80 @@
+"""Tests for template filling with database values."""
+
+import pytest
+
+from repro.db import Catalog
+from repro.errors import SynthesisError
+from repro.synthesis import SlotVocabulary, Template, TemplateFiller
+
+
+@pytest.fixture()
+def filler(movie_tasks):
+    database, annotations, catalog, tasks = movie_tasks
+    vocabulary = SlotVocabulary.from_tasks(tasks, catalog)
+    return database, TemplateFiller(database, vocabulary, seed=1)
+
+
+class TestFilling:
+    def test_fill_produces_examples(self, filler):
+        __, f = filler
+        template = Template("the movie title is {movie_title}", "inform")
+        examples = f.fill(template, n_samples=5)
+        assert 1 <= len(examples) <= 5
+        for example in examples:
+            assert example.intent == "inform"
+
+    def test_spans_are_exact(self, filler):
+        __, f = filler
+        template = Template("i want {ticket_amount} tickets for {movie_title}",
+                            "request_ticket_reservation")
+        for example in f.fill(template, n_samples=8):
+            for span in example.slots:
+                assert example.text[span.start:span.end] == span.value
+
+    def test_values_come_from_database(self, filler):
+        database, f = filler
+        titles = {row["title"] for row in database.rows("movie")}
+        template = Template("{movie_title}", "inform")
+        for example in f.fill(template, n_samples=10, lowercase_fraction=0.0):
+            assert example.slot_values()["movie_title"] in titles
+
+    def test_plain_slot_uses_synthetic_pool(self, filler):
+        __, f = filler
+        template = Template("i need {ticket_amount} tickets", "inform")
+        for example in f.fill(template, n_samples=5, lowercase_fraction=0.0):
+            assert example.slot_values()["ticket_amount"].isdigit()
+
+    def test_no_placeholder_template(self, filler):
+        __, f = filler
+        examples = f.fill(Template("hello there", "greet"), n_samples=3)
+        assert len(examples) == 1  # deduplicated
+        assert examples[0].slots == ()
+
+    def test_lowercase_augmentation(self, filler):
+        __, f = filler
+        template = Template("the title is {movie_title}", "inform")
+        examples = f.fill(template, n_samples=12, lowercase_fraction=1.0)
+        assert all(e.text == e.text.lower() for e in examples)
+        for example in examples:
+            for span in example.slots:
+                assert example.text[span.start:span.end] == span.value
+
+    def test_examples_deduplicated(self, filler):
+        __, f = filler
+        template = Template("on {screening_date}", "inform")
+        examples = f.fill(template, n_samples=20)
+        texts = [e.text for e in examples]
+        assert len(texts) == len(set(texts))
+
+    def test_unknown_slot_raises(self, filler):
+        __, f = filler
+        with pytest.raises(Exception):
+            f.fill(Template("{ghost_slot}", "inform"))
+
+    def test_deterministic_under_seed(self, movie_tasks):
+        database, annotations, catalog, tasks = movie_tasks
+        vocabulary = SlotVocabulary.from_tasks(tasks, catalog)
+        template = Template("see {movie_title}", "inform")
+        a = TemplateFiller(database, vocabulary, seed=5).fill(template, 5)
+        b = TemplateFiller(database, vocabulary, seed=5).fill(template, 5)
+        assert [e.text for e in a] == [e.text for e in b]

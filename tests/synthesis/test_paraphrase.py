@@ -1,0 +1,106 @@
+"""Tests (incl. property-based) for the rule-based paraphraser."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynthesisError
+from repro.synthesis import ParaphraseConfig, Paraphraser
+
+PLACEHOLDER_RE = re.compile(r"\{[a-z_][a-z0-9_]*\}")
+
+
+class TestConfig:
+    def test_negative_variants_rejected(self):
+        with pytest.raises(SynthesisError):
+            ParaphraseConfig(variants_per_template=-1)
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(SynthesisError):
+            ParaphraseConfig(synonym_probability=1.5)
+
+
+class TestVariants:
+    def test_produces_distinct_variants(self):
+        paraphraser = Paraphraser(ParaphraseConfig(variants_per_template=4))
+        variants = paraphraser.variants("i want to buy {ticket_amount} tickets")
+        assert len(variants) >= 1
+        assert len(set(variants)) == len(variants)
+        assert "i want to buy {ticket_amount} tickets" not in variants
+
+    def test_placeholders_preserved(self):
+        paraphraser = Paraphraser(ParaphraseConfig(variants_per_template=6))
+        original = "i want to watch {movie_title} on {screening_date}"
+        for variant in paraphraser.variants(original):
+            assert sorted(PLACEHOLDER_RE.findall(variant)) == sorted(
+                PLACEHOLDER_RE.findall(original)
+            )
+
+    def test_zero_variants_config(self):
+        paraphraser = Paraphraser(ParaphraseConfig(variants_per_template=0))
+        assert paraphraser.variants("i want tickets") == []
+
+    def test_deterministic_under_seed(self):
+        a = Paraphraser(ParaphraseConfig(seed=3)).variants("i want to buy tickets")
+        b = Paraphraser(ParaphraseConfig(seed=3)).variants("i want to buy tickets")
+        assert a == b
+
+    def test_typo_never_corrupts_placeholder(self):
+        config = ParaphraseConfig(
+            variants_per_template=8,
+            synonym_probability=0.0,
+            wrapper_probability=0.0,
+            contraction_probability=0.0,
+            drop_probability=0.0,
+            typo_probability=1.0,
+        )
+        paraphraser = Paraphraser(config)
+        original = "book {movie_title} now please everyone"
+        for variant in paraphraser.variants(original):
+            assert "{movie_title}" in variant
+
+    def test_synonym_substitution_applies(self):
+        config = ParaphraseConfig(
+            variants_per_template=5,
+            synonym_probability=1.0,
+            wrapper_probability=0.0,
+            contraction_probability=0.0,
+            drop_probability=0.0,
+        )
+        variants = Paraphraser(config).variants("i want to buy tickets")
+        assert variants, "expected at least one paraphrase"
+        assert any("purchase" in v or "get" in v or "book" in v
+                   or "would like" in v or "need" in v or "plan" in v
+                   or "wish" in v or "seats" in v or "places" in v
+                   for v in variants)
+
+
+word = st.text(alphabet="abcdefghij ", min_size=1, max_size=30).map(
+    lambda s: " ".join(s.split()) or "word"
+)
+
+
+class TestParaphraseProperties:
+    @given(word)
+    @settings(max_examples=40)
+    def test_variants_never_empty_strings(self, text):
+        paraphraser = Paraphraser(ParaphraseConfig(variants_per_template=3))
+        for variant in paraphraser.variants(text):
+            assert variant.strip()
+
+    @given(word)
+    @settings(max_examples=40)
+    def test_no_double_spaces(self, text):
+        paraphraser = Paraphraser(
+            ParaphraseConfig(variants_per_template=3, drop_probability=0.8)
+        )
+        for variant in paraphraser.variants(text):
+            assert "  " not in variant
+
+    @given(st.integers(0, 10))
+    def test_respects_variant_budget(self, budget):
+        paraphraser = Paraphraser(ParaphraseConfig(variants_per_template=budget))
+        variants = paraphraser.variants("i want to buy tickets please")
+        assert len(variants) <= budget

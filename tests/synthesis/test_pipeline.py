@@ -1,0 +1,68 @@
+"""Tests for the end-to-end training-data generation pipeline."""
+
+import pytest
+
+from repro.datasets import movie_templates
+from repro.errors import SynthesisError, TemplateError
+from repro.synthesis import GenerationConfig, TrainingDataGenerator
+
+
+@pytest.fixture()
+def generator(movie_tasks):
+    database, annotations, catalog, tasks = movie_tasks
+    generator = TrainingDataGenerator(
+        database, catalog, tasks,
+        GenerationConfig(samples_per_template=3),
+    )
+    generator.add_templates("inform", ["the title is {movie_title}"])
+    generator.add_templates(
+        "request_ticket_reservation", ["i want {ticket_amount} tickets"]
+    )
+    return generator
+
+
+class TestPipeline:
+    def test_requires_tasks(self, movie_tasks):
+        database, annotations, catalog, __ = movie_tasks
+        with pytest.raises(SynthesisError):
+            TrainingDataGenerator(database, catalog, [])
+
+    def test_bad_template_rejected_at_registration(self, generator):
+        with pytest.raises(TemplateError):
+            generator.add_templates("inform", ["bad {ghost_slot}"])
+
+    def test_nlu_generation_includes_generic_intents(self, generator):
+        dataset = generator.generate_nlu()
+        intents = set(dataset.intents())
+        assert {"greet", "goodbye", "affirm", "deny", "abort",
+                "dont_know", "inform"} <= intents
+
+    def test_nlu_generation_includes_domain_intents(self, generator):
+        dataset = generator.generate_nlu()
+        assert "request_ticket_reservation" in dataset.intents()
+
+    def test_paraphrasing_augments(self, movie_tasks):
+        database, annotations, catalog, tasks = movie_tasks
+        with_p = TrainingDataGenerator(
+            database, catalog, tasks,
+            GenerationConfig(samples_per_template=3, use_paraphrasing=True),
+        )
+        without_p = TrainingDataGenerator(
+            database, catalog, tasks,
+            GenerationConfig(samples_per_template=3, use_paraphrasing=False),
+        )
+        for g in (with_p, without_p):
+            g.add_templates("inform", ["the title is {movie_title}"])
+        assert len(with_p.generate_nlu()) > len(without_p.generate_nlu())
+
+    def test_flow_generation(self, generator):
+        flows = generator.generate_flows()
+        assert len(flows) == 300  # default SelfPlayConfig
+        assert "identify_screening" in flows.agent_actions()
+
+    def test_full_movie_template_catalog_validates(self, movie_tasks):
+        database, annotations, catalog, tasks = movie_tasks
+        generator = TrainingDataGenerator(database, catalog, tasks)
+        for intent, texts in movie_templates().items():
+            generator.add_templates(intent, texts)
+        assert len(generator.library) > 50

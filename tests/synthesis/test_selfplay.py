@@ -1,0 +1,101 @@
+"""Tests for dialogue self-play and user profiles."""
+
+import pytest
+
+from repro.dialogue import acts
+from repro.errors import SynthesisError
+from repro.synthesis import (
+    SelfPlayConfig,
+    SelfPlaySimulator,
+    UserProfile,
+)
+
+
+@pytest.fixture()
+def tasks(movie_tasks):
+    return movie_tasks[3]
+
+
+class TestConfig:
+    def test_zero_flows_rejected(self):
+        with pytest.raises(SynthesisError):
+            SelfPlayConfig(n_flows=0)
+
+    def test_empty_profiles_rejected(self):
+        with pytest.raises(SynthesisError):
+            SelfPlayConfig(profiles=())
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(SynthesisError):
+            UserProfile("p", abort_probability=1.2)
+
+
+class TestSimulation:
+    def test_generates_requested_count(self, tasks):
+        flows = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=50)).run()
+        assert len(flows) == 50
+
+    def test_deterministic_under_seed(self, tasks):
+        a = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=20, seed=9)).run()
+        b = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=20, seed=9)).run()
+        assert [f.to_dict() for f in a] == [f.to_dict() for f in b]
+
+    def test_requires_tasks(self):
+        with pytest.raises(SynthesisError):
+            SelfPlaySimulator([])
+
+    def test_flows_alternate_reasonably(self, tasks):
+        flows = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=30)).run()
+        for flow in flows:
+            speakers = {t.speaker for t in flow.turns}
+            assert speakers <= {"user", "agent"}
+            # every flow ends with the agent saying goodbye
+            assert flow.turns[-1].action == acts.AGENT_GOODBYE
+
+    def test_cooperative_flow_contains_full_pipeline(self, tasks):
+        profile = UserProfile("robot", greet_probability=0.0,
+                              thank_probability=0.0, abort_probability=0.0,
+                              deny_at_confirm_probability=0.0,
+                              second_task_probability=0.0)
+        config = SelfPlayConfig(n_flows=10, profiles=((profile, 1.0),))
+        flows = SelfPlaySimulator(tasks, config).run()
+        for flow in flows:
+            actions = [t.action for t in flow.turns]
+            assert acts.AGENT_CONFIRM in actions
+            assert acts.AGENT_EXECUTE in actions
+            assert acts.AGENT_SUCCESS in actions
+
+    def test_aborting_profile_generates_aborts(self, tasks):
+        profile = UserProfile("quitter", abort_probability=1.0,
+                              retry_after_abort_probability=0.0)
+        config = SelfPlayConfig(n_flows=10, profiles=((profile, 1.0),))
+        flows = SelfPlaySimulator(tasks, config).run()
+        assert all(
+            acts.USER_ABORT in [t.action for t in flow.turns] for flow in flows
+        )
+        assert all(
+            acts.AGENT_EXECUTE not in [t.action for t in flow.turns]
+            for flow in flows
+        )
+
+    def test_denying_profile_restarts(self, tasks):
+        profile = UserProfile("fussy", deny_at_confirm_probability=1.0,
+                              abort_probability=0.0)
+        config = SelfPlayConfig(n_flows=5, profiles=((profile, 1.0),))
+        flows = SelfPlaySimulator(tasks, config).run()
+        for flow in flows:
+            actions = [t.action for t in flow.turns]
+            assert acts.AGENT_RESTART in actions
+            # the restart is followed by a second confirm and execution
+            assert actions.count(acts.AGENT_CONFIRM) >= 2
+            assert acts.AGENT_EXECUTE in actions
+
+    def test_identify_actions_derived_from_tasks(self, tasks):
+        flows = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=80)).run()
+        actions = set(flows.agent_actions())
+        assert "identify_customer" in actions
+        assert "identify_screening" in actions
+
+    def test_decision_points_nonempty(self, tasks):
+        flows = SelfPlaySimulator(tasks, SelfPlayConfig(n_flows=10)).run()
+        assert len(flows.decision_points()) > 10

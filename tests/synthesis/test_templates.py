@@ -1,0 +1,96 @@
+"""Tests for templates and the slot vocabulary."""
+
+import pytest
+
+from repro.annotation import TaskExtractor
+from repro.db import Catalog, ColumnRef
+from repro.errors import TemplateError
+from repro.synthesis import (
+    SlotVocabulary,
+    Template,
+    TemplateLibrary,
+    slot_name_for,
+)
+
+
+class TestSlotNameFor:
+    def test_prefixes_table(self):
+        assert slot_name_for(ColumnRef("movie", "title")) == "movie_title"
+
+    def test_keeps_descriptive_column(self):
+        assert slot_name_for(ColumnRef("movie", "movie_id")) == "movie_id"
+
+
+@pytest.fixture()
+def vocabulary(movie_tasks):
+    database, annotations, catalog, tasks = movie_tasks
+    return SlotVocabulary.from_tasks(tasks, catalog)
+
+
+class TestVocabulary:
+    def test_value_slots_present(self, vocabulary):
+        assert "ticket_amount" in vocabulary
+
+    def test_attribute_slots_present(self, vocabulary):
+        assert "movie_title" in vocabulary
+        assert "customer_first_name" in vocabulary
+
+    def test_attribute_mapping(self, vocabulary):
+        assert vocabulary.attribute_for("movie_title") == ColumnRef(
+            "movie", "title"
+        )
+        assert vocabulary.attribute_for("ticket_amount") is None
+
+    def test_reverse_mapping(self, vocabulary):
+        assert (
+            vocabulary.slot_for_attribute(ColumnRef("movie", "title"))
+            == "movie_title"
+        )
+        assert vocabulary.slot_for_attribute(ColumnRef("movie", "ghost")) is None
+
+    def test_unknown_slot_raises(self, vocabulary):
+        with pytest.raises(TemplateError):
+            vocabulary.source("ghost_slot")
+
+
+class TestTemplate:
+    def test_placeholders_extracted(self):
+        template = Template("book {n} seats for {movie_title}", "request")
+        assert template.placeholders == ("n", "movie_title")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("   ", "x")
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(TemplateError):
+            Template("hello {title", "x")
+        with pytest.raises(TemplateError):
+            Template("hello title}", "x")
+
+    def test_validate_against_vocabulary(self, vocabulary):
+        good = Template("i want {movie_title}", "inform")
+        good.validate(vocabulary)
+        bad = Template("i want {ghost_slot}", "inform")
+        with pytest.raises(TemplateError):
+            bad.validate(vocabulary)
+
+
+class TestTemplateLibrary:
+    def test_generic_intents_preloaded(self, vocabulary):
+        library = TemplateLibrary(vocabulary)
+        assert "greet" in library.intents()
+        assert "abort" in library.intents()
+        assert len(library.by_intent("affirm")) >= 5
+
+    def test_add_validates(self, vocabulary):
+        library = TemplateLibrary(vocabulary)
+        library.add("the title is {movie_title}", "inform")
+        with pytest.raises(TemplateError):
+            library.add("bad {ghost}", "inform")
+
+    def test_add_many(self, vocabulary):
+        library = TemplateLibrary(vocabulary)
+        before = len(library)
+        library.add_many(["a", "b"], "inform")
+        assert len(library) == before + 2

@@ -1,0 +1,84 @@
+"""Tests for the exception hierarchy and remaining text utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import errors
+from repro.textutil import damerau_levenshtein, levenshtein
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            errors.DatabaseError,
+            errors.SchemaError,
+            errors.TypeMismatchError,
+            errors.ConstraintViolation,
+            errors.UnknownTableError,
+            errors.UnknownColumnError,
+            errors.TransactionError,
+            errors.ProcedureError,
+            errors.QueryError,
+            errors.AnnotationError,
+            errors.ExtractionError,
+            errors.SynthesisError,
+            errors.TemplateError,
+            errors.NLUError,
+            errors.NotFittedError,
+            errors.DialogueError,
+            errors.PolicyError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, errors.ReproError)
+
+    def test_db_errors_grouped(self):
+        for subclass in (errors.SchemaError, errors.ConstraintViolation,
+                         errors.TransactionError, errors.ProcedureError):
+            assert issubclass(subclass, errors.DatabaseError)
+
+    def test_single_catch_point(self):
+        try:
+            raise errors.TemplateError("bad template")
+        except errors.ReproError as exc:
+            assert "bad template" in str(exc)
+
+
+short = st.text(alphabet="abcd", max_size=8)
+
+
+class TestDamerau:
+    def test_transposition_is_one_edit(self):
+        assert damerau_levenshtein("gump", "gmup") == 1
+        assert levenshtein("gump", "gmup") == 2
+
+    def test_identical(self):
+        assert damerau_levenshtein("abc", "abc") == 0
+
+    def test_empty(self):
+        assert damerau_levenshtein("", "abc") == 3
+        assert damerau_levenshtein("abc", "") == 3
+
+    def test_substitution(self):
+        assert damerau_levenshtein("cat", "bat") == 1
+
+    @given(short, short)
+    @settings(max_examples=80)
+    def test_never_exceeds_levenshtein(self, a, b):
+        assert damerau_levenshtein(a, b) <= levenshtein(a, b)
+
+    @given(short, short)
+    @settings(max_examples=80)
+    def test_symmetry(self, a, b):
+        assert damerau_levenshtein(a, b) == damerau_levenshtein(b, a)
+
+    @given(short)
+    def test_identity(self, a):
+        assert damerau_levenshtein(a, a) == 0
+
+    @given(short, short)
+    @settings(max_examples=80)
+    def test_zero_iff_equal(self, a, b):
+        assert (damerau_levenshtein(a, b) == 0) == (a == b)
