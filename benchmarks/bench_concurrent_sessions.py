@@ -1,0 +1,215 @@
+"""E6 — Multi-session serving throughput on one AgentRuntime.
+
+The refactor's claim: one synthesized artifacts bundle serves many
+concurrent conversations.  We sweep 1 / 4 / 16 interleaved sessions
+(one thread each) against a single runtime and report aggregate
+turns/sec plus p95 per-turn latency, next to the single-session
+baseline of ``bench_latency.py``.
+
+Each simulated client waits ``THINK_TIME_S`` between turns — the
+network/typing gap every real deployment has; it is what concurrency
+overlaps, exactly as in a production serving tier.  With think time the
+aggregate throughput must scale well above the 1-session baseline; we
+also print the zero-think-time numbers, where the GIL bounds pure-CPU
+speedup, to show that turn *latency* stays flat while sessions multiply.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import threading
+import time
+
+from repro import CAT
+from repro.datasets import MovieConfig, build_movie_database, movie_templates
+from repro.eval import ResultTable
+from repro.serving import AgentRuntime
+from repro.synthesis import GenerationConfig, SelfPlayConfig
+
+THINK_TIME_S = 0.005
+TURNS_PER_SESSION = 40
+SESSION_SWEEP = (1, 4, 16)
+
+BENCH_CONFIG = MovieConfig(
+    seed=13,
+    n_customers=150,
+    n_movies=60,
+    n_screenings=400,
+    n_reservations=80,
+    n_actors=60,
+    extra_dimensions=3,
+    n_days=30,
+)
+
+_runtime_cache: dict[str, AgentRuntime] = {}
+
+
+def shared_runtime() -> AgentRuntime:
+    """Synthesize once; every sweep point reuses the same runtime."""
+    runtime = _runtime_cache.get("runtime")
+    if runtime is None:
+        database, annotations = build_movie_database(BENCH_CONFIG)
+        cat = CAT(
+            database,
+            annotations,
+            generation=GenerationConfig(
+                samples_per_template=4,
+                selfplay=SelfPlayConfig(n_flows=150),
+            ),
+        )
+        cat.add_template_catalog(movie_templates())
+        print("synthesizing the benchmark agent ...", file=sys.stderr)
+        runtime = cat.synthesize_runtime()
+        _runtime_cache["runtime"] = runtime
+    return runtime
+
+
+def _client_script(index: int) -> list[str]:
+    """A short, non-transactional episode (steady-state serving load)."""
+    amount = (index % 7) + 1
+    return [
+        "hello",
+        f"i want to buy {amount} tickets",
+        "my name is smith",
+        "never mind, forget it",
+    ]
+
+
+def _run_sessions(
+    runtime: AgentRuntime, n_sessions: int, think_time: float
+) -> tuple[float, list[float]]:
+    """Drive ``n_sessions`` concurrent clients; returns (wall_s, latencies)."""
+    latencies: list[list[float]] = [[] for __ in range(n_sessions)]
+    barrier = threading.Barrier(n_sessions + 1)
+    errors: list[Exception] = []
+
+    def client(index: int) -> None:
+        sid = runtime.create_session()
+        script = _client_script(index)
+        try:
+            barrier.wait(timeout=60)
+            for turn in range(TURNS_PER_SESSION):
+                if think_time:
+                    time.sleep(think_time)
+                start = time.perf_counter()
+                runtime.respond(sid, script[turn % len(script)])
+                latencies[index].append(time.perf_counter() - start)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+        finally:
+            runtime.end_session(sid)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(n_sessions)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait(timeout=60)
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+    if errors:
+        raise errors[0]
+    return wall, [sample for per in latencies for sample in per]
+
+
+def _p95(samples: list[float]) -> float:
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+
+def _sweep(runtime: AgentRuntime, think_time: float, title: str):
+    table = ResultTable(
+        title,
+        ["sessions", "turns_per_sec", "p95_ms", "mean_ms"],
+    )
+    throughput: dict[int, float] = {}
+    for n_sessions in SESSION_SWEEP:
+        # Warm-up pass so cache rebuilds don't skew the first sweep point.
+        if n_sessions == SESSION_SWEEP[0]:
+            _run_sessions(runtime, 1, 0.0)
+        wall, latencies = _run_sessions(runtime, n_sessions, think_time)
+        turns = n_sessions * TURNS_PER_SESSION
+        throughput[n_sessions] = turns / wall
+        table.add_row(
+            n_sessions,
+            round(turns / wall, 1),
+            round(_p95(latencies) * 1000.0, 2),
+            round(statistics.fmean(latencies) * 1000.0, 2),
+        )
+    table.show()
+    return throughput
+
+
+def test_concurrent_throughput_scales_with_sessions():
+    """Aggregate turns/sec at 16 sessions beats the 1-session baseline."""
+    runtime = shared_runtime()
+    throughput = _sweep(
+        runtime,
+        THINK_TIME_S,
+        f"E6: concurrent sessions ({THINK_TIME_S * 1000:.0f} ms client "
+        f"think time, {TURNS_PER_SESSION} turns/session)",
+    )
+    baseline = throughput[SESSION_SWEEP[0]]
+    peak = throughput[SESSION_SWEEP[-1]]
+    assert peak > baseline * 1.5, (
+        f"16 sessions served {peak:.1f} turns/s, baseline {baseline:.1f}"
+    )
+
+
+def test_turn_latency_stays_flat_without_think_time():
+    """Pure-CPU sweep: more sessions must not collapse per-turn latency."""
+    runtime = shared_runtime()
+    wall_1, lat_1 = _run_sessions(runtime, 1, 0.0)
+    wall_16, lat_16 = _run_sessions(runtime, 16, 0.0)
+    table = ResultTable(
+        "E6b: zero think time (GIL-bound, contention check)",
+        ["sessions", "turns_per_sec", "p95_ms"],
+    )
+    table.add_row(1, round(TURNS_PER_SESSION / wall_1, 1),
+                  round(_p95(lat_1) * 1000.0, 2))
+    table.add_row(16, round(16 * TURNS_PER_SESSION / wall_16, 1),
+                  round(_p95(lat_16) * 1000.0, 2))
+    table.show()
+    # Aggregate throughput must not collapse under lock contention: 16
+    # CPU-bound sessions should still push at least half the single
+    # session rate through the shared runtime.
+    assert (16 * TURNS_PER_SESSION / wall_16) > \
+        (TURNS_PER_SESSION / wall_1) * 0.5
+
+
+def test_isolation_under_load():
+    """Every concurrent client sees exactly its own slots."""
+    runtime = shared_runtime()
+    results: dict[int, int] = {}
+    errors: list[Exception] = []
+
+    def client(index: int) -> None:
+        try:
+            sid = runtime.create_session()
+            amount = (index % 9) + 1
+            runtime.respond(sid, f"i want to buy {amount} tickets")
+            state = runtime.session(sid).context.state
+            results[index] = state.collected.get("ticket_amount")
+            runtime.end_session(sid)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(i,)) for i in range(16)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    for index, amount in results.items():
+        assert amount == (index % 9) + 1
+
+
+if __name__ == "__main__":  # pragma: no cover - manual run
+    test_concurrent_throughput_scales_with_sessions()
+    test_turn_latency_stays_flat_without_think_time()
+    test_isolation_under_load()

@@ -11,22 +11,34 @@ the subpackages for the full API:
 * :mod:`repro.dialogue` — dialogue management,
 * :mod:`repro.dataaware` — the data-aware slot-selection policy,
 * :mod:`repro.agent` — the runtime agent and the ``CAT`` builder facade,
+* :mod:`repro.serving` — the concurrent multi-session runtime,
 * :mod:`repro.datasets` — synthetic cinema database and ATIS-like corpus,
 * :mod:`repro.eval` — metrics and experiment harnesses.
 """
 
-from repro.agent import CAT, ConversationalAgent, ConversationSession
+from repro.agent import (
+    CAT,
+    AgentArtifacts,
+    ConversationalAgent,
+    ConversationSession,
+)
 from repro.db import Database, DatabaseSchema
+from repro.dialogue import ConversationContext
 from repro.errors import ReproError
+from repro.serving import AgentRuntime, SessionStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CAT",
+    "AgentArtifacts",
+    "AgentRuntime",
+    "ConversationContext",
     "ConversationSession",
     "ConversationalAgent",
     "Database",
     "DatabaseSchema",
     "ReproError",
+    "SessionStore",
     "__version__",
 ]

@@ -1,6 +1,7 @@
 """Agent runtime: the synthesized conversational agent and its builder."""
 
 from repro.agent.agent import AgentReply, ConversationalAgent
+from repro.agent.artifacts import AgentArtifacts
 from repro.agent.builder import CAT, SynthesisReport
 from repro.agent.executor import ExecutionOutcome, TransactionExecutor
 from repro.agent.responses import Responder
@@ -8,6 +9,7 @@ from repro.agent.session import ConversationSession, TranscriptTurn
 
 __all__ = [
     "CAT",
+    "AgentArtifacts",
     "AgentReply",
     "ConversationSession",
     "ConversationalAgent",

@@ -5,6 +5,16 @@ end to end: parse (intent + slots + entity linking), update the dialogue
 state, let the learned DM propose the next high-level action within the
 legal-action guard rails, drive the data-aware identification loop for
 entity slots, and finally execute the transaction against the database.
+
+The agent itself is *stateless across conversations*: everything
+synthesis produced lives in the shared, read-only
+:class:`~repro.agent.artifacts.AgentArtifacts` bundle, and everything a
+single conversation mutates lives in a
+:class:`~repro.dialogue.context.ConversationContext` that ``respond``
+threads explicitly.  One agent can therefore serve many concurrent
+conversations (see :mod:`repro.serving`); for the classic single-session
+API it keeps a default context, so ``agent.respond("hi")`` and
+``agent.state`` keep working unchanged.
 """
 
 from __future__ import annotations
@@ -13,27 +23,31 @@ import re
 from dataclasses import dataclass
 from typing import Any
 
+from repro.agent.artifacts import AgentArtifacts
 from repro.agent.executor import TransactionExecutor
 from repro.agent.responses import Responder
 from repro.annotation import SchemaAnnotations, SlotSpec, Task
 from repro.dataaware import (
-    AttributeValueCache,
     CandidateSet,
     DataAwarePolicy,
     IdentificationSession,
     IdentificationStatus,
-    UserAwarenessModel,
 )
 from repro.db.catalog import Catalog, ColumnRef
 from repro.db.database import Database
 from repro.db.procedures import ProcedureResult
 from repro.db.statistics import StatisticsCatalog
-from repro.dialogue import DialogueManager, DialogueState, Phase, acts
+from repro.dialogue import (
+    ConversationContext,
+    DialogueManager,
+    Phase,
+    acts,
+)
 from repro.dialogue.policy import NextActionModel
 from repro.errors import DialogueError
 from repro.nlu.entity_linking import LinkedValue
 from repro.nlu.pipeline import FALLBACK_INTENT, NLUPipeline, NLUResult
-from repro.synthesis.templates import SlotVocabulary, slot_name_for
+from repro.synthesis.templates import SlotVocabulary
 
 __all__ = ["AgentReply", "ConversationalAgent"]
 
@@ -57,55 +71,132 @@ class AgentReply:
 
 
 class ConversationalAgent:
-    """A fully synthesized, data-aware conversational agent."""
+    """A fully synthesized, data-aware conversational agent.
+
+    Construct with a pre-built artifacts bundle::
+
+        agent = ConversationalAgent(database, artifacts)
+
+    or with the legacy keyword form (the components are assembled into a
+    bundle internally)::
+
+        agent = ConversationalAgent(
+            database=db, catalog=..., annotations=..., tasks=[...],
+            nlu=..., dm_model=..., vocabulary=...,
+        )
+    """
 
     def __init__(
         self,
         database: Database,
-        catalog: Catalog,
-        annotations: SchemaAnnotations,
-        tasks: list[Task],
-        nlu: NLUPipeline,
-        dm_model: NextActionModel,
-        vocabulary: SlotVocabulary,
+        artifacts: AgentArtifacts | None = None,
+        *,
+        catalog: Catalog | None = None,
+        annotations: SchemaAnnotations | None = None,
+        tasks: list[Task] | None = None,
+        nlu: NLUPipeline | None = None,
+        dm_model: NextActionModel | None = None,
+        vocabulary: SlotVocabulary | None = None,
         choice_list_size: int = 3,
     ) -> None:
+        if artifacts is None:
+            if None in (catalog, annotations, tasks, nlu, dm_model, vocabulary):
+                raise TypeError(
+                    "ConversationalAgent needs either an AgentArtifacts "
+                    "bundle or all of catalog/annotations/tasks/nlu/"
+                    "dm_model/vocabulary"
+                )
+            artifacts = AgentArtifacts.build(
+                database=database,
+                catalog=catalog,
+                annotations=annotations,
+                tasks=tasks,
+                nlu=nlu,
+                dm_model=dm_model,
+                vocabulary=vocabulary,
+                choice_list_size=choice_list_size,
+            )
         self._database = database
-        self._catalog = catalog
-        self._annotations = annotations
-        self._tasks = {task.name: task for task in tasks}
-        self._nlu = nlu
-        self._vocabulary = vocabulary
-        self._manager = DialogueManager(dm_model, tasks)
-        self._responder = Responder(database, annotations)
+        self.artifacts = artifacts
+        self._manager = DialogueManager(
+            artifacts.dm_model, list(artifacts.tasks.values())
+        )
+        self._responder = Responder(database, artifacts.annotations)
         self._executor = TransactionExecutor(database)
-        self.awareness = UserAwarenessModel(annotations)
-        self.statistics = StatisticsCatalog(database)
-        self._value_cache = AttributeValueCache(database, catalog)
-        self._choice_list_size = choice_list_size
-        self.state = DialogueState()
-        self._buffered: list[LinkedValue] = []
+        # Default context backing the classic single-session API.
+        self._context = artifacts.new_context()
 
+    # ------------------------------------------------------------------
+    # Shared, read-only collaborators
     # ------------------------------------------------------------------
     @property
     def responder(self) -> Responder:
         return self._responder
 
-    def reset(self) -> None:
-        """Start a fresh conversation (models and awareness persist)."""
-        self.state = DialogueState()
-        self._buffered = []
+    @property
+    def statistics(self) -> StatisticsCatalog:
+        return self.artifacts.statistics
 
     def tasks(self) -> list[str]:
-        return sorted(self._tasks)
+        return self.artifacts.task_names()
+
+    # ------------------------------------------------------------------
+    # The default (single-session) context
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> ConversationContext:
+        """The default context used when ``respond`` gets none."""
+        return self._context
+
+    @property
+    def state(self):
+        return self._context.state
+
+    @property
+    def awareness(self):
+        return self._context.awareness
+
+    def reset(self) -> None:
+        """Start a fresh conversation (models and awareness persist)."""
+        self._context.reset()
+
+    def new_context(self) -> ConversationContext:
+        """A fresh, independent per-conversation context."""
+        return self.artifacts.new_context()
 
     # ------------------------------------------------------------------
     # Main entry point
     # ------------------------------------------------------------------
-    def respond(self, text: str) -> AgentReply:
-        """Process one user utterance and produce the agent's reply."""
-        parse = self._nlu.parse(text)
-        state = self.state
+    def respond(
+        self, text: str, context: ConversationContext | None = None
+    ) -> AgentReply:
+        """Process one user utterance and produce the agent's reply.
+
+        ``context`` carries all mutable conversation state; when omitted
+        the agent's default context is used (single-session API).  Turns
+        on distinct contexts are independent and may run on concurrent
+        threads: the whole turn holds the database's shared read lock
+        (so no half-applied transaction is ever observed), which is
+        suspended around the transaction execution at the end of a task
+        while the executor takes the exclusive lock.
+        """
+        ctx = self._context if context is None else context
+        with self._database.read_locked():
+            return self._respond_locked(ctx, text)
+
+    def _respond_locked(
+        self, ctx: ConversationContext, text: str
+    ) -> AgentReply:
+        # Between our turns another session may have committed deletes;
+        # revalidate any candidate snapshot before using it.  Under the
+        # turn's read lock the result stays valid for the whole turn.
+        session = ctx.state.identification
+        if session is not None and session.prune_stale_candidates():
+            if ctx.state.phase is Phase.CHOOSING:
+                # The list the user is choosing from changed; re-present.
+                ctx.state.phase = Phase.GATHERING
+        parse = self.artifacts.nlu.parse(text)
+        state = ctx.state
         state.turn_count += 1
         replies: list[str] = []
         executed: ProcedureResult | None = None
@@ -114,11 +205,11 @@ class ConversationalAgent:
             acts.USER_ABORT,
             acts.USER_GOODBYE,
         ):
-            replies.extend(self._handle_choice(parse))
+            replies.extend(self._handle_choice(ctx, parse))
             if state.phase is not Phase.CHOOSING:
-                executed = self._drive(replies)
+                executed = self._drive(ctx, replies)
             if not replies:
-                replies.append(self._reprompt())
+                replies.append(self._reprompt(ctx))
             return AgentReply(tuple(replies), executed, parse)
 
         state.record("user", parse.intent)
@@ -135,85 +226,98 @@ class ConversationalAgent:
         }.get(parse.intent)
 
         if handler is not None:
-            should_drive = handler(parse, replies)
+            should_drive = handler(ctx, parse, replies)
         elif parse.intent.startswith("request_"):
-            should_drive = self._on_request(parse, replies)
+            should_drive = self._on_request(ctx, parse, replies)
         else:  # unknown intent label: treat as fallback
-            should_drive = self._on_fallback(parse, replies)
+            should_drive = self._on_fallback(ctx, parse, replies)
 
         if should_drive:
-            executed = self._drive(replies)
+            executed = self._drive(ctx, replies)
         if not replies:
-            replies.append(self._reprompt())
+            replies.append(self._reprompt(ctx))
         return AgentReply(tuple(replies), executed, parse)
 
-    def _reprompt(self) -> str:
+    def _reprompt(self, ctx: ConversationContext) -> str:
         """Contextual fallback so the agent is never silent."""
-        state = self.state
+        state = ctx.state
         if state.phase is Phase.CONFIRMING and state.task is not None:
-            return self._responder.confirm(state.task, self._summary())
+            return self._responder.confirm(state.task, self._summary(ctx))
         session = state.identification
         if session is not None and session.pending_question is not None:
             return self._responder.ask_attribute(session.pending_question)
         if state.current_slot is not None and state.task is not None:
             return self._responder.ask_slot(
-                self._current_slot_spec().display_name
+                self._current_slot_spec(ctx).display_name
             )
         return self._responder.rephrase()
 
     # ------------------------------------------------------------------
     # Intent handlers (return True when the task loop should advance)
     # ------------------------------------------------------------------
-    def _on_greet(self, parse: NLUResult, replies: list[str]) -> bool:
-        if not self.state.greeted:
-            self.state.greeted = True
-            self.state.record("agent", acts.AGENT_GREET)
+    def _on_greet(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
+        if not ctx.state.greeted:
+            ctx.state.greeted = True
+            ctx.state.record("agent", acts.AGENT_GREET)
             replies.append(self._responder.greet())
-        return self.state.task is not None
+        return ctx.state.task is not None
 
-    def _on_goodbye(self, parse: NLUResult, replies: list[str]) -> bool:
-        self.state.clear_task()
-        self.state.phase = Phase.DONE
-        self.state.record("agent", acts.AGENT_GOODBYE)
+    def _on_goodbye(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
+        ctx.state.clear_task()
+        ctx.state.phase = Phase.DONE
+        ctx.state.record("agent", acts.AGENT_GOODBYE)
         replies.append(self._responder.goodbye())
         return False
 
-    def _on_abort(self, parse: NLUResult, replies: list[str]) -> bool:
-        self.state.clear_task()
-        self._buffered = []
-        self.state.record("agent", acts.AGENT_ACK_ABORT)
+    def _on_abort(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
+        ctx.state.clear_task()
+        ctx.clear_buffered()
+        ctx.state.record("agent", acts.AGENT_ACK_ABORT)
         replies.append(self._responder.acknowledge_abort())
         return False
 
-    def _on_thank(self, parse: NLUResult, replies: list[str]) -> bool:
+    def _on_thank(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
         replies.append("You're welcome!")
-        return self.state.task is not None
+        return ctx.state.task is not None
 
-    def _on_request(self, parse: NLUResult, replies: list[str]) -> bool:
+    def _on_request(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
         task_name = parse.intent[len("request_"):]
-        task = self._tasks.get(task_name)
+        task = self.artifacts.tasks.get(task_name)
         if task is None:
             replies.append(self._responder.rephrase())
             return False
-        if self.state.task is not None and self.state.task.name == task_name:
+        if ctx.state.task is not None and ctx.state.task.name == task_name:
             # Re-stating the current task ("i want to watch X") is extra
             # information, not a restart.
-            self._apply_linked(parse.linked, replies)
+            self._apply_linked(ctx, parse.linked, replies)
             return True
-        self.state.start_task(task)
-        self._apply_linked(parse.linked, replies)
+        ctx.state.start_task(task)
+        self._apply_linked(ctx, parse.linked, replies)
         return True
 
-    def _on_inform(self, parse: NLUResult, replies: list[str]) -> bool:
-        applied = self._apply_linked(parse.linked, replies)
+    def _on_inform(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
+        applied = self._apply_linked(ctx, parse.linked, replies)
         if not applied:
-            applied = self._answer_pending(parse, replies)
-        if self.state.task is None:
+            applied = self._answer_pending(ctx, parse, replies)
+        if ctx.state.task is None:
             if applied:
                 replies.append(
                     "Noted. What would you like to do? I can "
                     + ", ".join(
-                        t.replace("_", " ") for t in sorted(self._tasks)
+                        t.replace("_", " ")
+                        for t in self.artifacts.task_names()
                     )
                     + "."
                 )
@@ -222,37 +326,45 @@ class ConversationalAgent:
             return False
         return True
 
-    def _on_dont_know(self, parse: NLUResult, replies: list[str]) -> bool:
-        session = self.state.identification
+    def _on_dont_know(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
+        session = ctx.state.identification
         if session is not None and session.pending_question is not None:
             session.dont_know()
             return True
-        if self.state.current_slot is not None:
-            slot = self._current_slot_spec()
+        if ctx.state.current_slot is not None:
+            slot = self._current_slot_spec(ctx)
             replies.append(
                 f"I do need the {slot.display_name} to continue, sorry."
             )
             return False
-        return self.state.task is not None
+        return ctx.state.task is not None
 
-    def _on_affirm(self, parse: NLUResult, replies: list[str]) -> bool:
-        if self.state.phase is Phase.CONFIRMING:
-            self.state.record("agent", acts.AGENT_EXECUTE)
+    def _on_affirm(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
+        if ctx.state.phase is Phase.CONFIRMING:
+            ctx.state.record("agent", acts.AGENT_EXECUTE)
             return True
-        return self.state.task is not None
+        return ctx.state.task is not None
 
-    def _on_deny(self, parse: NLUResult, replies: list[str]) -> bool:
-        if self.state.phase is Phase.CONFIRMING:
-            self.state.record("agent", acts.AGENT_RESTART)
+    def _on_deny(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
+        if ctx.state.phase is Phase.CONFIRMING:
+            ctx.state.record("agent", acts.AGENT_RESTART)
             replies.append(self._responder.restart())
-            self.state.restart_task()
+            ctx.state.restart_task()
             return True
-        return self.state.task is not None
+        return ctx.state.task is not None
 
-    def _on_fallback(self, parse: NLUResult, replies: list[str]) -> bool:
-        if self._answer_pending(parse, replies):
+    def _on_fallback(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
+        if self._answer_pending(ctx, parse, replies):
             return True
-        self.state.record("agent", acts.AGENT_FALLBACK)
+        ctx.state.record("agent", acts.AGENT_FALLBACK)
         replies.append(self._responder.rephrase())
         return False
 
@@ -260,7 +372,10 @@ class ConversationalAgent:
     # Applying parsed information
     # ------------------------------------------------------------------
     def _apply_linked(
-        self, linked: tuple[LinkedValue, ...], replies: list[str]
+        self,
+        ctx: ConversationContext,
+        linked: tuple[LinkedValue, ...],
+        replies: list[str],
     ) -> bool:
         """Route linked slot values into the state; returns True if any used."""
         applied = False
@@ -269,15 +384,15 @@ class ConversationalAgent:
                 replies.append(
                     self._responder.corrected(value.raw, str(value.value))
                 )
-            if self.state.task is None:
-                self._buffered.append(value)
+            if ctx.state.task is None:
+                ctx.buffered.append(value)
                 applied = True
                 continue
-            applied = self._apply_one(value) or applied
+            applied = self._apply_one(ctx, value) or applied
         return applied
 
-    def _apply_one(self, value: LinkedValue) -> bool:
-        state = self.state
+    def _apply_one(self, ctx: ConversationContext, value: LinkedValue) -> bool:
+        state = ctx.state
         task = state.task
         assert task is not None
         # 1. Plain value slot of the active task.
@@ -288,7 +403,7 @@ class ConversationalAgent:
                     state.current_slot = None
                 return True
         # 2. Identifying attribute of one of the task's entity lookups.
-        attribute = self._vocabulary.attribute_for(value.slot)
+        attribute = self.artifacts.vocabulary.attribute_for(value.slot)
         if attribute is None:
             return False
         for lookup in task.lookups:
@@ -305,20 +420,22 @@ class ConversationalAgent:
                 return session.volunteer(attribute, value.value)
             # The entity is not being identified yet: keep the value and
             # apply it when that identification session starts.
-            self._buffered.append(value)
+            ctx.buffered.append(value)
             return True
         return False
 
-    def _answer_pending(self, parse: NLUResult, replies: list[str]) -> bool:
+    def _answer_pending(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
         """Interpret a bare utterance as the answer to the open question."""
         raw = parse.text.strip()
-        session = self.state.identification
+        session = ctx.state.identification
         if session is not None and session.pending_question is not None:
             attribute = session.pending_question
-            slot_name = self._vocabulary.slot_for_attribute(attribute)
+            slot_name = self.artifacts.vocabulary.slot_for_attribute(attribute)
             value: Any = raw
             if slot_name is not None:
-                linked = self._nlu.linker.link(slot_name, raw)
+                linked = self.artifacts.nlu.linker.link(slot_name, raw)
                 if linked is not None:
                     if linked.corrected:
                         replies.append(
@@ -328,26 +445,30 @@ class ConversationalAgent:
                     value = linked.value
             session.answer(value)
             return True
-        if self.state.current_slot is not None:
-            linked = self._nlu.linker.link(self.state.current_slot, raw)
+        if ctx.state.current_slot is not None:
+            linked = self.artifacts.nlu.linker.link(
+                ctx.state.current_slot, raw
+            )
             if linked is not None:
-                self.state.collected[self.state.current_slot] = linked.value
-                self.state.current_slot = None
+                ctx.state.collected[ctx.state.current_slot] = linked.value
+                ctx.state.current_slot = None
                 return True
         return False
 
     # ------------------------------------------------------------------
     # The task-progression loop
     # ------------------------------------------------------------------
-    def _drive(self, replies: list[str]) -> ProcedureResult | None:
+    def _drive(
+        self, ctx: ConversationContext, replies: list[str]
+    ) -> ProcedureResult | None:
         """Advance the task until user input is needed or it completes."""
-        state = self.state
+        state = ctx.state
         for __ in range(32):  # hard bound against pathological loops
             if state.task is None:
                 return None
             if state.phase is Phase.CONFIRMING:
                 if state.history and state.history[-1].endswith(acts.AGENT_EXECUTE):
-                    return self._execute(replies)
+                    return self._execute(ctx, replies)
                 return None
             action = self._manager.propose(state)
             if action is None:
@@ -355,15 +476,15 @@ class ConversationalAgent:
             if action == acts.AGENT_CONFIRM:
                 if not self._executor.requires_confirmation(state.task):
                     state.record("agent", acts.AGENT_EXECUTE)
-                    return self._execute(replies)
+                    return self._execute(ctx, replies)
                 state.phase = Phase.CONFIRMING
                 state.record("agent", acts.AGENT_CONFIRM)
                 replies.append(
-                    self._responder.confirm(state.task, self._summary())
+                    self._responder.confirm(state.task, self._summary(ctx))
                 )
                 return None
             if action.startswith("identify_"):
-                done = self._identification_step(action, replies)
+                done = self._identification_step(ctx, action, replies)
                 if not done:
                     return None
                 continue
@@ -380,9 +501,11 @@ class ConversationalAgent:
             return None
         raise DialogueError("dialogue drive loop did not terminate")
 
-    def _identification_step(self, action: str, replies: list[str]) -> bool:
+    def _identification_step(
+        self, ctx: ConversationContext, action: str, replies: list[str]
+    ) -> bool:
         """One step of entity identification; True when the entity is done."""
-        state = self.state
+        state = ctx.state
         assert state.task is not None
         entity_table = action[len("identify_"):]
         lookup = next(
@@ -395,7 +518,7 @@ class ConversationalAgent:
         )
         if lookup is None:
             return True
-        session = self._session_for(lookup.slot)
+        session = self._session_for(ctx, lookup.slot)
         status = session.status
         if status is IdentificationStatus.UNIQUE:
             row = session.candidates.the_row()
@@ -420,17 +543,29 @@ class ConversationalAgent:
         question = session.next_question()
         if question is None:
             # Status changed as a side effect; handle on the next pass.
-            return self._identification_step(action, replies)
+            return self._identification_step(ctx, action, replies)
         if f"agent:{action}" not in state.history[-3:]:
             state.record("agent", action)
         replies.append(self._responder.ask_attribute(question))
         return False
 
-    def _execute(self, replies: list[str]) -> ProcedureResult | None:
-        state = self.state
+    def _execute(
+        self, ctx: ConversationContext, replies: list[str]
+    ) -> ProcedureResult | None:
+        state = ctx.state
         task = state.task
         assert task is not None
-        outcome = self._executor.execute(task, dict(state.collected))
+        # The turn holds the shared read lock; executing the transaction
+        # needs the exclusive lock, and an in-place upgrade would
+        # deadlock two confirming sessions.  Drop our reads for the
+        # write, then re-acquire (the procedure re-validates its
+        # arguments, so the gap is safe).
+        lock = self._database.rw_lock
+        suspended = lock.suspend_reads()
+        try:
+            outcome = self._executor.execute(task, dict(state.collected))
+        finally:
+            lock.resume_reads(suspended)
         if outcome.success and outcome.result is not None:
             state.record("agent", acts.AGENT_SUCCESS)
             replies.append(self._responder.success(task, outcome.result.value))
@@ -444,56 +579,67 @@ class ConversationalAgent:
     # ------------------------------------------------------------------
     # Identification plumbing
     # ------------------------------------------------------------------
-    def _session_for(self, slot_name: str) -> IdentificationSession:
-        state = self.state
+    def _session_for(
+        self, ctx: ConversationContext, slot_name: str
+    ) -> IdentificationSession:
+        state = ctx.state
         assert state.task is not None
         session = state.identification
         if session is not None and session.candidates.table == self._lookup(
-            slot_name
+            ctx, slot_name
         ).table:
             return session
-        lookup = self._lookup(slot_name)
+        lookup = self._lookup(ctx, slot_name)
         candidates = CandidateSet.initial(
             self._database,
-            self._catalog,
+            self.artifacts.catalog,
             lookup.table,
-            shared_cache=self._value_cache,
+            shared_cache=self.artifacts.value_cache,
         )
-        policy = DataAwarePolicy(lookup, self.awareness, self.statistics)
+        policy = DataAwarePolicy(
+            lookup, ctx.awareness, self.artifacts.statistics
+        )
         session = IdentificationSession(
             candidates,
             policy,
             lookup.key_column,
-            choice_list_size=self._choice_list_size,
+            choice_list_size=self.artifacts.choice_list_size,
         )
         state.identification = session
-        self._flush_buffer(session, lookup)
+        self._flush_buffer(ctx, session, lookup)
         return session
 
-    def _lookup(self, slot_name: str):
-        assert self.state.task is not None
-        lookup = self.state.task.lookup_for(slot_name)
+    def _lookup(self, ctx: ConversationContext, slot_name: str):
+        assert ctx.state.task is not None
+        lookup = ctx.state.task.lookup_for(slot_name)
         if lookup is None:
             raise DialogueError(f"slot {slot_name!r} is not an entity slot")
         return lookup
 
-    def _flush_buffer(self, session: IdentificationSession, lookup) -> None:
+    def _flush_buffer(
+        self,
+        ctx: ConversationContext,
+        session: IdentificationSession,
+        lookup,
+    ) -> None:
         """Apply pre-task buffered inform values that fit this entity."""
         remaining: list[LinkedValue] = []
         attributes = set(lookup.all_attributes())
-        for value in self._buffered:
-            attribute = self._vocabulary.attribute_for(value.slot)
+        for value in ctx.buffered:
+            attribute = self.artifacts.vocabulary.attribute_for(value.slot)
             if attribute is not None and attribute in attributes:
                 session.volunteer(attribute, value.value)
             else:
                 remaining.append(value)
-        self._buffered = remaining
+        ctx.buffered[:] = remaining
 
     # ------------------------------------------------------------------
     # Choice lists
     # ------------------------------------------------------------------
-    def _handle_choice(self, parse: NLUResult) -> list[str]:
-        state = self.state
+    def _handle_choice(
+        self, ctx: ConversationContext, parse: NLUResult
+    ) -> list[str]:
+        state = ctx.state
         session = state.identification
         if session is None:
             state.phase = Phase.GATHERING
@@ -501,7 +647,7 @@ class ConversationalAgent:
         # First preference: the user narrowed the list with more
         # information ("my last name is gruber") rather than an index.
         replies: list[str] = []
-        if self._refine_choice(parse, replies):
+        if self._refine_choice(ctx, parse, replies):
             state.record("user", acts.USER_INFORM)
             state.phase = Phase.GATHERING
             return replies
@@ -515,19 +661,21 @@ class ConversationalAgent:
         state.record("user", acts.USER_CHOOSE)
         return []
 
-    def _refine_choice(self, parse: NLUResult, replies: list[str]) -> bool:
+    def _refine_choice(
+        self, ctx: ConversationContext, parse: NLUResult, replies: list[str]
+    ) -> bool:
         """Apply linked values as extra constraints on the choice list.
 
         Values that belong to a *different* entity of the task (e.g. the
         room type while the guest list is shown) are buffered for the
         later identification instead of being dropped.
         """
-        session = self.state.identification
+        session = ctx.state.identification
         assert session is not None
         current_table = session.candidates.table
         applied = False
         for value in parse.linked:
-            attribute = self._vocabulary.attribute_for(value.slot)
+            attribute = self.artifacts.vocabulary.attribute_for(value.slot)
             if attribute is None:
                 continue
             if value.corrected:
@@ -539,11 +687,14 @@ class ConversationalAgent:
             ):
                 applied = session.volunteer(attribute, value.value) or applied
             else:
-                self._buffered.append(value)
+                ctx.buffered.append(value)
         return applied
 
     def _reaches(self, root_table: str, attribute: ColumnRef) -> bool:
-        return self._catalog.join_path(root_table, attribute.table) is not None
+        return (
+            self.artifacts.catalog.join_path(root_table, attribute.table)
+            is not None
+        )
 
     @staticmethod
     def _parse_choice_index(text: str, n: int) -> int | None:
@@ -564,8 +715,8 @@ class ConversationalAgent:
         return None
 
     # ------------------------------------------------------------------
-    def _summary(self) -> dict[str, str]:
-        state = self.state
+    def _summary(self, ctx: ConversationContext) -> dict[str, str]:
+        state = ctx.state
         assert state.task is not None
         summary: dict[str, str] = {}
         for slot in state.task.slots:
@@ -579,11 +730,12 @@ class ConversationalAgent:
         if slot.references is None:
             return str(value)
         table, column = slot.references
-        row = self._database.find_one(table, column, value)
+        with self._database.read_locked():
+            row = self._database.find_one(table, column, value)
         if row is None:
             return str(value)
         return self._responder.describe_row(table, row)
 
-    def _current_slot_spec(self) -> SlotSpec:
-        assert self.state.task is not None and self.state.current_slot is not None
-        return self.state.task.slot(self.state.current_slot)
+    def _current_slot_spec(self, ctx: ConversationContext) -> SlotSpec:
+        assert ctx.state.task is not None and ctx.state.current_slot is not None
+        return ctx.state.task.slot(ctx.state.current_slot)

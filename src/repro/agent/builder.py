@@ -17,8 +17,10 @@ Section 5:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.agent.agent import ConversationalAgent
+from repro.agent.artifacts import AgentArtifacts
 from repro.annotation import SchemaAnnotations, Task, TaskExtractor
 from repro.db.catalog import Catalog
 from repro.db.database import Database
@@ -31,6 +33,9 @@ from repro.synthesis import (
     NLUDataset,
     TrainingDataGenerator,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.runtime import AgentRuntime
 
 __all__ = ["SynthesisReport", "CAT"]
 
@@ -90,8 +95,13 @@ class CAT:
             self.add_templates(intent, texts)
 
     # ------------------------------------------------------------------
-    def synthesize(self) -> ConversationalAgent:
-        """Generate training data, train all models, return the agent."""
+    def synthesize_artifacts(self) -> AgentArtifacts:
+        """Generate training data, train all models, bundle the results.
+
+        The returned :class:`AgentArtifacts` is immutable and shared: one
+        bundle can back any number of concurrent conversations (see
+        :class:`repro.serving.AgentRuntime`).
+        """
         self.nlu_data = self.generator.generate_nlu()
         self.flow_data = self.generator.generate_flows()
         nlu = NLUPipeline(
@@ -101,7 +111,7 @@ class CAT:
         )
         nlu.train(self.nlu_data)
         dm_model = NextActionModel().fit(self.flow_data)
-        return ConversationalAgent(
+        return AgentArtifacts.build(
             database=self.database,
             catalog=self.catalog,
             annotations=self.annotations,
@@ -110,6 +120,23 @@ class CAT:
             dm_model=dm_model,
             vocabulary=self.generator.vocabulary,
             choice_list_size=self._choice_list_size,
+        )
+
+    def synthesize(self) -> ConversationalAgent:
+        """Synthesize and wrap the artifacts in a single-session agent."""
+        return ConversationalAgent(self.database, self.synthesize_artifacts())
+
+    def synthesize_runtime(self, **runtime_options) -> "AgentRuntime":
+        """Synthesize and return a concurrent multi-session runtime.
+
+        Keyword options are forwarded to
+        :class:`~repro.serving.runtime.AgentRuntime` (``session_ttl``,
+        ``max_sessions``, ...).
+        """
+        from repro.serving.runtime import AgentRuntime
+
+        return AgentRuntime(
+            self.database, self.synthesize_artifacts(), **runtime_options
         )
 
     def report(self) -> SynthesisReport:

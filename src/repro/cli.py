@@ -4,6 +4,7 @@ Commands mirror the demo workflow of Section 5:
 
 * ``demo``      — synthesize the cinema agent and run a scripted booking.
 * ``chat``      — synthesize the cinema agent and chat interactively.
+* ``serve``     — multi-session REPL on the concurrent agent runtime.
 * ``report``    — print the synthesis report (tasks, data, actions).
 * ``policies``  — compare data-aware / static / random slot selection.
 * ``snapshot``  — dump the cinema database to a JSON file.
@@ -70,6 +71,85 @@ def _cmd_chat() -> int:
         reply = session.say(text)
         for line in reply.text.split("\n"):
             print(f"bot> {line}")
+
+
+_SERVE_HELP = """\
+Multi-session mode. One synthesized agent serves every session; each
+session has its own dialogue state and awareness model.
+
+  :new [id]     open a session (and switch to it)
+  :use <id>     switch the active session
+  :sessions     list live sessions
+  :close <id>   end a session
+  :stats        runtime counters
+  :help         this text
+  :quit         leave
+Anything else is sent to the active session."""
+
+
+def _cmd_serve(session_ttl: float | None) -> int:
+    from repro.errors import ServingError, UnknownSessionError
+    from repro.serving import AgentRuntime
+
+    cat, agent = _build_cat()
+    runtime = AgentRuntime.for_agent(agent, session_ttl=session_ttl)
+    active = runtime.create_session()
+    print(_SERVE_HELP)
+    print(f"[{active}] session opened")
+    while True:
+        try:
+            text = input(f"{active}> ").strip()
+        except EOFError:
+            return 0
+        if not text:
+            continue
+        if text in (":quit", ":q", "quit", "exit"):
+            return 0
+        try:
+            if text == ":help":
+                print(_SERVE_HELP)
+            elif text.startswith(":new"):
+                parts = text.split(maxsplit=1)
+                active = runtime.create_session(
+                    parts[1] if len(parts) > 1 else None
+                )
+                print(f"[{active}] session opened")
+            elif text.startswith(":use"):
+                parts = text.split(maxsplit=1)
+                if len(parts) < 2:
+                    print("usage: :use <id>")
+                    continue
+                runtime.session(parts[1])  # validates id and TTL
+                active = parts[1]
+                print(f"[{active}] active")
+            elif text == ":sessions":
+                # peek, not get: listing must not refresh TTL/LRU.
+                for sid in runtime.session_ids():
+                    session = runtime.peek_session(sid)
+                    marker = "*" if sid == active else " "
+                    print(f" {marker} {sid}  turns={session.turn_count}")
+            elif text.startswith(":close"):
+                parts = text.split(maxsplit=1)
+                target = parts[1] if len(parts) > 1 else active
+                runtime.end_session(target)
+                print(f"[{target}] closed")
+                if target == active:
+                    remaining = runtime.session_ids()
+                    active = remaining[-1] if remaining else \
+                        runtime.create_session()
+                    print(f"[{active}] active")
+            elif text == ":stats":
+                stats = runtime.stats()
+                for key, value in vars(stats).items():
+                    print(f"  {key:24s} {value}")
+            elif text.startswith(":"):
+                print(f"unknown command {text!r} (:help for help)")
+            else:
+                reply = runtime.respond(active, text)
+                for line in reply.text.split("\n"):
+                    print(f"bot> {line}")
+        except (ServingError, UnknownSessionError) as exc:
+            print(f"error: {exc}")
 
 
 def _cmd_report() -> int:
@@ -142,6 +222,16 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run a scripted Section 5 booking")
     sub.add_parser("chat", help="chat with the cinema agent")
+    serve = sub.add_parser(
+        "serve", help="multi-session REPL on the concurrent runtime"
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="expire sessions idle for this long (default: never)",
+    )
     sub.add_parser("report", help="print the synthesis report")
     sub.add_parser("policies", help="compare slot-selection policies")
     snapshot = sub.add_parser("snapshot", help="dump the cinema database")
@@ -152,6 +242,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_demo()
     if args.command == "chat":
         return _cmd_chat()
+    if args.command == "serve":
+        return _cmd_serve(args.session_ttl)
     if args.command == "report":
         return _cmd_report()
     if args.command == "policies":

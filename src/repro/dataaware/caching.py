@@ -8,35 +8,50 @@ data version and slice it per candidate set.  Combined with the
 version-stamped :class:`~repro.db.statistics.StatisticsCatalog`, this is
 what keeps the average response latency at "only a few milliseconds"
 (Section 4) while still reflecting every committed update.
+
+The cache is shared by every session of a serving runtime, so it is safe
+for concurrent readers via the shared
+:class:`~repro.db.versioncache.VersionStampedCache` protocol.
 """
 
 from __future__ import annotations
 
+import threading
+
 from repro.dataaware.join_graph import JoinPlanner, map_values
 from repro.db.catalog import Catalog, ColumnRef
 from repro.db.database import Database
+from repro.db.versioncache import VersionStampedCache
 
 __all__ = ["AttributeValueCache"]
 
 
 class AttributeValueCache:
-    """Version-stamped cache of full-table attribute value maps."""
+    """Version-stamped, concurrency-safe cache of attribute value maps."""
 
     def __init__(self, database: Database, catalog: Catalog) -> None:
         self._database = database
         self._catalog = catalog
+        self._planner_lock = threading.Lock()
         self._planners: dict[str, JoinPlanner] = {}
-        # (root_table, attribute) -> (data_version, rid -> value set)
-        self._maps: dict[tuple[str, ColumnRef], tuple[int, dict[int, frozenset]]] = {}
-        self.hits = 0
-        self.misses = 0
+        # (root_table, attribute) -> rid -> value set
+        self._maps = VersionStampedCache(database)
+
+    @property
+    def hits(self) -> int:
+        return self._maps.hits
+
+    @property
+    def misses(self) -> int:
+        return self._maps.misses
 
     def planner(self, root_table: str) -> JoinPlanner:
-        planner = self._planners.get(root_table)
-        if planner is None:
-            planner = JoinPlanner(self._catalog, root_table)
-            self._planners[root_table] = planner
-        return planner
+        with self._planner_lock:
+            planner = self._planners.get(root_table)
+            if planner is None:
+                planner = JoinPlanner(self._catalog, root_table)
+                self._planners[root_table] = planner
+            return planner
 
     def full_map(
         self, root_table: str, attribute: ColumnRef
@@ -45,13 +60,14 @@ class AttributeValueCache:
 
         Recomputed lazily whenever the database's data version moves.
         """
-        version = self._database.data_version
-        key = (root_table, attribute)
-        cached = self._maps.get(key)
-        if cached is not None and cached[0] == version:
-            self.hits += 1
-            return cached[1]
-        self.misses += 1
+        return self._maps.lookup(
+            (root_table, attribute),
+            lambda: self._compute(root_table, attribute),
+        )
+
+    def _compute(
+        self, root_table: str, attribute: ColumnRef
+    ) -> dict[int, frozenset]:
         row_ids = self._database.table(root_table).row_ids()
         if attribute.table == root_table:
             table = self._database.table(root_table)
@@ -61,14 +77,11 @@ class AttributeValueCache:
                 value_map[rid] = (
                     frozenset((value,)) if value is not None else frozenset()
                 )
-        else:
-            path = self.planner(root_table).path_to(attribute.table)
-            if path is None:
-                value_map = {rid: frozenset() for rid in row_ids}
-            else:
-                value_map = map_values(self._database, path, attribute, row_ids)
-        self._maps[key] = (version, value_map)
-        return value_map
+            return value_map
+        path = self.planner(root_table).path_to(attribute.table)
+        if path is None:
+            return {rid: frozenset() for rid in row_ids}
+        return map_values(self._database, path, attribute, row_ids)
 
     def invalidate(self) -> None:
-        self._maps.clear()
+        self._maps.invalidate()

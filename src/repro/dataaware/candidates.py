@@ -253,6 +253,31 @@ class CandidateSet:
             )
         return needle in candidate_values
 
+    def prune_missing(self) -> "CandidateSet":
+        """Drop candidates whose rows no longer exist in the table.
+
+        Snapshots of row ids can go stale between dialogue turns when a
+        *different* session's committed transaction deletes rows (e.g.
+        two users cancelling reservations of the same table).  Returns
+        ``self`` unchanged when every candidate is still present.
+        """
+        table = self._database.table(self.table)
+        surviving = tuple(
+            rid for rid in self.row_ids if table.has_row(rid)
+        )
+        if len(surviving) == len(self.row_ids):
+            return self
+        return CandidateSet(
+            self._database,
+            self._catalog,
+            self.table,
+            surviving,
+            self.constraints,
+            self.fuzzy_threshold,
+            self._planner,
+            self._shared_cache,
+        )
+
     def reset(self) -> "CandidateSet":
         """Back to all rows (e.g. after the user restarts the task)."""
         return CandidateSet.initial(

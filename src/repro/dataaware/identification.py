@@ -135,6 +135,21 @@ class IdentificationSession:
         self._refresh_status()
         return True
 
+    def prune_stale_candidates(self) -> bool:
+        """Revalidate the candidate snapshot against the live table.
+
+        Called at turn boundaries by the agent: a concurrent session's
+        committed delete may have removed candidate rows between this
+        session's turns.  Returns True when anything was dropped (the
+        status is refreshed accordingly, e.g. to NO_MATCH or UNIQUE).
+        """
+        pruned = self.candidates.prune_missing()
+        if pruned is self.candidates:
+            return False
+        self.candidates = pruned
+        self._refresh_status()
+        return True
+
     def dont_know(self) -> None:
         """The user does not know the pending attribute."""
         attribute = self._require_pending()

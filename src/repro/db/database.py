@@ -13,8 +13,10 @@ over raw :class:`~repro.db.table.Table` storage:
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import threading
+from typing import Any, Callable, ContextManager
 
+from repro.db.locks import RWLock
 from repro.db.procedures import ProcedureRegistry
 from repro.db.schema import DatabaseSchema, TableSchema
 from repro.db.table import Row, Table
@@ -35,7 +37,9 @@ class Database:
         }
         self.transactions = TransactionManager(self)
         self.procedures = ProcedureRegistry(self)
+        self.rw_lock = RWLock()
         self._data_version = 0
+        self._listener_lock = threading.Lock()
         self._change_listeners: list[Callable[[], None]] = []
 
     # ------------------------------------------------------------------
@@ -63,6 +67,17 @@ class Database:
         return table
 
     # ------------------------------------------------------------------
+    # Concurrency
+    # ------------------------------------------------------------------
+    def read_locked(self) -> ContextManager[None]:
+        """Shared lock: many readers, excluded while a transaction runs."""
+        return self.rw_lock.read_lock()
+
+    def write_locked(self) -> ContextManager[None]:
+        """Exclusive lock held around every transactional mutation."""
+        return self.rw_lock.write_lock()
+
+    # ------------------------------------------------------------------
     # Change tracking
     # ------------------------------------------------------------------
     @property
@@ -72,11 +87,14 @@ class Database:
 
     def on_change(self, listener: Callable[[], None]) -> None:
         """Register a callback fired whenever data changes."""
-        self._change_listeners.append(listener)
+        with self._listener_lock:
+            self._change_listeners.append(listener)
 
     def notify_data_changed(self) -> None:
-        self._data_version += 1
-        for listener in self._change_listeners:
+        with self._listener_lock:
+            self._data_version += 1
+            listeners = tuple(self._change_listeners)
+        for listener in listeners:
             listener()
 
     # ------------------------------------------------------------------
@@ -84,34 +102,37 @@ class Database:
     # ------------------------------------------------------------------
     def insert(self, table_name: str, values: dict[str, Any]) -> int:
         """Insert a row; returns the internal row id."""
-        table = self.table(table_name)
-        row = dict(values)
-        self._check_outgoing_fks(table.schema, row)
-        row_id = table.insert(row)
-        self.transactions.log_insert(table_name, row_id)
-        if not self.transactions.in_transaction():
-            self.notify_data_changed()
-        return row_id
+        with self.write_locked():
+            table = self.table(table_name)
+            row = dict(values)
+            self._check_outgoing_fks(table.schema, row)
+            row_id = table.insert(row)
+            self.transactions.log_insert(table_name, row_id)
+            if not self.transactions.in_transaction():
+                self.notify_data_changed()
+            return row_id
 
     def update(self, table_name: str, row_id: int, changes: dict[str, Any]) -> None:
-        table = self.table(table_name)
-        merged = table.get(row_id)
-        merged.update(changes)
-        self._check_outgoing_fks(table.schema, merged)
-        self._check_incoming_fks_on_key_change(table, row_id, changes)
-        old = table.update(row_id, changes)
-        self.transactions.log_update(table_name, row_id, old)
-        if not self.transactions.in_transaction():
-            self.notify_data_changed()
+        with self.write_locked():
+            table = self.table(table_name)
+            merged = table.get(row_id)
+            merged.update(changes)
+            self._check_outgoing_fks(table.schema, merged)
+            self._check_incoming_fks_on_key_change(table, row_id, changes)
+            old = table.update(row_id, changes)
+            self.transactions.log_update(table_name, row_id, old)
+            if not self.transactions.in_transaction():
+                self.notify_data_changed()
 
     def delete(self, table_name: str, row_id: int) -> None:
-        table = self.table(table_name)
-        row = table.get(row_id)
-        self._check_no_referencing_rows(table, row)
-        old = table.delete(row_id)
-        self.transactions.log_delete(table_name, row_id, old)
-        if not self.transactions.in_transaction():
-            self.notify_data_changed()
+        with self.write_locked():
+            table = self.table(table_name)
+            row = table.get(row_id)
+            self._check_no_referencing_rows(table, row)
+            old = table.delete(row_id)
+            self.transactions.log_delete(table_name, row_id, old)
+            if not self.transactions.in_transaction():
+                self.notify_data_changed()
 
     def insert_many(self, table_name: str, rows: list[dict[str, Any]]) -> list[int]:
         """Bulk insert (used by the dataset generators)."""

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.db.locks import LockUpgradeError
 from repro.db.types import DataType, coerce
 from repro.errors import ProcedureError
 
@@ -161,19 +162,44 @@ class ProcedureRegistry:
             raise ProcedureError(f"no procedure named {name!r}") from None
 
     def call(self, name: str, **arguments: Any) -> ProcedureResult:
-        """Run a procedure atomically; rolls back and re-raises on failure."""
+        """Run a procedure atomically; rolls back and re-raises on failure.
+
+        Writing procedures hold the database's exclusive write lock for
+        the whole call, so concurrent readers never observe a
+        half-applied transaction and concurrent calls serialise cleanly
+        instead of tripping over the single active transaction.
+        Procedures declared read-only (``writes`` empty) run under the
+        shared read lock instead — concurrently with each other and
+        with read-only dialogue turns — and skip the transaction
+        entirely, so they neither queue behind the write lock nor bump
+        the data version (which would needlessly invalidate every
+        statistics/value cache).
+        """
         procedure = self.get(name)
         bound = procedure.bind(arguments)
-        txn_manager = self._database.transactions
-        owns_txn = not txn_manager.in_transaction()
-        if owns_txn:
-            txn_manager.begin()
-        try:
-            value = procedure.body(self._database, **bound)
-        except Exception:
+        if not procedure.writes:
+            with self._database.read_locked():
+                try:
+                    value = procedure.body(self._database, **bound)
+                except LockUpgradeError as exc:
+                    # A declared-read-only body that mutates trips the
+                    # lock's upgrade refusal; name the real culprit.
+                    raise ProcedureError(
+                        f"procedure {name!r} is declared read-only but "
+                        f"attempted to write: {exc}"
+                    ) from exc
+            return ProcedureResult(procedure=name, arguments=bound, value=value)
+        with self._database.write_locked():
+            txn_manager = self._database.transactions
+            owns_txn = not txn_manager.in_transaction()
             if owns_txn:
-                txn_manager.rollback()
-            raise
-        if owns_txn:
-            txn_manager.commit()
+                txn_manager.begin()
+            try:
+                value = procedure.body(self._database, **bound)
+            except Exception:
+                if owns_txn:
+                    txn_manager.rollback()
+                raise
+            if owns_txn:
+                txn_manager.commit()
         return ProcedureResult(procedure=name, arguments=bound, value=value)

@@ -22,6 +22,8 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Sequence
 
+from repro.db.versioncache import VersionStampedCache
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.database import Database
 
@@ -175,32 +177,35 @@ class StatisticsCatalog:
     database's data version changes.  This is the "integrated caching
     strategy" of Section 4 — the policy can consult statistics on every
     turn at millisecond latency while staying consistent with updates.
+
+    The catalog is safe for concurrent readers via the shared
+    :class:`~repro.db.versioncache.VersionStampedCache` protocol.
     """
 
     def __init__(self, database: "Database", most_common_k: int = 16) -> None:
         self._database = database
         self._most_common_k = most_common_k
-        self._cache: dict[str, tuple[int, TableStatistics]] = {}
-        self.hits = 0
-        self.misses = 0
+        self._cache = VersionStampedCache(database)
+
+    @property
+    def hits(self) -> int:
+        return self._cache.hits
+
+    @property
+    def misses(self) -> int:
+        return self._cache.misses
 
     def table(self, table_name: str) -> TableStatistics:
         """Statistics for ``table_name``, recomputing if stale."""
-        version = self._database.data_version
-        cached = self._cache.get(table_name)
-        if cached is not None and cached[0] == version:
-            self.hits += 1
-            return cached[1]
-        self.misses += 1
-        stats = self._compute(table_name)
-        self._cache[table_name] = (version, stats)
-        return stats
+        return self._cache.lookup(
+            table_name, lambda: self._compute(table_name)
+        )
 
     def column(self, table_name: str, column: str) -> ColumnStatistics:
         return self.table(table_name).column(column)
 
     def invalidate(self) -> None:
-        self._cache.clear()
+        self._cache.invalidate()
 
     def _compute(self, table_name: str) -> TableStatistics:
         table = self._database.table(table_name)

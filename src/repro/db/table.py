@@ -91,6 +91,9 @@ class Table:
     def row_ids(self) -> list[int]:
         return sorted(self._rows)
 
+    def has_row(self, row_id: int) -> bool:
+        return row_id in self._rows
+
     def get(self, row_id: int) -> Row:
         """Return a copy of the row with internal id ``row_id``."""
         return dict(self._rows[row_id])

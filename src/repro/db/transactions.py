@@ -1,7 +1,8 @@
 """Transaction support: undo logging, savepoints, commit/rollback.
 
-The engine is single-threaded (the conversational agent serialises its
-transactions), so isolation is trivial; what the paper's agent needs is
+Transactions execute under the database's exclusive write lock (see
+:mod:`repro.db.locks`), so at most one is active at a time and isolation
+reduces to that serialisation; what the paper's agent needs on top is
 *atomicity* — a ticket-reservation procedure that fails halfway through
 must leave the database unchanged.  We implement this with an undo log of
 inverse physical operations, replayed in reverse on rollback.

@@ -1,0 +1,63 @@
+"""The shared version-stamped cache protocol.
+
+Every cache that derives data from the database (statistics catalog,
+attribute-value maps, entity-linker text pools) follows one subtle
+concurrency protocol, kept in exactly one place here:
+
+1. fast path — check the stamped entry under the cache mutex; a hit
+   requires the stamp to equal the current data version;
+2. miss — *release* the mutex (so a slow rebuild of one key never
+   blocks hits on others), recompute under the database's shared read
+   lock, capturing the version inside that lock (writers are excluded,
+   so the stamp is consistent with the data read);
+3. store — re-take the mutex and replace the entry only when the
+   stored stamp is not newer, so two racing rebuilds converge on the
+   freshest value.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = ["VersionStampedCache"]
+
+
+class VersionStampedCache:
+    """Concurrency-safe ``key -> value`` cache stamped by data version."""
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._lock = threading.Lock()
+        self._entries: dict[Hashable, tuple[int, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable, compute: Callable[[], Any]) -> Any:
+        """The cached value for ``key``, recomputing if stale or absent.
+
+        ``compute`` is invoked under the database's read lock and must
+        derive the value purely from the current database contents.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == self._database.data_version:
+                self.hits += 1
+                return entry[1]
+            self.misses += 1
+        with self._database.read_locked():
+            version = self._database.data_version
+            value = compute()
+        with self._lock:
+            current = self._entries.get(key)
+            if current is None or current[0] <= version:
+                self._entries[key] = (version, value)
+        return value
+
+    def invalidate(self) -> None:
+        """Drop every entry (they also refresh lazily via the stamps)."""
+        with self._lock:
+            self._entries.clear()

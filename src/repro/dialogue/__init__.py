@@ -1,11 +1,13 @@
 """Dialogue management: acts, state tracking, learned policy, manager."""
 
 from repro.dialogue import acts
+from repro.dialogue.context import ConversationContext
 from repro.dialogue.manager import DialogueManager
 from repro.dialogue.policy import NextActionModel
 from repro.dialogue.state import DialogueState, Phase
 
 __all__ = [
+    "ConversationContext",
     "DialogueManager",
     "DialogueState",
     "NextActionModel",

@@ -95,3 +95,19 @@ class DialogueError(ReproError):
 
 class PolicyError(ReproError):
     """A slot-selection policy was misconfigured or misused."""
+
+
+# ---------------------------------------------------------------------------
+# Serving runtime
+# ---------------------------------------------------------------------------
+
+class ServingError(ReproError):
+    """Base class for multi-session serving runtime errors."""
+
+
+class UnknownSessionError(ServingError):
+    """A session id does not exist (never created, closed, or evicted)."""
+
+
+class SessionExpiredError(UnknownSessionError):
+    """A session exceeded its idle TTL and was reclaimed."""

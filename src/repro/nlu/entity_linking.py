@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.db.database import Database
 from repro.db.types import DataType, TypeMismatchError, coerce, render
+from repro.db.versioncache import VersionStampedCache
 from repro.nlu.textmatch import best_match
 from repro.synthesis.templates import SlotVocabulary
 
@@ -58,7 +59,11 @@ class EntityLinker:
         self._vocabulary = vocabulary
         self._fuzzy_threshold = fuzzy_threshold
         self.reference_date = reference_date
-        self._text_pools: dict[str, list[str]] = {}
+        # slot -> canonical values; version-stamped like the other
+        # shared caches, since one linker serves every concurrent
+        # session and must see committed inserts (a newly added movie
+        # title must become linkable).
+        self._text_pools = VersionStampedCache(database)
 
     def link(self, slot: str, raw: str) -> LinkedValue | None:
         """Canonicalise ``raw`` for ``slot``; ``None`` when unresolvable."""
@@ -104,23 +109,23 @@ class EntityLinker:
                            corrected=corrected)
 
     def _text_pool(self, slot: str) -> list[str]:
-        pool = self._text_pools.get(slot)
-        if pool is None:
-            source = self._vocabulary.source(slot)
-            assert source.attribute is not None
-            table = self._database.table(source.attribute.table)
-            values = {
-                render(v, source.dtype)
-                for v in table.column_values(source.attribute.column)
-                if v is not None
-            }
-            pool = sorted(values)
-            self._text_pools[slot] = pool
-        return pool
+        return self._text_pools.lookup(slot, lambda: self._build_pool(slot))
+
+    def _build_pool(self, slot: str) -> list[str]:
+        source = self._vocabulary.source(slot)
+        assert source.attribute is not None
+        table = self._database.table(source.attribute.table)
+        values = {
+            render(v, source.dtype)
+            for v in table.column_values(source.attribute.column)
+            if v is not None
+        }
+        return sorted(values)
 
     def invalidate(self) -> None:
-        """Drop cached value pools (call after data changes)."""
-        self._text_pools.clear()
+        """Drop cached value pools (they also refresh automatically when
+        the data version moves)."""
+        self._text_pools.invalidate()
 
 
 def _extract_typed(raw: str, dtype: DataType) -> Any | None:

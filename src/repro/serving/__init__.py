@@ -1,0 +1,24 @@
+"""Concurrent multi-session serving on top of one synthesized agent.
+
+One :class:`~repro.agent.artifacts.AgentArtifacts` bundle is expensive
+to synthesize but read-only to serve, so a single bundle (plus the
+shared database) can back any number of simultaneous conversations.
+This package provides the runtime for that:
+
+* :class:`~repro.serving.sessions.SessionStore` — named sessions with
+  idle-TTL expiry and LRU capacity eviction,
+* :class:`~repro.serving.runtime.AgentRuntime` — the thread-safe entry
+  point: ``runtime.respond(session_id, text)``; read-only turn work runs
+  concurrently, transactions serialise through the database's write
+  lock.
+"""
+
+from repro.serving.runtime import AgentRuntime, RuntimeStats
+from repro.serving.sessions import Session, SessionStore
+
+__all__ = [
+    "AgentRuntime",
+    "RuntimeStats",
+    "Session",
+    "SessionStore",
+]

@@ -1,0 +1,151 @@
+"""The concurrent multi-session agent runtime.
+
+``AgentRuntime`` owns one immutable artifacts bundle and the database,
+and serves any number of named conversations against them::
+
+    runtime = cat.synthesize_runtime(session_ttl=1800.0)
+    sid = runtime.create_session()
+    reply = runtime.respond(sid, "i want to buy 2 tickets")
+
+Concurrency model:
+
+* turns on *different* sessions run in parallel — read-only work (NLU
+  parsing, candidate scoring, statistics lookups) takes only the
+  database's shared read lock and the caches' internal mutexes;
+* turns on the *same* session serialise on the session's turn lock, so
+  a client double-submitting cannot corrupt its own dialogue state;
+* transactions (the execute step at the end of a task) go through the
+  database's exclusive write lock via the stored-procedure registry, so
+  writers serialise and readers never observe a half-applied change.
+
+Sessions expire after ``session_ttl`` seconds idle and the store evicts
+least-recently-used sessions beyond ``max_sessions`` — both are what a
+"millions of users" deployment needs to bound memory.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.agent.agent import AgentReply, ConversationalAgent
+from repro.agent.artifacts import AgentArtifacts
+from repro.agent.session import TranscriptTurn
+from repro.db.database import Database
+from repro.serving.sessions import Session, SessionStore
+
+__all__ = ["AgentRuntime", "RuntimeStats"]
+
+
+@dataclass(frozen=True)
+class RuntimeStats:
+    """Aggregate counters of one runtime."""
+
+    live_sessions: int
+    sessions_created: int
+    sessions_expired: int
+    sessions_evicted: int
+    turns_served: int
+    transactions_committed: int
+    transactions_aborted: int
+
+
+class AgentRuntime:
+    """Thread-safe serving front end for one synthesized agent."""
+
+    def __init__(
+        self,
+        database: Database,
+        artifacts: AgentArtifacts,
+        session_ttl: float | None = None,
+        max_sessions: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+        record_transcripts: bool = True,
+    ) -> None:
+        self.database = database
+        self.artifacts = artifacts
+        # One shared engine: it holds no per-conversation state beyond
+        # its (unused here) default context, so all sessions reuse it.
+        self._agent = ConversationalAgent(database, artifacts)
+        self.sessions = SessionStore(
+            context_factory=artifacts.new_context,
+            ttl=session_ttl,
+            max_sessions=max_sessions,
+            clock=clock,
+        )
+        self._record_transcripts = record_transcripts
+        self._stats_lock = threading.Lock()
+        self._turns_served = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_agent(cls, agent: ConversationalAgent, **options) -> "AgentRuntime":
+        """Wrap an already-synthesized single-session agent."""
+        return cls(agent._database, agent.artifacts, **options)
+
+    # ------------------------------------------------------------------
+    # Session lifecycle
+    # ------------------------------------------------------------------
+    def create_session(self, session_id: str | None = None) -> str:
+        return self.sessions.create(session_id).session_id
+
+    def end_session(self, session_id: str) -> None:
+        self.sessions.close(session_id)
+
+    def session(self, session_id: str) -> Session:
+        """The live session (touches its LRU/TTL clock)."""
+        return self.sessions.get(session_id)
+
+    def peek_session(self, session_id: str) -> Session:
+        """The live session without touching TTL/LRU (observability)."""
+        return self.sessions.peek(session_id)
+
+    def session_ids(self) -> list[str]:
+        return self.sessions.ids()
+
+    @property
+    def session_count(self) -> int:
+        return len(self.sessions)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def respond(self, session_id: str, text: str) -> AgentReply:
+        """Process one utterance in the named session."""
+        session = self.sessions.get(session_id)
+        with session.turn_lock:
+            reply = self._agent.respond(text, context=session.context)
+            session.turn_count += 1
+            if self._record_transcripts:
+                session.transcript.append(
+                    TranscriptTurn(
+                        user=text,
+                        agent=reply.text,
+                        intent=reply.nlu.intent if reply.nlu else None,
+                        executed=reply.executed,
+                    )
+                )
+        with self._stats_lock:
+            self._turns_served += 1
+        return reply
+
+    def transcript(self, session_id: str) -> list[TranscriptTurn]:
+        """Recorded turns of one session (empty when recording is off)."""
+        return list(self.sessions.peek(session_id).transcript)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> RuntimeStats:
+        store = self.sessions
+        with self._stats_lock:
+            turns = self._turns_served
+        return RuntimeStats(
+            live_sessions=len(store),
+            sessions_created=store.created_count,
+            sessions_expired=store.expired_count,
+            sessions_evicted=store.evicted_count,
+            turns_served=turns,
+            transactions_committed=self.database.transactions.committed_count,
+            transactions_aborted=self.database.transactions.aborted_count,
+        )

@@ -1,0 +1,213 @@
+"""Tests for the readers–writer lock backing the serving runtime."""
+
+import threading
+
+import pytest
+
+from repro.db import RWLock
+
+
+def run_with_timeout(target, timeout=5.0):
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    thread.join(timeout=timeout)
+    return not thread.is_alive()
+
+
+class TestBasics:
+    def test_many_readers(self):
+        lock = RWLock()
+        entered = []
+        barrier = threading.Barrier(4)
+
+        def reader():
+            with lock.read_lock():
+                barrier.wait(timeout=5)  # all four inside simultaneously
+                entered.append(1)
+
+        threads = [threading.Thread(target=reader) for __ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert len(entered) == 4
+
+    def test_writer_excludes_readers(self):
+        lock = RWLock()
+        order = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_lock():
+                order.append("read")
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        thread.join(timeout=0.2)
+        assert order == []  # blocked behind the writer
+        order.append("write-done")
+        lock.release_write()
+        thread.join(timeout=5)
+        assert order == ["write-done", "read"]
+
+    def test_reentrant_write(self):
+        lock = RWLock()
+        with lock.write_lock():
+            with lock.write_lock():
+                assert lock.write_held
+        assert not lock.write_held
+
+    def test_reentrant_read(self):
+        lock = RWLock()
+        with lock.read_lock():
+            with lock.read_lock():
+                pass
+        # Fully released: a writer can proceed.
+        assert run_with_timeout(lambda: lock.write_lock().__enter__())
+
+    def test_upgrade_refused(self):
+        lock = RWLock()
+        with lock.read_lock():
+            with pytest.raises(RuntimeError):
+                lock.acquire_write()
+
+    def test_unmatched_release_raises(self):
+        lock = RWLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestReadInsideWrite:
+    def test_read_inside_write_is_nonblocking(self):
+        lock = RWLock()
+        with lock.write_lock():
+            with lock.read_lock():
+                assert lock.write_held
+
+    def test_read_released_after_write_does_not_underflow(self):
+        """Regression: unnested release order must not wedge writers.
+
+        acquire_write -> acquire_read -> release_write -> release_read
+        used to decrement the reader count below zero, deadlocking every
+        subsequent writer.
+        """
+        lock = RWLock()
+        lock.acquire_write()
+        lock.acquire_read()
+        lock.release_write()
+        lock.release_read()
+
+        def writer():
+            with lock.write_lock():
+                pass
+
+        assert run_with_timeout(writer), "writer deadlocked after unnested release"
+
+    def test_write_release_downgrades_to_counted_read(self):
+        """A read outliving its write must keep real shared protection."""
+        lock = RWLock()
+        lock.acquire_write()
+        lock.acquire_read()
+        lock.release_write()  # downgrade: the read is now a true reader
+        acquired = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            acquired.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        assert not acquired.wait(timeout=0.2), (
+            "writer slipped past a downgraded read lock"
+        )
+        lock.release_read()
+        assert acquired.wait(timeout=5)
+
+
+class TestSuspendResume:
+    def test_suspend_lets_writer_in_then_resumes(self):
+        lock = RWLock()
+        lock.acquire_read()
+        depth = lock.suspend_reads()
+        assert depth == 1
+
+        def writer():
+            with lock.write_lock():
+                pass
+
+        assert run_with_timeout(writer), "writer blocked by suspended reads"
+        lock.resume_reads(depth)
+        # Reads are held again: a writer must now block.
+        blocked = threading.Event()
+
+        def writer2():
+            lock.acquire_write()
+            blocked.set()
+            lock.release_write()
+
+        thread = threading.Thread(target=writer2, daemon=True)
+        thread.start()
+        assert not blocked.wait(timeout=0.2)
+        lock.release_read()
+        assert blocked.wait(timeout=5)
+
+    def test_suspend_without_reads_is_noop(self):
+        lock = RWLock()
+        assert lock.suspend_reads() == 0
+        lock.resume_reads(0)  # must not acquire anything
+        assert run_with_timeout(lambda: lock.write_lock().__enter__())
+
+    def test_suspend_preserves_depth(self):
+        lock = RWLock()
+        lock.acquire_read()
+        lock.acquire_read()
+        depth = lock.suspend_reads()
+        assert depth == 2
+        lock.resume_reads(depth)
+        lock.release_read()
+        lock.release_read()
+        assert run_with_timeout(lambda: lock.write_lock().__enter__())
+
+    def test_suspend_under_write_is_noop(self):
+        lock = RWLock()
+        with lock.write_lock():
+            with lock.read_lock():
+                assert lock.suspend_reads() == 0
+
+
+class TestStress:
+    def test_readers_and_writers_interleave_without_deadlock(self):
+        lock = RWLock()
+        counter = {"value": 0, "max_concurrent_writers": 0}
+        active_writers = []
+        errors = []
+
+        def reader():
+            try:
+                for __ in range(200):
+                    with lock.read_lock():
+                        assert not active_writers
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def writer():
+            try:
+                for __ in range(50):
+                    with lock.write_lock():
+                        active_writers.append(1)
+                        counter["value"] += 1
+                        active_writers.pop()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for __ in range(6)]
+        threads += [threading.Thread(target=writer) for __ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors
+        assert counter["value"] == 150

@@ -158,3 +158,75 @@ class TestAtomicity:
         db.procedures.call("take_stock", item_id=1, amount=1)
         db.transactions.rollback()
         assert db.find_one("item", "item_id", 1)["stock"] == 5
+
+
+class TestReadOnlyProcedures:
+    def make_reader(self):
+        return Procedure(
+            name="check_stock",
+            parameters=[
+                Parameter("item_id", DataType.INTEGER,
+                          references=("item", "item_id")),
+            ],
+            body=lambda database, item_id: database.find_one(
+                "item", "item_id", item_id
+            )["stock"],
+            reads=("item",),
+        )
+
+    def test_read_only_call_does_not_bump_data_version(self, db):
+        """Read-only calls must not invalidate the shared caches."""
+        db.procedures.register(self.make_reader())
+        before = db.data_version
+        committed_before = db.transactions.committed_count
+        result = db.procedures.call("check_stock", item_id=1)
+        assert result.value == 5
+        assert db.data_version == before
+        assert db.transactions.committed_count == committed_before
+
+    def test_read_only_calls_run_concurrently(self, db):
+        """Two read-only bodies can be in flight at the same time."""
+        import threading
+
+        db.procedures.register(
+            Procedure(
+                name="paired_read",
+                parameters=[],
+                body=lambda database: barrier.wait(timeout=5),
+                reads=("item",),
+            )
+        )
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def call():
+            try:
+                db.procedures.call("paired_read")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=call) for __ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        # The barrier only releases when both bodies overlap; a write
+        # lock would serialize them and time out.
+        assert not errors
+
+    def test_misdeclared_read_only_writer_is_rejected(self, db):
+        db.procedures.register(
+            Procedure(
+                name="sneaky_write",
+                parameters=[],
+                body=lambda database: database.update(
+                    "item",
+                    database.table("item").lookup("item_id", 1)[0],
+                    {"stock": 0},
+                ),
+                reads=("item",),
+            )
+        )
+        with pytest.raises(ProcedureError, match="read-only"):
+            db.procedures.call("sneaky_write")
+        assert db.find_one("item", "item_id", 1)["stock"] == 5

@@ -9,7 +9,7 @@ from repro.synthesis import SlotVocabulary
 @pytest.fixture(scope="module")
 def nlu(trained_agent):
     cat, agent = trained_agent
-    return agent._nlu
+    return agent.artifacts.nlu
 
 
 class TestParsing:

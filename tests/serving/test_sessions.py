@@ -1,0 +1,189 @@
+"""Unit tests for the session store: TTL expiry and LRU eviction."""
+
+import threading
+
+import pytest
+
+from repro.errors import ServingError, SessionExpiredError, UnknownSessionError
+from repro.serving import SessionStore
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class StubContext:
+    def __init__(self) -> None:
+        self.turns = []
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_store(clock, **kwargs):
+    return SessionStore(StubContext, clock=clock, **kwargs)
+
+
+class TestLifecycle:
+    def test_create_generates_unique_ids(self, clock):
+        store = make_store(clock)
+        first = store.create()
+        second = store.create()
+        assert first.session_id != second.session_id
+        assert len(store) == 2
+
+    def test_create_with_explicit_id(self, clock):
+        store = make_store(clock)
+        session = store.create("alice")
+        assert session.session_id == "alice"
+        assert store.get("alice") is session
+
+    def test_duplicate_id_rejected(self, clock):
+        store = make_store(clock)
+        store.create("alice")
+        with pytest.raises(ServingError):
+            store.create("alice")
+
+    def test_each_session_gets_fresh_context(self, clock):
+        store = make_store(clock)
+        a = store.create()
+        b = store.create()
+        assert a.context is not b.context
+
+    def test_get_unknown_raises(self, clock):
+        store = make_store(clock)
+        with pytest.raises(UnknownSessionError):
+            store.get("nope")
+
+    def test_close_removes(self, clock):
+        store = make_store(clock)
+        store.create("alice")
+        store.close("alice")
+        assert "alice" not in store
+        with pytest.raises(UnknownSessionError):
+            store.close("alice")
+
+
+class TestTTL:
+    def test_idle_session_expires_on_get(self, clock):
+        store = make_store(clock, ttl=60.0)
+        store.create("alice")
+        clock.advance(61.0)
+        with pytest.raises(SessionExpiredError):
+            store.get("alice")
+        assert "alice" not in store
+        assert store.expired_count == 1
+
+    def test_activity_refreshes_ttl(self, clock):
+        store = make_store(clock, ttl=60.0)
+        store.create("alice")
+        for __ in range(5):
+            clock.advance(50.0)
+            store.get("alice")  # keeps the session alive
+        assert "alice" in store
+
+    def test_expire_reaps_eagerly(self, clock):
+        store = make_store(clock, ttl=60.0)
+        store.create("old")
+        clock.advance(59.0)
+        store.create("young")
+        clock.advance(2.0)  # old: 61s idle, young: 2s idle
+        assert store.expire() == ["old"]
+        assert store.ids() == ["young"]
+
+    def test_expired_session_is_gone_not_stale(self, clock):
+        """A re-created id after expiry must get a fresh context."""
+        store = make_store(clock, ttl=60.0)
+        old = store.create("alice")
+        old.context.turns.append("x")
+        clock.advance(61.0)
+        with pytest.raises(UnknownSessionError):
+            store.get("alice")
+        fresh = store.create("alice")
+        assert fresh.context.turns == []
+
+    def test_invalid_ttl_rejected(self, clock):
+        with pytest.raises(ServingError):
+            make_store(clock, ttl=0.0)
+
+
+class TestPeek:
+    def test_peek_does_not_refresh_ttl(self, clock):
+        store = make_store(clock, ttl=60.0)
+        store.create("alice")
+        clock.advance(40.0)
+        store.peek("alice")  # observing must not keep it alive
+        clock.advance(40.0)  # 80s idle total despite the peek
+        with pytest.raises(SessionExpiredError):
+            store.peek("alice")
+
+    def test_peek_does_not_change_lru_order(self, clock):
+        store = make_store(clock, max_sessions=2)
+        store.create("a")
+        clock.advance(1.0)
+        store.create("b")
+        store.peek("a")  # must NOT rescue a from eviction
+        store.create("c")
+        assert sorted(store.ids()) == ["b", "c"]
+
+    def test_peek_unknown_raises(self, clock):
+        store = make_store(clock)
+        with pytest.raises(UnknownSessionError):
+            store.peek("nope")
+
+
+class TestLRU:
+    def test_capacity_evicts_least_recently_used(self, clock):
+        store = make_store(clock, max_sessions=3)
+        for sid in ("a", "b", "c"):
+            store.create(sid)
+            clock.advance(1.0)
+        store.get("a")  # refresh a: b is now the LRU
+        store.create("d")
+        assert "b" not in store
+        assert sorted(store.ids()) == ["a", "c", "d"]
+        assert store.evicted_count == 1
+
+    def test_eviction_order_is_use_order_not_creation_order(self, clock):
+        store = make_store(clock, max_sessions=2)
+        store.create("a")
+        store.create("b")
+        store.get("a")
+        store.create("c")  # b was least recently *used*
+        assert sorted(store.ids()) == ["a", "c"]
+
+    def test_invalid_capacity_rejected(self, clock):
+        with pytest.raises(ServingError):
+            make_store(clock, max_sessions=0)
+
+
+class TestConcurrency:
+    def test_parallel_creates_stay_within_capacity(self, clock):
+        store = make_store(clock, max_sessions=8)
+        errors = []
+
+        def worker():
+            try:
+                for __ in range(25):
+                    store.create()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for __ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store) == 8
+        assert store.created_count == 200
+        assert store.evicted_count == 192
