@@ -1,0 +1,240 @@
+"""Query engine benchmark: planned execution vs the seed scan path.
+
+Replays representative workloads (point lookup, selective range scans,
+range + ORDER BY + LIMIT, COUNT(*), selective range + join) against the
+cinema database, comparing the cost-based engine behind ``Query.run()``
+with a faithful replica of the seed implementation (equality-index
+pre-selection, join-then-filter, full sort).  Results verify equality on
+every workload before timing, so the speedups are for identical output.
+
+Run standalone (CI runs the smoke profile and archives the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_query_engine.py --smoke \
+        --output BENCH_query_engine.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import json
+import statistics as stats
+import sys
+import time
+
+from repro.datasets import MovieConfig, build_movie_database
+from repro.db import Query, and_, eq, ge, le
+from repro.db.table import Row
+
+
+# ---------------------------------------------------------------------------
+# The seed execution path, replicated for an apples-to-apples baseline
+# ---------------------------------------------------------------------------
+
+def seed_run(query: Query, database) -> list[Row]:
+    """Execute ``query`` exactly as the pre-engine ``Query.run()`` did."""
+    table = database.table(query.table)
+    bindings = query._predicate.equality_bindings()
+    best = None
+    for column, value in bindings.items():
+        if not table.schema.has_column(column) or not table.has_index(column):
+            continue
+        try:
+            ids = table.lookup(column, value)
+        except Exception:
+            continue
+        if best is None or len(ids) < len(best):
+            best = ids
+    row_ids = best if best is not None else table.row_ids()
+    rows = [table.get(rid) for rid in row_ids]
+    for column, table_name, target_column in query._joins:
+        other = database.table(table_name)
+        joined: list[Row] = []
+        for row in rows:
+            key = row.get(column)
+            if key is None:
+                continue
+            for rid in other.lookup(target_column, key):
+                match = other.get(rid)
+                widened = dict(row)
+                for other_col, value in match.items():
+                    widened[f"{table_name}.{other_col}"] = value
+                joined.append(widened)
+        rows = joined
+    rows = [row for row in rows if query._predicate.matches(row)]
+    if query._order_by is not None:
+        rows.sort(
+            key=lambda r: (r[query._order_by] is None, r[query._order_by]),
+            reverse=query._descending,
+        )
+    if query._limit is not None:
+        rows = rows[: query._limit]
+    if query._projection is not None:
+        rows = [{c: row[c] for c in query._projection} for row in rows]
+    return rows
+
+
+def seed_count(query: Query, database) -> int:
+    return len(seed_run(query, database))
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+def make_workloads(config: MovieConfig):
+    """``name -> (query factory, runner pair)`` over the cinema schema."""
+    day = config.start_date + dt.timedelta(days=config.n_days // 2)
+    one_day = and_(ge("date", day), le("date", day))
+
+    def q_point():
+        return Query("screening").where(eq("screening_id", config.n_screenings // 2))
+
+    def q_range():
+        return Query("screening").where(one_day)
+
+    def q_range_order_limit():
+        return (
+            Query("screening")
+            .where(and_(ge("date", day), le("date", day + dt.timedelta(days=2))))
+            .order_by("date")
+            .limit(10)
+        )
+
+    def q_count_range():
+        return Query("screening").where(one_day)
+
+    def q_range_join():
+        return (
+            Query("screening")
+            .where(one_day)
+            .join("movie_id", "movie", "movie_id")
+        )
+
+    return {
+        "point_lookup": (q_point, "rows"),
+        "selective_range": (q_range, "rows"),
+        "range_order_limit": (q_range_order_limit, "rows"),
+        "count_range": (q_count_range, "count"),
+        "selective_range_join": (q_range_join, "rows"),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+def _time(fn, min_seconds: float, max_iterations: int) -> float:
+    """Median wall-clock seconds per call."""
+    fn()  # warm caches (statistics catalog, probe maps)
+    samples: list[float] = []
+    budget_start = time.perf_counter()
+    while (
+        len(samples) < 5
+        or (
+            time.perf_counter() - budget_start < min_seconds
+            and len(samples) < max_iterations
+        )
+    ):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return stats.median(samples)
+
+
+def run_benchmark(smoke: bool) -> dict:
+    config = MovieConfig(
+        n_screenings=3000 if smoke else 12000,
+        n_movies=150 if smoke else 400,
+        n_customers=400 if smoke else 1000,
+        n_reservations=1000 if smoke else 4000,
+        n_actors=80,
+        n_days=30 if smoke else 60,
+    )
+    database, __ = build_movie_database(config)
+    min_seconds = 0.1 if smoke else 0.4
+    max_iterations = 50 if smoke else 200
+
+    results: dict = {
+        "benchmark": "query_engine",
+        "profile": "smoke" if smoke else "full",
+        "config": {
+            "n_screenings": config.n_screenings,
+            "n_movies": config.n_movies,
+            "n_days": config.n_days,
+        },
+        "workloads": {},
+    }
+    for name, (factory, mode) in make_workloads(config).items():
+        query = factory()
+        if mode == "count":
+            seed_result = seed_count(query, database)
+            engine_result = query.count(database)
+            seed_fn = lambda: seed_count(factory(), database)  # noqa: E731
+            engine_fn = lambda: factory().count(database)  # noqa: E731
+        else:
+            seed_result = seed_run(query, database)
+            engine_result = query.run(database)
+            seed_fn = lambda: seed_run(factory(), database)  # noqa: E731
+            engine_fn = lambda: factory().run(database)  # noqa: E731
+        if seed_result != engine_result:
+            raise AssertionError(
+                f"workload {name!r}: engine result differs from seed path"
+            )
+        seed_s = _time(seed_fn, min_seconds, max_iterations)
+        engine_s = _time(engine_fn, min_seconds, max_iterations)
+        results["workloads"][name] = {
+            "seed_ms": round(seed_s * 1000, 4),
+            "engine_ms": round(engine_s * 1000, 4),
+            "speedup": round(seed_s / engine_s, 2) if engine_s > 0 else None,
+            "result_size": (
+                seed_result if mode == "count" else len(seed_result)
+            ),
+        }
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, CI-sized database and time budget")
+    parser.add_argument("--output", default="BENCH_query_engine.json",
+                        metavar="PATH", help="where to write the JSON record")
+    parser.add_argument(
+        "--require-speedup", type=float, default=None, metavar="X",
+        help="fail unless the selective range/join workloads beat the seed "
+        "path by at least this factor",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmark(smoke=args.smoke)
+    table_width = max(len(n) for n in results["workloads"])
+    print(f"query engine benchmark ({results['profile']}):")
+    for name, row in results["workloads"].items():
+        print(
+            f"  {name:<{table_width}}  seed {row['seed_ms']:9.3f} ms   "
+            f"engine {row['engine_ms']:9.3f} ms   {row['speedup']:8.1f}x"
+        )
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    if args.require_speedup is not None:
+        gated = ["selective_range", "range_order_limit", "selective_range_join"]
+        failing = [
+            name
+            for name in gated
+            if results["workloads"][name]["speedup"] < args.require_speedup
+        ]
+        if failing:
+            print(
+                f"FAIL: {failing} below required {args.require_speedup}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -69,7 +69,9 @@ class AgentArtifacts:
             nlu=nlu,
             dm_model=dm_model,
             vocabulary=vocabulary,
-            statistics=StatisticsCatalog(database),
+            # The same catalog instance the query planner prices plans
+            # with: one rebuild per data version serves both.
+            statistics=database.statistics,
             value_cache=AttributeValueCache(database, catalog),
             choice_list_size=choice_list_size,
         )

@@ -8,6 +8,7 @@ Commands mirror the demo workflow of Section 5:
 * ``report``    — print the synthesis report (tasks, data, actions).
 * ``policies``  — compare data-aware / static / random slot selection.
 * ``snapshot``  — dump the cinema database to a JSON file.
+* ``explain``   — show the cost-based plan the query engine picks.
 """
 
 from __future__ import annotations
@@ -203,6 +204,113 @@ def _cmd_policies() -> int:
     return 0
 
 
+_EXPLAIN_OPS = (">=", "<=", "!=", "==", "~", ">", "<", "=")
+
+_EXPLAIN_DEMOS = [
+    "screening --where date>=2022-03-27 --where date<=2022-03-30",
+    "screening --where screening_id=5",
+    "screening --join movie_id:movie:movie_id --where movie.year>1990 "
+    "--order-by date --limit 5",
+    "screening --where room='room A' --count",
+    "movie --order-by year --desc --limit 3 --select title,year",
+]
+
+
+def _parse_explain_value(text: str):
+    from repro.db import DataType, coerce
+    from repro.errors import TypeMismatchError
+
+    text = text.strip().strip("'\"")
+    for dtype in (DataType.INTEGER, DataType.FLOAT, DataType.DATE,
+                  DataType.TIME):
+        try:
+            return coerce(text, dtype)
+        except TypeMismatchError:
+            continue
+    return text
+
+
+def _parse_explain_condition(text: str):
+    from repro.db import query as q
+    from repro.errors import QueryError
+
+    for op in _EXPLAIN_OPS:
+        if op in text:
+            column, __, value = text.partition(op)
+            column = column.strip()
+            parsed = _parse_explain_value(value)
+            if op == "~":
+                return q.contains(column, str(parsed))
+            op = "==" if op == "=" else op
+            return q.Comparison(column, op, parsed)
+    raise QueryError(
+        f"cannot parse condition {text!r} (use column<op>value with one of "
+        f"{', '.join(_EXPLAIN_OPS)})"
+    )
+
+
+def _explain_one(database, args) -> int:
+    from repro.db import Query
+    from repro.errors import DatabaseError
+
+    query = Query(args.table)
+    try:
+        for condition in args.where or ():
+            query.where(_parse_explain_condition(condition))
+        for join in args.join or ():
+            parts = join.split(":")
+            if len(parts) != 3:
+                print(f"bad --join {join!r} (expected column:table:target)")
+                return 2
+            query.join(*parts)
+        if args.order_by:
+            query.order_by(args.order_by, descending=args.desc)
+        if args.limit is not None:
+            query.limit(args.limit)
+        if args.select:
+            query.select(*[c.strip() for c in args.select.split(",")])
+        print(query.explain(database, count_only=args.count))
+    except DatabaseError as exc:
+        print(f"error: {exc}")
+        return 2
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import shlex
+
+    from repro.datasets import build_movie_database
+
+    database, __ = build_movie_database()
+    if args.table is not None:
+        return _explain_one(database, args)
+    # No table given: walk the showcase queries.
+    parser = _make_explain_parser(argparse.ArgumentParser(prog="explain"))
+    for demo in _EXPLAIN_DEMOS:
+        print(f"$ python -m repro explain {demo}")
+        status = _explain_one(database, parser.parse_args(shlex.split(demo)))
+        if status != 0:
+            return status
+        print()
+    return 0
+
+
+def _make_explain_parser(parser):
+    parser.add_argument("table", nargs="?", default=None,
+                        help="root table (omit to show showcase plans)")
+    parser.add_argument("--where", action="append", metavar="COND",
+                        help="condition, e.g. date>=2022-03-27 or title~gump")
+    parser.add_argument("--join", action="append", metavar="COL:TABLE:TARGET",
+                        help="equi-join root.COL = TABLE.TARGET")
+    parser.add_argument("--order-by", metavar="COLUMN")
+    parser.add_argument("--desc", action="store_true")
+    parser.add_argument("--limit", type=int, metavar="N")
+    parser.add_argument("--select", metavar="COL,COL")
+    parser.add_argument("--count", action="store_true",
+                        help="plan COUNT(*) instead of row retrieval")
+    return parser
+
+
 def _cmd_snapshot(path: str) -> int:
     from repro.datasets import build_movie_database
     from repro.db import dump_database
@@ -236,6 +344,12 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("policies", help="compare slot-selection policies")
     snapshot = sub.add_parser("snapshot", help="dump the cinema database")
     snapshot.add_argument("path", help="output JSON file")
+    _make_explain_parser(
+        sub.add_parser(
+            "explain",
+            help="show the cost-based query plan on the cinema database",
+        )
+    )
 
     args = parser.parse_args(argv)
     if args.command == "demo":
@@ -250,6 +364,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_policies()
     if args.command == "snapshot":
         return _cmd_snapshot(args.path)
+    if args.command == "explain":
+        return _cmd_explain(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

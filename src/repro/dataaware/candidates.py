@@ -24,6 +24,7 @@ from repro.dataaware.caching import AttributeValueCache
 from repro.dataaware.join_graph import JoinPath, JoinPlanner, map_values
 from repro.db.catalog import Catalog, ColumnRef
 from repro.db.database import Database
+from repro.db.query import Predicate, Query, eq
 from repro.db.types import DataType, TypeMismatchError, coerce
 from repro.errors import PolicyError
 from repro.textutil import damerau_levenshtein
@@ -120,9 +121,21 @@ class CandidateSet:
         table: str,
         fuzzy_threshold: float = 0.82,
         shared_cache: AttributeValueCache | None = None,
+        where: Predicate | None = None,
     ) -> "CandidateSet":
-        """All rows of ``table`` as candidates."""
-        row_ids = tuple(database.table(table).row_ids())
+        """Candidates of ``table``, optionally pre-filtered by ``where``.
+
+        With a predicate, seeding goes through the planned query engine:
+        the access path pushes the constraints into hash/ordered indexes
+        instead of materialising every row id and filtering afterwards.
+        """
+        if where is None:
+            row_ids = tuple(database.table(table).row_ids())
+        else:
+            from repro.db.engine import execute_row_ids
+
+            plan = Query(table).where(where).plan(database)
+            row_ids = tuple(execute_row_ids(database, plan))
         return cls(database, catalog, table, row_ids,
                    fuzzy_threshold=fuzzy_threshold, shared_cache=shared_cache)
 
@@ -213,6 +226,9 @@ class CandidateSet:
         except TypeMismatchError:
             # Unparseable user value: treat as text comparison if possible.
             needle = value
+        narrowed = self._index_refine(attribute, needle, dtype)
+        if narrowed is not None:
+            return self._refined(narrowed, attribute, needle)
         values = self.values_for(attribute)
         if dtype is DataType.TEXT and isinstance(needle, str):
             exact = tuple(
@@ -229,6 +245,35 @@ class CandidateSet:
             rid for rid in self.row_ids if self._matches(values[rid], needle, dtype)
         )
         return self._refined(surviving, attribute, needle)
+
+    def _index_refine(
+        self, attribute: ColumnRef, needle: Any, dtype: DataType
+    ) -> tuple[int, ...] | None:
+        """Index-backed narrowing via the query engine, when applicable.
+
+        Only exact (non-text) equality on a hash-indexed root-table
+        column qualifies — text attributes need the fuzzy-match
+        semantics and joined attributes the value maps.  Returns the
+        surviving row ids (order preserved) or ``None`` to fall back to
+        the value-map path.
+        """
+        if dtype is DataType.TEXT or needle is None:
+            return None
+        if attribute.table != self.table:
+            return None
+        table = self._database.table(self.table)
+        if not table.has_index(attribute.column):
+            return None
+        from repro.db.engine import execute_row_ids
+
+        plan = Query(self.table).where(eq(attribute.column, needle)).plan(
+            self._database
+        )
+        try:
+            matched = set(execute_row_ids(self._database, plan))
+        except TypeMismatchError:
+            return None
+        return tuple(rid for rid in self.row_ids if rid in matched)
 
     def _refined(
         self, surviving: tuple[int, ...], attribute: ColumnRef, needle: Any

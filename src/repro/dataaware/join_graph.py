@@ -20,6 +20,7 @@ from typing import Any
 
 from repro.db.catalog import Catalog, ColumnRef
 from repro.db.database import Database
+from repro.db.types import coerce
 from repro.errors import PolicyError
 
 __all__ = ["JoinStep", "JoinPath", "JoinPlanner", "map_values"]
@@ -98,26 +99,50 @@ def map_values(
 
     Rows whose chain dead-ends (NULL FK, no referencing rows) map to an
     empty set.  NULL attribute values are dropped from the result sets.
+
+    Each hop picks its join strategy like the query engine's planner: a
+    frontier wider than the next table builds one shared probe map (the
+    HashJoin operator's build side); a narrow frontier against an
+    indexed column probes the hash index per row instead.
     """
     if attribute.table != path.target:
         raise PolicyError(
             f"attribute {attribute} does not live on path target {path.target!r}"
         )
+    from repro.db.engine import build_probe_map
+
     root_table = database.table(path.root)
     # frontier: root_row_id -> set of current-table row ids
     frontier: dict[int, set[int]] = {rid: {rid} for rid in root_row_ids}
     current = root_table
     for step in path.steps:
         next_table = database.table(step.to_table)
-        # Pre-extract source values per current row to avoid repeated copies.
+        dtype = next_table.schema.column(step.target_column).dtype
+        frontier_size = sum(len(ids) for ids in frontier.values())
+        # The same build-vs-probe decision the planner makes for joins:
+        # a narrow frontier against an indexed column probes the hash
+        # index per row; a wide one amortises a single build pass.
+        use_index = (
+            next_table.has_index(step.target_column)
+            and frontier_size < len(next_table)
+        )
+        probe = (
+            None if use_index
+            else build_probe_map(next_table, step.target_column)
+        )
         next_frontier: dict[int, set[int]] = {}
         for root_id, row_ids in frontier.items():
             matched: set[int] = set()
             for row_id in row_ids:
-                value = current.get(row_id).get(step.source_column)
+                value = current.row_view(row_id).get(step.source_column)
                 if value is None:
                     continue
-                matched.update(next_table.lookup(step.target_column, value))
+                if probe is None:
+                    matched.update(
+                        next_table.lookup(step.target_column, value)
+                    )
+                else:
+                    matched.update(probe.get(coerce(value, dtype), ()))
             next_frontier[root_id] = matched
         frontier = next_frontier
         current = next_table
@@ -125,7 +150,7 @@ def map_values(
     for root_id, row_ids in frontier.items():
         values = set()
         for row_id in row_ids:
-            value = current.get(row_id).get(attribute.column)
+            value = current.row_view(row_id).get(attribute.column)
             if value is not None:
                 values.add(value)
         result[root_id] = frozenset(values)

@@ -326,10 +326,12 @@ def _ticket_reservation(
     screening = database.find_one("screening", "screening_id", screening_id)
     if screening is None:
         raise ProcedureError(f"no screening with id {screening_id}")
-    from repro.db.aggregation import aggregate, sum_
+    from repro.db.aggregation import aggregate_query, sum_
+    from repro.db.query import Query, eq
 
-    booked = aggregate(
-        database.find("reservation", "screening_id", screening_id),
+    booked = aggregate_query(
+        database,
+        Query("reservation").where(eq("screening_id", screening_id)),
         {"booked": sum_("no_tickets")},
     )[0]["booked"]
     if booked + ticket_amount > screening["capacity"]:
@@ -362,7 +364,9 @@ def _cancel_reservation(database: Database, reservation_id: int) -> dict:
 
 
 def _list_screenings(database: Database, movie_id: int) -> list[dict]:
-    return database.find("screening", "movie_id", movie_id)
+    from repro.db.query import Query, eq
+
+    return Query("screening").where(eq("movie_id", movie_id)).run(database)
 
 
 def _register_procedures(database: Database) -> None:
@@ -450,6 +454,27 @@ def annotate_movie_schema(database: Database) -> SchemaAnnotations:
     return annotations
 
 
+def _create_secondary_indexes(database: Database) -> None:
+    """Hash indexes on the FK columns the procedures and joins probe,
+    ordered indexes on the columns users constrain with ranges or that
+    back ``ORDER BY`` (dates, times, prices, years)."""
+    for table, column in [
+        ("screening", "movie_id"),
+        ("reservation", "screening_id"),
+        ("reservation", "customer_id"),
+        ("movie_actor", "movie_id"),
+        ("movie_actor", "actor_id"),
+    ]:
+        database.create_index(table, column)
+    for table, column in [
+        ("screening", "date"),
+        ("screening", "start_time"),
+        ("screening", "price"),
+        ("movie", "year"),
+    ]:
+        database.create_ordered_index(table, column)
+
+
 def build_movie_database(
     config: MovieConfig | None = None,
 ) -> tuple[Database, SchemaAnnotations]:
@@ -457,5 +482,6 @@ def build_movie_database(
     config = config or MovieConfig()
     database = Database(_movie_schema(config))
     _populate(database, config)
+    _create_secondary_indexes(database)
     _register_procedures(database)
     return database, annotate_movie_schema(database)

@@ -92,6 +92,7 @@ __all__ += [
 from repro.db.aggregation import (
     Aggregate,
     aggregate,
+    aggregate_query,
     avg,
     count,
     count_distinct,
@@ -103,6 +104,7 @@ from repro.db.aggregation import (
 __all__ += [
     "Aggregate",
     "aggregate",
+    "aggregate_query",
     "avg",
     "count",
     "count_distinct",

@@ -2,6 +2,10 @@
 
 Complements :mod:`repro.db.query` with the handful of aggregates an OLTP
 workload needs (e.g. "seats already booked for this screening").
+:func:`aggregate` reduces already-materialised rows;
+:func:`aggregate_query` runs a :class:`~repro.db.query.Query` through
+the planned executor first (and answers a bare ``COUNT(*)`` with a
+CountOnly plan, skipping row materialisation entirely).
 
 Example
 -------
@@ -14,14 +18,19 @@ Example
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.db.table import Row
 from repro.errors import QueryError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+    from repro.db.query import Query
+
 __all__ = [
     "Aggregate",
     "aggregate",
+    "aggregate_query",
     "count",
     "sum_",
     "avg",
@@ -112,3 +121,24 @@ def aggregate(
             out[name] = agg.apply(groups[key])
         result.append(out)
     return result
+
+
+def aggregate_query(
+    database: "Database",
+    query: "Query",
+    aggregates: dict[str, Aggregate],
+    group_by: list[str] | None = None,
+) -> list[Row]:
+    """Aggregate the result of ``query`` via the planned executor.
+
+    An ungrouped, lone ``COUNT(*)`` short-circuits to the engine's
+    CountOnly plan — rows are counted by the executor without being
+    materialised or projected.
+    """
+    if not aggregates:
+        raise QueryError("at least one aggregate is required")
+    if not group_by and len(aggregates) == 1:
+        (name, agg), = aggregates.items()
+        if agg.column is None and agg.name == "count":
+            return [{name: query.count(database)}]
+    return aggregate(query.run(database), aggregates, group_by)

@@ -41,6 +41,8 @@ class Database:
         self._data_version = 0
         self._listener_lock = threading.Lock()
         self._change_listeners: list[Callable[[], None]] = []
+        self._statistics_lock = threading.Lock()
+        self._statistics = None
 
     # ------------------------------------------------------------------
     # Table access
@@ -65,6 +67,41 @@ class Database:
         table = Table(schema)
         self._tables[schema.name] = table
         return table
+
+    def create_index(self, table_name: str, column: str) -> None:
+        """Build a hash index on ``table.column`` (DDL)."""
+        with self.write_locked():
+            self.table(table_name).create_index(column)
+
+    def create_ordered_index(self, table_name: str, column: str) -> None:
+        """Build an ordered secondary index on ``table.column`` (DDL).
+
+        Ordered indexes let the query planner push range predicates and
+        ``ORDER BY`` down instead of scanning and sorting.
+        """
+        with self.write_locked():
+            self.table(table_name).create_ordered_index(column)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def statistics(self):
+        """The shared :class:`~repro.db.statistics.StatisticsCatalog`.
+
+        Created lazily; version-stamped internally, so it stays
+        consistent across mutations without explicit invalidation.  The
+        query planner prices candidate plans against it.
+        """
+        catalog = self._statistics
+        if catalog is None:
+            from repro.db.statistics import StatisticsCatalog
+
+            with self._statistics_lock:
+                if self._statistics is None:
+                    self._statistics = StatisticsCatalog(self)
+                catalog = self._statistics
+        return catalog
 
     # ------------------------------------------------------------------
     # Concurrency

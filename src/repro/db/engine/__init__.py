@@ -1,0 +1,56 @@
+"""Cost-based query engine: plan tree, planner, executor, EXPLAIN.
+
+``Query.run()`` compiles the fluent query into a :class:`QuerySpec`,
+hands it to the :class:`Planner` (which consults the database's
+:class:`~repro.db.statistics.StatisticsCatalog` for row counts,
+distinct counts and most-common-value selectivities) and executes the
+resulting physical plan tree.  ``Query.explain()`` renders the chosen
+plan with cost estimates.
+"""
+
+from repro.db.engine.executor import (
+    build_probe_map,
+    execute_count,
+    execute_plan,
+    execute_row_ids,
+    execute_rows,
+)
+from repro.db.engine.explain import render_plan
+from repro.db.engine.plan import (
+    CountOnly,
+    Filter,
+    HashJoin,
+    IndexEq,
+    IndexNestedLoopJoin,
+    IndexRange,
+    PlanNode,
+    Project,
+    QuerySpec,
+    SeqScan,
+    Sort,
+    TopN,
+)
+from repro.db.engine.planner import Planner, plan_query
+
+__all__ = [
+    "CountOnly",
+    "Filter",
+    "HashJoin",
+    "IndexEq",
+    "IndexNestedLoopJoin",
+    "IndexRange",
+    "PlanNode",
+    "Planner",
+    "Project",
+    "QuerySpec",
+    "SeqScan",
+    "Sort",
+    "TopN",
+    "build_probe_map",
+    "execute_count",
+    "execute_plan",
+    "execute_row_ids",
+    "execute_rows",
+    "plan_query",
+    "render_plan",
+]

@@ -1,0 +1,317 @@
+"""Physical plan execution.
+
+Operators are generators over row dicts.  Scans yield the table's
+*internal* row dicts (views) to avoid one copy per visited row — the
+output boundary copies any view that survives to the result, so callers
+always receive fresh dicts (exactly as the seed ``Query.run()`` did).
+Joins and projections build fresh dicts, so nothing downstream of them
+needs copying.
+
+Ordering contracts (these keep results byte-for-byte identical to the
+seed scan-everything implementation):
+
+* access paths emit rows in ascending row-id order — an
+  :class:`IndexRange` used purely as a filter re-sorts its matches by
+  row id; one used to satisfy ORDER BY walks the index in value order,
+  which equals the stable sort of a row-id scan because index entries
+  tie-break on row id;
+* joins preserve outer order and emit inner matches in row-id order;
+* Sort is a stable sort; TopN tie-breaks on arrival order in both
+  directions, matching ``sorted(...)[:n]`` / ``sorted(..., reverse=True)[:n]``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import islice
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from repro.db.engine.plan import (
+    CountOnly,
+    Filter,
+    HashJoin,
+    IndexEq,
+    IndexNestedLoopJoin,
+    IndexRange,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+    TopN,
+)
+from repro.db.ordering import ordering_key
+from repro.db.table import Row
+from repro.db.types import coerce
+from repro.errors import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = [
+    "execute_plan",
+    "execute_rows",
+    "execute_count",
+    "execute_row_ids",
+    "build_probe_map",
+]
+
+
+def execute_plan(database: "Database", plan: PlanNode) -> list[Row] | int:
+    """Run ``plan``; a CountOnly root returns an int, otherwise rows."""
+    if isinstance(plan, CountOnly):
+        return execute_count(database, plan)
+    return execute_rows(database, plan)
+
+
+def execute_rows(database: "Database", plan: PlanNode) -> list[Row]:
+    """Materialise ``plan``'s output as fresh row dicts."""
+    rows, fresh = _iterate(database, plan)
+    if fresh:
+        return list(rows)
+    return [dict(row) for row in rows]
+
+
+def execute_count(database: "Database", plan: CountOnly) -> int:
+    """Count matching rows without materialising or projecting them."""
+    child = plan.child
+    if isinstance(child, SeqScan):
+        # No predicate, no joins: the table knows its cardinality.
+        count = len(database.table(child.table))
+    else:
+        rows, __ = _iterate(database, child)
+        count = 0
+        for __row in rows:
+            count += 1
+            if plan.limit is not None and count >= plan.limit:
+                break
+    if plan.limit is not None:
+        count = min(count, plan.limit)
+    return count
+
+
+def execute_row_ids(database: "Database", plan: PlanNode) -> list[int]:
+    """Root-table row ids for an access-path/filter-only plan.
+
+    Used by the candidate tracker, which keys its snapshots on internal
+    row ids rather than materialised rows.  Joins, sorts and projections
+    do not preserve root ids, so such plans are rejected.
+    """
+    if isinstance(plan, Filter):
+        ids = execute_row_ids(database, plan.child)
+        table = database.table(_leaf_table(plan))
+        predicate = plan.predicate
+        return [
+            rid for rid in ids if predicate.matches(table.row_view(rid))
+        ]
+    if isinstance(plan, SeqScan):
+        return database.table(plan.table).row_ids()
+    if isinstance(plan, IndexEq):
+        return database.table(plan.table).lookup(plan.column, plan.value)
+    if isinstance(plan, IndexRange):
+        index = database.table(plan.table).ordered_index(plan.column)
+        return sorted(
+            index.range_ids(
+                plan.low, plan.high, plan.low_inclusive, plan.high_inclusive
+            )
+        )
+    raise QueryError(
+        f"plan node {type(plan).__name__} does not preserve root row ids"
+    )
+
+
+def _leaf_table(plan: PlanNode) -> str:
+    node = plan
+    while True:
+        children = node.children()
+        if not children:
+            break
+        node = children[0]
+    table = getattr(node, "table", None)
+    if table is None:  # pragma: no cover - all leaves carry a table
+        raise QueryError(f"leaf node {type(node).__name__} has no table")
+    return table
+
+
+def build_probe_map(table, column: str) -> dict[Any, list[int]]:
+    """``value -> row ids`` (ascending) for one column — the build side
+    of a hash join.  Values are the stored, canonical column values;
+    NULLs are excluded.  Shared with the dataaware join-path walker.
+    """
+    probe: dict[Any, list[int]] = {}
+    for rid, row in table.iter_view_items():
+        value = row[column]
+        if value is None:
+            continue
+        probe.setdefault(value, []).append(rid)
+    return probe
+
+
+# ---------------------------------------------------------------------------
+# Operator dispatch
+# ---------------------------------------------------------------------------
+
+def _iterate(
+    database: "Database", node: PlanNode
+) -> tuple[Iterable[Row], bool]:
+    """Return ``(row iterable, rows_are_fresh_dicts)`` for ``node``."""
+    if isinstance(node, SeqScan):
+        table = database.table(node.table)
+        return (row for __, row in table.iter_view_items()), False
+    if isinstance(node, IndexEq):
+        table = database.table(node.table)
+        ids = table.lookup(node.column, node.value)
+        return (table.row_view(rid) for rid in ids), False
+    if isinstance(node, IndexRange):
+        return _index_range(database, node), False
+    if isinstance(node, Filter):
+        rows, fresh = _iterate(database, node.child)
+        predicate = node.predicate
+        return (row for row in rows if predicate.matches(row)), fresh
+    if isinstance(node, HashJoin):
+        rows, __ = _iterate(database, node.child)
+        return _hash_join(database, node, rows), True
+    if isinstance(node, IndexNestedLoopJoin):
+        rows, __ = _iterate(database, node.child)
+        return _index_join(database, node, rows), True
+    if isinstance(node, Sort):
+        rows, fresh = _iterate(database, node.child)
+        materialised = list(rows)
+        materialised.sort(
+            key=lambda row: ordering_key(row[node.column]),
+            reverse=node.descending,
+        )
+        return materialised, fresh
+    if isinstance(node, TopN):
+        rows, fresh = _iterate(database, node.child)
+        if node.column is None:
+            return islice(rows, node.n), fresh
+        return _top_n(rows, node.n, node.column, node.descending), fresh
+    if isinstance(node, Project):
+        rows, __ = _iterate(database, node.child)
+        columns = node.columns
+        return ({c: row[c] for c in columns} for row in rows), True
+    raise QueryError(f"unknown plan node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Access paths
+# ---------------------------------------------------------------------------
+
+def _index_range(database: "Database", node: IndexRange) -> Iterator[Row]:
+    table = database.table(node.table)
+    index = table.ordered_index(node.column)
+    if not node.sorted_output:
+        # Pure filter access: re-establish row-id order so downstream
+        # results are identical to a sequential scan.
+        ids = sorted(
+            index.range_ids(
+                node.low, node.high, node.low_inclusive, node.high_inclusive
+            )
+        )
+        for rid in ids:
+            yield table.row_view(rid)
+        return
+    # Value-ordered scan (satisfies ORDER BY).  Index entries exclude
+    # NULLs; for an unbounded scan the NULL rows must still appear —
+    # last for ascending, first for descending, in row-id order either
+    # way, mirroring the stable sort the seed implementation performed.
+    unbounded = node.low is None and node.high is None
+    null_ids: list[int] = []
+    if unbounded and len(index) < len(table):
+        null_ids = [
+            rid
+            for rid, row in table.iter_view_items()
+            if row[node.column] is None
+        ]
+    if node.descending:
+        for rid in null_ids:
+            yield table.row_view(rid)
+        for rid in index.descending_range_ids(
+            node.low, node.high, node.low_inclusive, node.high_inclusive
+        ):
+            yield table.row_view(rid)
+    else:
+        for rid in index.range_ids(
+            node.low, node.high, node.low_inclusive, node.high_inclusive
+        ):
+            yield table.row_view(rid)
+        for rid in null_ids:
+            yield table.row_view(rid)
+
+
+def _top_n(
+    rows: Iterable[Row], n: int, column: str, descending: bool
+) -> Iterator[Row]:
+    if n == 0:
+        return iter(())
+    if descending:
+        picked = heapq.nlargest(
+            n,
+            enumerate(rows),
+            key=lambda item: (ordering_key(item[1][column]), _Rev(item[0])),
+        )
+    else:
+        picked = heapq.nsmallest(
+            n,
+            enumerate(rows),
+            key=lambda item: (ordering_key(item[1][column]), item[0]),
+        )
+    return iter([row for __, row in picked])
+
+
+class _Rev:
+    """Inverts comparisons so ``nlargest`` tie-breaks on arrival order."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_Rev") -> bool:
+        return self.value > other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Rev) and self.value == other.value
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+def _hash_join(
+    database: "Database", node: HashJoin, outer_rows: Iterable[Row]
+) -> Iterator[Row]:
+    inner = database.table(node.table)
+    dtype = inner.schema.column(node.target_column).dtype
+    probe = build_probe_map(inner, node.target_column)
+    prefix = node.table
+    for row in outer_rows:
+        key = row.get(node.column)
+        if key is None:
+            continue
+        needle = coerce(key, dtype)
+        if needle is None:
+            continue
+        for rid in probe.get(needle, ()):
+            match = inner.row_view(rid)
+            widened = dict(row)
+            for other_col, value in match.items():
+                widened[f"{prefix}.{other_col}"] = value
+            yield widened
+
+
+def _index_join(
+    database: "Database", node: IndexNestedLoopJoin, outer_rows: Iterable[Row]
+) -> Iterator[Row]:
+    inner = database.table(node.table)
+    prefix = node.table
+    for row in outer_rows:
+        key = row.get(node.column)
+        if key is None:
+            continue
+        for rid in inner.lookup(node.target_column, key):
+            match = inner.row_view(rid)
+            widened = dict(row)
+            for other_col, value in match.items():
+                widened[f"{prefix}.{other_col}"] = value
+            yield widened

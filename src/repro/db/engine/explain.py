@@ -1,0 +1,31 @@
+"""Render a physical plan tree as an EXPLAIN string.
+
+The format follows the usual engine convention: one node per line,
+children indented below their parent, with the planner's row/cost
+estimates on every node::
+
+    Project [title]
+      TopN 5 by year desc
+        Filter (year >= 1990)  (rows~12, cost~28.0)
+          IndexRange on movie using year [1990, +inf)  (rows~12, cost~16.0)
+"""
+
+from __future__ import annotations
+
+from repro.db.engine.plan import PlanNode
+
+__all__ = ["render_plan"]
+
+
+def render_plan(plan: PlanNode) -> str:
+    """Multi-line EXPLAIN rendering of ``plan``."""
+    lines: list[str] = []
+    _render(plan, 0, lines)
+    return "\n".join(lines)
+
+
+def _render(node: PlanNode, depth: int, lines: list[str]) -> None:
+    estimate = f"  (rows~{node.estimated_rows:g}, cost~{node.cost:g})"
+    lines.append("  " * depth + node.describe() + estimate)
+    for child in node.children():
+        _render(child, depth + 1, lines)

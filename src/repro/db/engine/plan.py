@@ -1,0 +1,260 @@
+"""Physical plan nodes and the compiled query spec.
+
+A plan is a tree of frozen dataclass nodes.  Leaves are access paths on
+the root table (:class:`SeqScan`, :class:`IndexEq`, :class:`IndexRange`);
+unary nodes transform one input (:class:`Filter`, :class:`Sort`,
+:class:`TopN`, :class:`Project`, :class:`CountOnly`); join nodes widen
+root rows with one joined table per node (:class:`HashJoin`,
+:class:`IndexNestedLoopJoin`).  Every node carries the planner's row and
+cost estimates so EXPLAIN can show *why* a plan was chosen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.query import Predicate
+
+__all__ = [
+    "format_predicate",
+    "QuerySpec",
+    "PlanNode",
+    "SeqScan",
+    "IndexEq",
+    "IndexRange",
+    "Filter",
+    "HashJoin",
+    "IndexNestedLoopJoin",
+    "Sort",
+    "TopN",
+    "Project",
+    "CountOnly",
+]
+
+
+def format_predicate(predicate: "Predicate") -> str:
+    """Compact SQL-ish rendering of a predicate tree for EXPLAIN."""
+    from repro.db.query import And, Comparison, Not, Or, TruePredicate
+
+    if isinstance(predicate, TruePredicate):
+        return "true"
+    if isinstance(predicate, Comparison):
+        op = "=" if predicate.op == "==" else predicate.op
+        return f"{predicate.column} {op} {predicate.value!r}"
+    if isinstance(predicate, And):
+        return "(" + " AND ".join(format_predicate(p) for p in predicate.parts) + ")"
+    if isinstance(predicate, Or):
+        return "(" + " OR ".join(format_predicate(p) for p in predicate.parts) + ")"
+    if isinstance(predicate, Not):
+        return f"NOT {format_predicate(predicate.part)}"
+    return repr(predicate)
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """The logical query compiled from the fluent :class:`~repro.db.query.Query`."""
+
+    table: str
+    predicate: "Predicate"
+    joins: tuple[tuple[str, str, str], ...] = ()  # (column, table, target)
+    projection: tuple[str, ...] | None = None
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+    count_only: bool = False
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base node: row/cost estimates plus the EXPLAIN surface."""
+
+    estimated_rows: float = field(default=0.0, kw_only=True)
+    cost: float = field(default=0.0, kw_only=True)
+
+    def children(self) -> tuple["PlanNode", ...]:
+        return ()
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+# ---------------------------------------------------------------------------
+# Access paths (leaves)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SeqScan(PlanNode):
+    table: str
+
+    def describe(self) -> str:
+        return f"SeqScan on {self.table}"
+
+
+@dataclass(frozen=True)
+class IndexEq(PlanNode):
+    """Hash-index equality probe ``table.column == value``."""
+
+    table: str
+    column: str
+    value: Any
+
+    def describe(self) -> str:
+        return f"IndexEq on {self.table} using {self.column} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class IndexRange(PlanNode):
+    """Ordered-index range scan on ``table.column``.
+
+    Open bounds are ``None``; with both bounds open this is a full
+    in-order walk of the index (used to satisfy ORDER BY without a
+    Sort).  ``sorted_output`` marks plans whose output order is the
+    index order (value order); otherwise the executor re-sorts the
+    matched ids into row-id order so results are identical to a scan.
+    """
+
+    table: str
+    column: str
+    low: Any = None
+    high: Any = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+    sorted_output: bool = False
+    descending: bool = False
+
+    def describe(self) -> str:
+        left = "(" if self.low is None or not self.low_inclusive else "["
+        right = ")" if self.high is None or not self.high_inclusive else "]"
+        low = "-inf" if self.low is None else repr(self.low)
+        high = "+inf" if self.high is None else repr(self.high)
+        order = ""
+        if self.sorted_output:
+            order = " order=desc" if self.descending else " order=asc"
+        return (
+            f"IndexRange on {self.table} using {self.column} "
+            f"{left}{low}, {high}{right}{order}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Unary operators
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Filter(PlanNode):
+    child: PlanNode
+    predicate: "Predicate"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Filter {format_predicate(self.predicate)}"
+
+
+@dataclass(frozen=True)
+class Sort(PlanNode):
+    child: PlanNode
+    column: str
+    descending: bool = False
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        direction = "desc" if self.descending else "asc"
+        return f"Sort by {self.column} {direction}"
+
+
+@dataclass(frozen=True)
+class TopN(PlanNode):
+    """Bounded sort-and-limit; with ``column=None`` it is a plain LIMIT."""
+
+    child: PlanNode
+    n: int
+    column: str | None = None
+    descending: bool = False
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        if self.column is None:
+            return f"Limit {self.n}"
+        direction = "desc" if self.descending else "asc"
+        return f"TopN {self.n} by {self.column} {direction}"
+
+
+@dataclass(frozen=True)
+class Project(PlanNode):
+    child: PlanNode
+    columns: tuple[str, ...]
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return f"Project [{', '.join(self.columns)}]"
+
+
+@dataclass(frozen=True)
+class CountOnly(PlanNode):
+    """Count the child's rows without materialising or projecting them.
+
+    ``limit`` caps the count (``Query.limit(n).count()`` historically
+    counted the limited result).
+    """
+
+    child: PlanNode
+    limit: int | None = None
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        cap = f" (cap {self.limit})" if self.limit is not None else ""
+        return f"CountOnly{cap}"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HashJoin(PlanNode):
+    """Build a hash map over the joined table, probe with outer rows."""
+
+    child: PlanNode
+    table: str
+    column: str          # outer join key (root/bare column name)
+    target_column: str   # inner join key
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return (
+            f"HashJoin {self.table} on "
+            f"{self.column} = {self.table}.{self.target_column} (build inner)"
+        )
+
+
+@dataclass(frozen=True)
+class IndexNestedLoopJoin(PlanNode):
+    """Probe the joined table's hash index once per outer row."""
+
+    child: PlanNode
+    table: str
+    column: str
+    target_column: str
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return (
+            f"IndexNestedLoopJoin {self.table} on "
+            f"{self.column} = {self.table}.{self.target_column}"
+        )

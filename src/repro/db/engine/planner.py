@@ -1,0 +1,451 @@
+"""Cost-based planner: compile a :class:`QuerySpec` into a physical plan.
+
+The planner is deliberately System-R-shaped for a single-root query:
+
+1. split the predicate into AND parts and classify each part as
+   *pushable* (mentions only root-table columns, so it can filter before
+   the joins) or *residual* (mentions joined ``table.column`` keys or
+   unknown columns — evaluated after the joins, preserving the seed
+   query's error semantics for bad column names);
+2. enumerate access paths over the pushable equality/range bindings —
+   hash-index equality probes, ordered-index range scans, and the
+   sequential scan — cost each with the statistics catalog (row counts,
+   most-common-value selectivities, min/max interpolation) and keep the
+   cheapest;
+3. pick a join strategy per join — an index nested-loop when the inner
+   table has a hash index on the join key and the outer side is small,
+   otherwise a build-side hash join;
+4. satisfy ``ORDER BY`` from an ordered index when the access path
+   already walks one (or can), else insert Sort/TopN; ``count()``
+   queries terminate in a CountOnly node that skips sorting,
+   projection and row materialisation entirely.
+
+Every predicate part is re-applied as a Filter even when an index
+pre-selected rows: index probes coerce values to the column type while
+predicate evaluation compares raw values, so the index result is a
+*superset* of the final answer and the filter keeps results identical
+to the seed scan path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any
+
+from repro.db.engine.plan import (
+    CountOnly,
+    Filter,
+    HashJoin,
+    IndexEq,
+    IndexNestedLoopJoin,
+    IndexRange,
+    PlanNode,
+    Project,
+    QuerySpec,
+    SeqScan,
+    Sort,
+    TopN,
+)
+from repro.db.ordering import ordering_key
+from repro.db.query import And, Comparison, Predicate, TruePredicate, and_
+from repro.db.types import TypeMismatchError, coerce
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+    from repro.db.statistics import ColumnStatistics, StatisticsCatalog
+
+__all__ = ["Planner", "plan_query"]
+
+# Default selectivity guesses for predicates the statistics cannot price.
+_SEL_CONTAINS = 0.25
+_SEL_NE = 0.9
+_SEL_DEFAULT = 0.5
+
+
+def plan_query(
+    database: "Database",
+    spec: QuerySpec,
+    statistics: "StatisticsCatalog | None" = None,
+) -> PlanNode:
+    """Convenience wrapper: plan ``spec`` against ``database``."""
+    return Planner(database, statistics).plan(spec)
+
+
+class Planner:
+    """Compiles query specs into costed physical plans."""
+
+    def __init__(
+        self,
+        database: "Database",
+        statistics: "StatisticsCatalog | None" = None,
+    ) -> None:
+        self._database = database
+        self._statistics = statistics if statistics is not None \
+            else database.statistics
+
+    # ------------------------------------------------------------------
+    def plan(self, spec: QuerySpec) -> PlanNode:
+        table = self._database.table(spec.table)
+        root_columns = set(table.schema.column_names)
+        parts = _and_parts(spec.predicate)
+        pushable = [p for p in parts if p.columns() <= root_columns]
+        residual = [p for p in parts if not (p.columns() <= root_columns)]
+
+        node = self._access_path(spec, table, pushable)
+        sorted_by_index = (
+            isinstance(node, IndexRange) and node.sorted_output
+        )
+        if pushable:
+            if node.estimated_rows <= 1.0:
+                # A unique probe: the residual filter cannot shrink the
+                # estimate in any way that would change later decisions,
+                # so skip the per-part statistics pricing.
+                est = node.estimated_rows
+            else:
+                selectivity = self._filter_selectivity(spec.table, pushable)
+                est = min(node.estimated_rows, len(table) * selectivity)
+            node = Filter(
+                child=node,
+                predicate=and_(*pushable),
+                estimated_rows=est,
+                cost=node.cost + node.estimated_rows,
+            )
+
+        for column, join_table, target_column in spec.joins:
+            node = self._join(node, column, join_table, target_column)
+
+        if residual:
+            node = Filter(
+                child=node,
+                predicate=and_(*residual),
+                estimated_rows=node.estimated_rows * _SEL_DEFAULT,
+                cost=node.cost + node.estimated_rows,
+            )
+
+        if spec.count_only:
+            return CountOnly(
+                child=node,
+                limit=spec.limit,
+                estimated_rows=1,
+                cost=node.cost,
+            )
+
+        node = self._order_and_limit(spec, node, sorted_by_index)
+
+        if spec.projection is not None:
+            node = Project(
+                child=node,
+                columns=tuple(spec.projection),
+                estimated_rows=node.estimated_rows,
+                cost=node.cost + node.estimated_rows,
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # Access-path selection
+    # ------------------------------------------------------------------
+    def _access_path(
+        self, spec: QuerySpec, table, pushable: list[Predicate]
+    ) -> PlanNode:
+        n_rows = len(table)
+        equalities = _equality_bindings(pushable)
+        # Fast path: an equality probe on a unique (or primary-key)
+        # hash index matches at most one row — no plan can beat it and
+        # no statistics are needed to know that.  This keeps point
+        # lookups, the OLTP hot path, nearly planning-free.
+        for column, value in equalities.items():
+            if not table.has_index(column):
+                continue
+            if not _is_unique_column(table, column):
+                continue
+            if self._coerced(table, column, value) is _UNUSABLE:
+                continue
+            return IndexEq(
+                table=spec.table, column=column, value=value,
+                estimated_rows=1.0, cost=2.0,
+            )
+        candidates: list[PlanNode] = [
+            SeqScan(table=spec.table, estimated_rows=n_rows, cost=n_rows + 1.0)
+        ]
+        for column, value in equalities.items():
+            if not table.has_index(column):
+                continue
+            coerced = self._coerced(table, column, value)
+            if coerced is _UNUSABLE:
+                continue
+            est = n_rows * self._eq_selectivity(spec.table, column, coerced)
+            candidates.append(
+                IndexEq(
+                    table=spec.table,
+                    column=column,
+                    value=value,
+                    estimated_rows=est,
+                    cost=1.0 + est,
+                )
+            )
+        for column, bounds in _range_bindings(pushable).items():
+            if not table.has_ordered_index(column):
+                continue
+            low, low_inc, high, high_inc = self._coerced_bounds(
+                table, column, bounds
+            )
+            if low is _UNUSABLE or high is _UNUSABLE:
+                continue
+            est = n_rows * self._range_selectivity(
+                spec.table, column, low, high
+            )
+            sorted_output = spec.order_by == column and not spec.count_only
+            candidates.append(
+                IndexRange(
+                    table=spec.table,
+                    column=column,
+                    low=low,
+                    high=high,
+                    low_inclusive=low_inc,
+                    high_inclusive=high_inc,
+                    sorted_output=sorted_output,
+                    descending=spec.descending and sorted_output,
+                    estimated_rows=est,
+                    # log-height descent plus the matched range; a small
+                    # constant keeps a full-range scan pricier than SeqScan.
+                    cost=4.0 + est + (0.1 * est if not sorted_output else 0.0),
+                )
+            )
+        best = min(candidates, key=lambda c: c.cost)
+        if (
+            isinstance(best, SeqScan)
+            and spec.order_by is not None
+            and not spec.count_only
+            and table.has_ordered_index(spec.order_by)
+        ):
+            # No filtering index won: walk the order-by index instead of
+            # scanning and sorting.  NULL ordering is handled by the
+            # executor (index entries exclude NULLs).
+            return IndexRange(
+                table=spec.table,
+                column=spec.order_by,
+                sorted_output=True,
+                descending=spec.descending,
+                estimated_rows=n_rows,
+                cost=n_rows + 1.0,
+            )
+        return best
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _join(
+        self, outer: PlanNode, column: str, join_table: str, target_column: str
+    ) -> PlanNode:
+        inner = self._database.table(join_table)
+        inner_rows = len(inner)
+        outer_est = max(outer.estimated_rows, 1.0)
+        matches_per_probe = self._matches_per_key(join_table, target_column)
+        est = outer_est * matches_per_probe
+        hash_cost = outer.cost + inner_rows + outer_est + est
+        if inner.has_index(target_column):
+            inlj_cost = outer.cost + outer_est * (1.0 + matches_per_probe)
+            if inlj_cost <= hash_cost:
+                return IndexNestedLoopJoin(
+                    child=outer,
+                    table=join_table,
+                    column=column,
+                    target_column=target_column,
+                    estimated_rows=est,
+                    cost=inlj_cost,
+                )
+        return HashJoin(
+            child=outer,
+            table=join_table,
+            column=column,
+            target_column=target_column,
+            estimated_rows=est,
+            cost=hash_cost,
+        )
+
+    # ------------------------------------------------------------------
+    # Order / limit
+    # ------------------------------------------------------------------
+    def _order_and_limit(
+        self, spec: QuerySpec, node: PlanNode, sorted_by_index: bool
+    ) -> PlanNode:
+        needs_sort = spec.order_by is not None and not sorted_by_index
+        if needs_sort and spec.limit is not None:
+            return TopN(
+                child=node,
+                n=spec.limit,
+                column=spec.order_by,
+                descending=spec.descending,
+                estimated_rows=min(node.estimated_rows, spec.limit),
+                cost=node.cost + node.estimated_rows,
+            )
+        if needs_sort:
+            n = max(node.estimated_rows, 1.0)
+            return Sort(
+                child=node,
+                column=spec.order_by,
+                descending=spec.descending,
+                estimated_rows=node.estimated_rows,
+                cost=node.cost + n * math.log2(n + 1),
+            )
+        if spec.limit is not None:
+            return TopN(
+                child=node,
+                n=spec.limit,
+                column=None,
+                estimated_rows=min(node.estimated_rows, spec.limit),
+                cost=node.cost + min(node.estimated_rows, spec.limit),
+            )
+        return node
+
+    # ------------------------------------------------------------------
+    # Statistics helpers
+    # ------------------------------------------------------------------
+    def _column_stats(
+        self, table: str, column: str
+    ) -> "ColumnStatistics | None":
+        try:
+            return self._statistics.column(table, column)
+        except KeyError:  # pragma: no cover - schema/statistics drift
+            return None
+
+    def _eq_selectivity(self, table: str, column: str, value: Any) -> float:
+        stats = self._column_stats(table, column)
+        if stats is None:
+            return _SEL_DEFAULT
+        return stats.selectivity(value)
+
+    def _range_selectivity(
+        self, table: str, column: str, low: Any, high: Any
+    ) -> float:
+        stats = self._column_stats(table, column)
+        if stats is None:
+            return (1 / 3) ** ((low is not None) + (high is not None))
+        return stats.range_selectivity(low, high)
+
+    def _matches_per_key(self, table: str, column: str) -> float:
+        stats = self._column_stats(table, column)
+        if stats is None or stats.distinct_count == 0:
+            return 1.0
+        return max(
+            1.0, (stats.row_count - stats.null_count) / stats.distinct_count
+        )
+
+    def _filter_selectivity(
+        self, table: str, parts: list[Predicate]
+    ) -> float:
+        selectivity = 1.0
+        for part in parts:
+            selectivity *= self._part_selectivity(table, part)
+        return selectivity
+
+    def _part_selectivity(self, table: str, part: Predicate) -> float:
+        if isinstance(part, Comparison):
+            if part.op == "==":
+                return self._eq_selectivity(table, part.column, part.value)
+            if part.op in ("<", "<="):
+                return self._range_selectivity(
+                    table, part.column, None, part.value
+                )
+            if part.op in (">", ">="):
+                return self._range_selectivity(
+                    table, part.column, part.value, None
+                )
+            if part.op == "!=":
+                return _SEL_NE
+            if part.op == "contains":
+                return _SEL_CONTAINS
+            if part.op == "in":
+                try:
+                    n = len(part.value)
+                except TypeError:
+                    n = 1
+                stats = self._column_stats(table, part.column)
+                per_value = (
+                    stats.average_selectivity if stats is not None
+                    else _SEL_DEFAULT / 4
+                )
+                return min(1.0, n * per_value)
+        return _SEL_DEFAULT
+
+    # ------------------------------------------------------------------
+    # Value coercion for index bounds
+    # ------------------------------------------------------------------
+    def _coerced(self, table, column: str, value: Any) -> Any:
+        try:
+            return coerce(value, table.schema.column(column).dtype)
+        except TypeMismatchError:
+            return _UNUSABLE
+
+    def _coerced_bounds(
+        self, table, column: str, bounds: list[tuple[str, Any]]
+    ) -> tuple[Any, bool, Any, bool]:
+        """Fold op/value pairs into ``(low, low_inc, high, high_inc)``."""
+        low: Any = None
+        low_inc = True
+        high: Any = None
+        high_inc = True
+        for op, value in bounds:
+            coerced = self._coerced(table, column, value)
+            if coerced is _UNUSABLE or coerced is None:
+                return _UNUSABLE, True, _UNUSABLE, True
+            key = ordering_key(coerced)
+            if op in (">", ">="):
+                if low is None or key > ordering_key(low) or (
+                    key == ordering_key(low) and op == ">"
+                ):
+                    low, low_inc = coerced, op == ">="
+            else:  # "<", "<="
+                if high is None or key < ordering_key(high) or (
+                    key == ordering_key(high) and op == "<"
+                ):
+                    high, high_inc = coerced, op == "<="
+        return low, low_inc, high, high_inc
+
+
+def _is_unique_column(table, column: str) -> bool:
+    if column == table.schema.primary_key:
+        return True
+    return table.schema.column(column).unique
+
+
+class _Unusable:
+    """Sentinel: a binding value that cannot serve as an index probe."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unusable>"
+
+
+_UNUSABLE = _Unusable()
+
+
+# ---------------------------------------------------------------------------
+# Predicate decomposition
+# ---------------------------------------------------------------------------
+
+def _and_parts(predicate: Predicate) -> list[Predicate]:
+    """Top-level AND-ed parts (TruePredicate contributes nothing)."""
+    if isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, And):
+        out: list[Predicate] = []
+        for part in predicate.parts:
+            out.extend(_and_parts(part))
+        return out
+    return [predicate]
+
+
+def _equality_bindings(parts: list[Predicate]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for part in parts:
+        if isinstance(part, Comparison) and part.op == "==":
+            out[part.column] = part.value
+    return out
+
+
+def _range_bindings(parts: list[Predicate]) -> dict[str, list[tuple[str, Any]]]:
+    out: dict[str, list[tuple[str, Any]]] = {}
+    for part in parts:
+        if isinstance(part, Comparison) and part.op in ("<", "<=", ">", ">="):
+            out.setdefault(part.column, []).append((part.op, part.value))
+    return out

@@ -1,0 +1,54 @@
+"""A total, deterministic ordering over heterogeneous column values.
+
+``ORDER BY`` and the ordered secondary indexes must never raise on the
+values a column can actually hold.  Python's ``<`` is partial across
+types (``3 < "a"`` is a ``TypeError``), and the old sort key
+``(value is None, value)`` crashed on mixed-type columns.  The key built
+here ranks values by a type class first and compares within the class
+second, so any two values are comparable:
+
+* NULLs sort after every value (SQL's ``NULLS LAST`` for ascending
+  scans; a descending stable sort with ``reverse=True`` flips them to
+  the front, matching the previous behaviour on uniform columns),
+* booleans, integers and floats share one numeric class (``1 < 1.5``
+  stays numeric),
+* remaining classes are ordered by a fixed rank, and unknown types fall
+  back to comparing ``(type name, repr)`` — arbitrary but deterministic.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import Any
+
+__all__ = ["ordering_key"]
+
+# Fixed ranks per type class; NULL is the largest so it sorts last.
+_RANK_NUMERIC = 0
+_RANK_TEXT = 1
+_RANK_DATE = 2
+_RANK_TIME = 3
+_RANK_DATETIME = 4
+_RANK_OTHER = 5
+_RANK_NULL = 6
+
+
+def ordering_key(value: Any) -> tuple:
+    """A key making any two column values comparable and totally ordered."""
+    if value is None:
+        return (_RANK_NULL, 0)
+    if isinstance(value, bool):
+        # bool is an int subclass; keep it in the numeric class so mixed
+        # int/bool columns order as 0/1 without a separate rank.
+        return (_RANK_NUMERIC, int(value))
+    if isinstance(value, (int, float)):
+        return (_RANK_NUMERIC, value)
+    if isinstance(value, str):
+        return (_RANK_TEXT, value)
+    if isinstance(value, _dt.datetime):
+        return (_RANK_DATETIME, value)
+    if isinstance(value, _dt.date):
+        return (_RANK_DATE, value)
+    if isinstance(value, _dt.time):
+        return (_RANK_TIME, value)
+    return (_RANK_OTHER, type(value).__name__, repr(value))

@@ -2,9 +2,12 @@
 
 This is not a SQL parser; it is a small relational-algebra API sufficient
 for the agent runtime: typed comparison predicates with boolean
-combinators, single-table selection that exploits hash indexes for
-equality, equi-joins along foreign keys, projection, ordering, limits and
-simple aggregation.
+combinators, single-root selection with equi-joins along foreign keys,
+projection, ordering and limits.  Execution is delegated to the
+cost-based engine in :mod:`repro.db.engine` — ``run()`` compiles the
+query, plans it against the statistics catalog (hash-index equality,
+ordered-index ranges and ORDER BY, costed join strategies) and executes
+the plan; ``explain()`` shows the chosen plan.
 
 Example
 -------
@@ -273,55 +276,54 @@ class Query:
 
     # Execution --------------------------------------------------------------
     def run(self, database: "Database") -> list[Row]:
-        """Execute against ``database`` and return materialised rows."""
-        table = database.table(self.table)
-        row_ids = self._candidate_row_ids(table)
-        rows = [table.get(rid) for rid in row_ids]
-        rows = self._apply_joins(database, rows)
-        rows = [row for row in rows if self._predicate.matches(row)]
-        if self._order_by is not None:
-            rows.sort(
-                key=lambda r: (r[self._order_by] is None, r[self._order_by]),
-                reverse=self._descending,
-            )
-        if self._limit is not None:
-            rows = rows[: self._limit]
-        if self._projection is not None:
-            rows = [{c: row[c] for c in self._projection} for row in rows]
-        return rows
+        """Execute against ``database`` and return materialised rows.
+
+        Compiles the fluent query into a spec, asks the cost-based
+        planner (driven by the database's statistics catalog) for a
+        physical plan, and executes it.  Results are identical to a
+        scan-filter-sort evaluation; the plan just gets there faster.
+        """
+        from repro.db.engine import execute_rows
+
+        return execute_rows(database, self.plan(database))
 
     def count(self, database: "Database") -> int:
-        return len(self.run(database))
+        """Number of matching rows, via a CountOnly plan.
 
-    # Internals --------------------------------------------------------------
-    def _candidate_row_ids(self, table) -> list[int]:
-        """Use a hash index for the most selective root-table equality."""
-        bindings = self._predicate.equality_bindings()
-        best: list[int] | None = None
-        for column, value in bindings.items():
-            if not table.schema.has_column(column) or not table.has_index(column):
-                continue
-            try:
-                ids = table.lookup(column, value)
-            except Exception:
-                continue
-            if best is None or len(ids) < len(best):
-                best = ids
-        return best if best is not None else table.row_ids()
+        Rows are neither materialised, projected nor sorted — the
+        executor counts matches directly (and short-circuits once a
+        ``limit`` is reached).
+        """
+        from repro.db.engine import execute_count
 
-    def _apply_joins(self, database: "Database", rows: list[Row]) -> list[Row]:
-        for column, table_name, target_column in self._joins:
-            other = database.table(table_name)
-            joined: list[Row] = []
-            for row in rows:
-                key = row.get(column)
-                if key is None:
-                    continue
-                for rid in other.lookup(target_column, key):
-                    match = other.get(rid)
-                    widened = dict(row)
-                    for other_col, value in match.items():
-                        widened[f"{table_name}.{other_col}"] = value
-                    joined.append(widened)
-            rows = joined
-        return rows
+        return execute_count(database, self.plan(database, count_only=True))
+
+    # Planning ---------------------------------------------------------------
+    def compile(self, count_only: bool = False):
+        """The logical :class:`~repro.db.engine.plan.QuerySpec` of this query."""
+        from repro.db.engine import QuerySpec
+
+        return QuerySpec(
+            table=self.table,
+            predicate=self._predicate,
+            joins=tuple(self._joins),
+            projection=tuple(self._projection)
+            if self._projection is not None
+            else None,
+            order_by=self._order_by,
+            descending=self._descending,
+            limit=self._limit,
+            count_only=count_only,
+        )
+
+    def plan(self, database: "Database", count_only: bool = False):
+        """The costed physical plan the engine would execute."""
+        from repro.db.engine import plan_query
+
+        return plan_query(database, self.compile(count_only=count_only))
+
+    def explain(self, database: "Database", count_only: bool = False) -> str:
+        """EXPLAIN output: the chosen plan with row/cost estimates."""
+        from repro.db.engine import render_plan
+
+        return render_plan(self.plan(database, count_only=count_only))

@@ -17,6 +17,7 @@ primitives for that live here:
 
 from __future__ import annotations
 
+import datetime as _dt
 import math
 from collections import Counter
 from dataclasses import dataclass
@@ -129,6 +130,54 @@ class ColumnStatistics:
         """True when values are (almost) unique — ID-like columns."""
         non_null = self.row_count - self.null_count
         return non_null > 0 and self.distinct_count >= 0.99 * non_null
+
+    def range_selectivity(self, low: Any = None, high: Any = None) -> float:
+        """Estimated fraction of rows inside ``[low, high]``.
+
+        Interpolates linearly between the observed min/max when the
+        column and bounds are numeric or date-like; otherwise falls back
+        to the textbook default of 1/3 per bounded side.  Inclusivity is
+        ignored — the estimate is for planning, not for results.
+        """
+        non_null = self.row_count - self.null_count
+        if self.row_count == 0 or non_null == 0:
+            return 0.0
+        default = (1 / 3) ** ((low is not None) + (high is not None))
+        span = _numeric_span(self.min_value, self.max_value)
+        if span is None or span <= 0:
+            return default
+        lo_n = _as_number(low) if low is not None else None
+        hi_n = _as_number(high) if high is not None else None
+        if (low is not None and lo_n is None) or (high is not None and hi_n is None):
+            return default
+        min_n = _as_number(self.min_value)
+        start = min_n if lo_n is None else max(min_n, lo_n)
+        stop = min_n + span if hi_n is None else min(min_n + span, hi_n)
+        fraction = max(0.0, stop - start) / span
+        return min(1.0, fraction) * (non_null / self.row_count)
+
+
+def _as_number(value: Any) -> float | None:
+    """Map orderable values onto a number line for interpolation."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, _dt.datetime):
+        return value.timestamp()
+    if isinstance(value, _dt.date):
+        return float(value.toordinal())
+    if isinstance(value, _dt.time):
+        return value.hour * 3600.0 + value.minute * 60.0 + value.second
+    return None
+
+
+def _numeric_span(min_value: Any, max_value: Any) -> float | None:
+    lo = _as_number(min_value)
+    hi = _as_number(max_value)
+    if lo is None or hi is None:
+        return None
+    return hi - lo
 
 
 def compute_column_statistics(

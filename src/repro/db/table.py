@@ -1,18 +1,25 @@
-"""Row storage for one relation, with hash indexes and constraint checks.
+"""Row storage for one relation, with hash + ordered indexes and checks.
 
 Rows are stored as dictionaries keyed by an internal, monotonically
 increasing row id.  Every column can carry a hash index (value -> set of
 row ids); primary-key and unique columns always do, since the constraint
-check needs the index anyway.  The :class:`Table` exposes a low-level
-mutation API (``insert``/``update``/``delete``) used by
+check needs the index anyway.  Columns can additionally carry an
+*ordered* secondary index (a bisect-maintained sorted array of
+``(ordering key, row id)`` pairs) so the query engine can push range
+predicates and ``ORDER BY`` down instead of scanning and sorting.  The
+:class:`Table` exposes a low-level mutation API
+(``insert``/``update``/``delete``) used by
 :class:`repro.db.database.Database`, which layers transactions and
 foreign-key enforcement on top.
 """
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_left, bisect_right, insort
 from typing import Any, Callable, Iterator
 
+from repro.db.ordering import ordering_key
 from repro.db.schema import TableSchema
 from repro.db.types import coerce, is_null
 from repro.errors import ConstraintViolation, UnknownColumnError
@@ -59,6 +66,93 @@ class _HashIndex:
         return len(self._buckets)
 
 
+class _OrderedIndex:
+    """A sorted-array index of ``(ordering key, row id)`` pairs.
+
+    NULLs are excluded (as in the hash index); key collisions keep row
+    ids ascending, so an in-order walk is exactly the stable sort of a
+    row-id scan by the column — which is what lets the executor drop the
+    Sort node when it scans through this index.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[tuple, int]] = []
+
+    def add(self, value: Any, row_id: int) -> None:
+        if is_null(value):
+            return
+        insort(self._entries, (ordering_key(value), row_id))
+
+    def remove(self, value: Any, row_id: int) -> None:
+        if is_null(value):
+            return
+        entry = (ordering_key(value), row_id)
+        i = bisect_left(self._entries, entry)
+        if i < len(self._entries) and self._entries[i] == entry:
+            del self._entries[i]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _bounds(
+        self,
+        low: Any,
+        high: Any,
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> tuple[int, int]:
+        start = 0
+        end = len(self._entries)
+        if low is not None:
+            key = ordering_key(low)
+            if low_inclusive:
+                start = bisect_left(self._entries, (key,))
+            else:
+                start = bisect_right(self._entries, (key, math.inf))
+        if high is not None:
+            key = ordering_key(high)
+            if high_inclusive:
+                end = bisect_right(self._entries, (key, math.inf))
+            else:
+                end = bisect_left(self._entries, (key,))
+        return start, max(start, end)
+
+    def range_ids(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> list[int]:
+        """Row ids with ``low <op> column <op> high``, in value order.
+
+        ``None`` bounds are open.  Ties on the key come out in row-id
+        order (stable).
+        """
+        start, end = self._bounds(low, high, low_inclusive, high_inclusive)
+        return [rid for __, rid in self._entries[start:end]]
+
+    def descending_range_ids(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Row ids by key descending, ties in *ascending* row-id order.
+
+        This mirrors a stable ``sort(reverse=True)``, which keeps equal
+        keys in their original (row-id) order rather than reversing them.
+        """
+        start, i = self._bounds(low, high, low_inclusive, high_inclusive)
+        while i > start:
+            key = self._entries[i - 1][0]
+            j = bisect_left(self._entries, (key,), start, i)
+            for __, rid in self._entries[j:i]:
+                yield rid
+            i = j
+
+
 class Table:
     """Mutable storage for the rows of one table schema."""
 
@@ -67,6 +161,7 @@ class Table:
         self._rows: dict[int, Row] = {}
         self._next_row_id = 1
         self._indexes: dict[str, _HashIndex] = {}
+        self._ordered_indexes: dict[str, _OrderedIndex] = {}
         if schema.primary_key:
             self.create_index(schema.primary_key)
         for column in schema.columns:
@@ -98,8 +193,28 @@ class Table:
         """Return a copy of the row with internal id ``row_id``."""
         return dict(self._rows[row_id])
 
+    def row_view(self, row_id: int) -> Row:
+        """The *internal* row dict — read-only by convention.
+
+        The query executor filters and joins over views to avoid one
+        dict copy per visited row; anything handed back to callers is
+        copied (or rebuilt) at the output boundary.
+        """
+        return self._rows[row_id]
+
+    def iter_view_items(self) -> Iterator[tuple[int, Row]]:
+        """``(row_id, internal row)`` pairs in row-id order (read-only)."""
+        for row_id in sorted(self._rows):
+            yield row_id, self._rows[row_id]
+
     def has_index(self, column: str) -> bool:
         return column in self._indexes
+
+    def has_ordered_index(self, column: str) -> bool:
+        return column in self._ordered_indexes
+
+    def ordered_index(self, column: str) -> _OrderedIndex:
+        return self._ordered_indexes[column]
 
     # ------------------------------------------------------------------
     # Index management
@@ -111,6 +226,14 @@ class Table:
         for row_id, row in self._rows.items():
             index.add(row[column], row_id)
         self._indexes[column] = index
+
+    def create_ordered_index(self, column: str) -> None:
+        """Build (or rebuild) an ordered secondary index on ``column``."""
+        self.schema.column(column)  # raises UnknownColumnError
+        index = _OrderedIndex()
+        for row_id, row in self._rows.items():
+            index.add(row[column], row_id)
+        self._ordered_indexes[column] = index
 
     # ------------------------------------------------------------------
     # Mutation
@@ -131,6 +254,8 @@ class Table:
         self._rows[row_id] = row
         for column, index in self._indexes.items():
             index.add(row[column], row_id)
+        for column, ordered in self._ordered_indexes.items():
+            ordered.add(row[column], row_id)
         return row_id
 
     def update(self, row_id: int, changes: dict[str, Any]) -> Row:
@@ -146,6 +271,10 @@ class Table:
             if old[column] != new[column]:
                 index.remove(old[column], row_id)
                 index.add(new[column], row_id)
+        for column, ordered in self._ordered_indexes.items():
+            if old[column] != new[column]:
+                ordered.remove(old[column], row_id)
+                ordered.add(new[column], row_id)
         self._rows[row_id] = new
         return dict(old)
 
@@ -154,6 +283,8 @@ class Table:
         row = self._rows.pop(row_id)
         for column, index in self._indexes.items():
             index.remove(row[column], row_id)
+        for column, ordered in self._ordered_indexes.items():
+            ordered.remove(row[column], row_id)
         return dict(row)
 
     def restore(self, row_id: int, row: Row) -> None:
@@ -166,6 +297,8 @@ class Table:
         self._next_row_id = max(self._next_row_id, row_id + 1)
         for column, index in self._indexes.items():
             index.add(row[column], row_id)
+        for column, ordered in self._ordered_indexes.items():
+            ordered.add(row[column], row_id)
 
     # ------------------------------------------------------------------
     # Lookup

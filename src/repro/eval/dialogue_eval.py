@@ -25,6 +25,7 @@ from repro.dataaware import (
 )
 from repro.db.catalog import Catalog, ColumnRef
 from repro.db.database import Database
+from repro.db.query import eq
 from repro.errors import ReproError
 
 __all__ = ["SimulatedUser", "EpisodeResult", "PolicyExperiment", "run_episode"]
@@ -69,9 +70,13 @@ class SimulatedUser:
 
     def value_of(self, attribute: ColumnRef):
         """The target entity's true value for ``attribute`` (or None)."""
+        # Seed through the engine with the key pushed down: without a
+        # shared cache this computes value maps for the one target row
+        # instead of the whole table.
         base = CandidateSet.initial(
             self._database, self._catalog, self._lookup.table,
             shared_cache=self._cache,
+            where=eq(self._lookup.key_column, self.target_key()),
         )
         values = base.values_for(attribute).get(self.target_row_id, frozenset())
         if not values:

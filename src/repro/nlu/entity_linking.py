@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.db.database import Database
+from repro.db.query import Query
 from repro.db.types import DataType, TypeMismatchError, coerce, render
 from repro.db.versioncache import VersionStampedCache
 from repro.nlu.textmatch import best_match
@@ -114,11 +115,19 @@ class EntityLinker:
     def _build_pool(self, slot: str) -> list[str]:
         source = self._vocabulary.source(slot)
         assert source.attribute is not None
-        table = self._database.table(source.attribute.table)
+        column = source.attribute.column
+        # A planned, projected engine query.  Rebuilds happen once per
+        # data version per slot, so the per-row projection overhead is
+        # paid off the turn path.
+        rows = (
+            Query(source.attribute.table)
+            .select(column)
+            .run(self._database)
+        )
         values = {
-            render(v, source.dtype)
-            for v in table.column_values(source.attribute.column)
-            if v is not None
+            render(row[column], source.dtype)
+            for row in rows
+            if row[column] is not None
         }
         return sorted(values)
 

@@ -65,6 +65,42 @@ class TestValuesFor:
         assert first is second
 
 
+class TestEngineSeeding:
+    def test_initial_with_predicate_pushes_down(self, env):
+        from repro.db.query import eq
+
+        database, catalog = env
+        date = database.rows("screening")[0]["date"]
+        seeded = CandidateSet.initial(
+            database, catalog, "screening", where=eq("date", date)
+        )
+        unconstrained = CandidateSet.initial(database, catalog, "screening")
+        manual = unconstrained.refine(ColumnRef("screening", "date"), date)
+        assert 0 < len(seeded) < len(unconstrained)
+        assert seeded.row_ids == manual.row_ids
+
+    def test_index_refine_matches_value_map_path(self, env):
+        database, catalog = env
+        candidates = CandidateSet.initial(database, catalog, "screening")
+        # screening_id is hash-indexed: refine takes the planned index
+        # path.  date is typed but the values_for path must agree.
+        target = database.rows("screening")[3]
+        by_index = candidates.refine(
+            ColumnRef("screening", "screening_id"), target["screening_id"]
+        )
+        assert by_index.row_ids == (target["screening_id"],) or len(by_index) == 1
+        by_values = candidates.refine(
+            ColumnRef("screening", "date"), target["date"]
+        )
+        survivors = {
+            row["screening_id"] for row in by_values.rows()
+        }
+        assert target["screening_id"] in survivors
+        assert all(
+            row["date"] == target["date"] for row in by_values.rows()
+        )
+
+
 class TestRefine:
     def test_refine_narrows(self, env):
         database, catalog = env

@@ -1,0 +1,367 @@
+"""Tests for the cost-based query engine: planner, executor, EXPLAIN."""
+
+import datetime as dt
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    ForeignKey,
+    Query,
+    TableSchema,
+    and_,
+    eq,
+    ge,
+    gt,
+    le,
+    lt,
+    or_,
+)
+from repro.db.engine import (
+    CountOnly,
+    IndexEq,
+    IndexRange,
+    SeqScan,
+    execute_row_ids,
+)
+from repro.db.ordering import ordering_key
+from repro.errors import QueryError
+
+
+@pytest.fixture()
+def db():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "movie",
+                [
+                    Column("movie_id", DataType.INTEGER),
+                    Column("title", DataType.TEXT, nullable=False),
+                    Column("year", DataType.INTEGER),
+                ],
+                primary_key="movie_id",
+            ),
+            TableSchema(
+                "screening",
+                [
+                    Column("screening_id", DataType.INTEGER),
+                    Column("movie_id", DataType.INTEGER),
+                    Column("date", DataType.DATE),
+                    Column("price", DataType.FLOAT),
+                    Column("room", DataType.TEXT),
+                ],
+                primary_key="screening_id",
+                foreign_keys=[ForeignKey("movie_id", "movie", "movie_id")],
+            ),
+        ]
+    )
+    database = Database(schema)
+    movies = [
+        (1, "Heat", 1995),
+        (2, "Ran", 1985),
+        (3, "Alien", None),
+        (4, "Blade Runner", 1982),
+        (5, "Arrival", 2016),
+    ]
+    for movie_id, title, year in movies:
+        database.insert(
+            "movie", {"movie_id": movie_id, "title": title, "year": year}
+        )
+    base = dt.date(2022, 3, 26)
+    for i in range(1, 21):
+        database.insert(
+            "screening",
+            {
+                "screening_id": i,
+                "movie_id": (i % 5) + 1,
+                "date": base + dt.timedelta(days=i % 7),
+                "price": 8.0 + (i % 4),
+                "room": f"room {chr(ord('A') + i % 3)}",
+            },
+        )
+    database.create_ordered_index("screening", "date")
+    database.create_ordered_index("screening", "price")
+    database.create_ordered_index("movie", "year")
+    return database
+
+
+class TestPlannerChoices:
+    def test_equality_on_indexed_column_uses_index_eq(self, db):
+        explained = Query("screening").where(eq("screening_id", 3)).explain(db)
+        assert "IndexEq on screening using screening_id" in explained
+
+    def test_range_on_ordered_index_uses_index_range(self, db):
+        explained = (
+            Query("screening")
+            .where(and_(ge("date", dt.date(2022, 3, 27)),
+                        le("date", dt.date(2022, 3, 28))))
+            .explain(db)
+        )
+        assert "IndexRange on screening using date" in explained
+        assert "SeqScan" not in explained
+
+    def test_no_index_means_seq_scan(self, db):
+        explained = Query("screening").where(eq("room", "room A")).explain(db)
+        assert "SeqScan on screening" in explained
+
+    def test_or_predicates_cannot_push_down(self, db):
+        explained = (
+            Query("screening")
+            .where(or_(eq("screening_id", 1), eq("screening_id", 2)))
+            .explain(db)
+        )
+        assert "SeqScan on screening" in explained
+
+    def test_order_by_with_ordered_index_skips_sort(self, db):
+        explained = Query("screening").order_by("date").explain(db)
+        assert "order=asc" in explained
+        assert "Sort" not in explained
+
+    def test_order_by_without_index_sorts(self, db):
+        explained = Query("screening").order_by("room").explain(db)
+        assert "Sort by room asc" in explained
+
+    def test_order_by_with_limit_becomes_top_n(self, db):
+        explained = Query("screening").order_by("room").limit(3).explain(db)
+        assert "TopN 3 by room asc" in explained
+
+    def test_count_plans_count_only(self, db):
+        plan = Query("screening").where(eq("room", "room A")).plan(
+            db, count_only=True
+        )
+        assert isinstance(plan, CountOnly)
+        assert "CountOnly" in Query("screening").explain(db, count_only=True)
+
+    def test_join_strategy_is_costed(self, db):
+        # movie.movie_id is the primary key (hash-indexed): with 20 outer
+        # rows against a 5-row build side, either strategy is defensible,
+        # but the planner must pick one of the two join operators.
+        explained = (
+            Query("screening").join("movie_id", "movie", "movie_id").explain(db)
+        )
+        assert "Join movie on movie_id = movie.movie_id" in explained
+
+    def test_hash_join_when_inner_not_indexed(self, db):
+        explained = (
+            Query("movie").join("year", "screening", "price").explain(db)
+        )
+        assert "HashJoin screening" in explained
+
+    def test_selective_equality_beats_range(self, db):
+        # Both access paths are available; the point lookup is cheaper.
+        explained = (
+            Query("screening")
+            .where(and_(eq("screening_id", 3), ge("date", dt.date(2022, 3, 26))))
+            .explain(db)
+        )
+        assert "IndexEq on screening using screening_id" in explained
+
+
+class TestExecutorParity:
+    def test_range_results_match_scan_order(self, db):
+        rows = (
+            Query("screening")
+            .where(and_(ge("date", dt.date(2022, 3, 27)),
+                        le("date", dt.date(2022, 3, 29))))
+            .run(db)
+        )
+        ids = [r["screening_id"] for r in rows]
+        assert ids == sorted(ids)  # row-id order, like a scan
+        assert all(
+            dt.date(2022, 3, 27) <= r["date"] <= dt.date(2022, 3, 29)
+            for r in rows
+        )
+
+    def test_ordered_scan_equals_stable_sort(self, db):
+        via_index = Query("screening").order_by("date").run(db)
+        expected = Query("screening").run(db)
+        expected.sort(key=lambda r: ordering_key(r["date"]))
+        assert via_index == expected
+
+    def test_descending_ties_keep_row_id_order(self, db):
+        via_index = Query("screening").order_by("date", descending=True).run(db)
+        expected = Query("screening").run(db)
+        expected.sort(key=lambda r: ordering_key(r["date"]), reverse=True)
+        assert via_index == expected
+
+    def test_order_by_nullable_indexed_column_keeps_nulls_last(self, db):
+        rows = Query("movie").order_by("year").run(db)
+        assert rows[-1]["title"] == "Alien"
+        assert [r["year"] for r in rows[:-1]] == [1982, 1985, 1995, 2016]
+
+    def test_order_by_nullable_indexed_column_descending_nulls_first(self, db):
+        rows = Query("movie").order_by("year", descending=True).run(db)
+        assert rows[0]["title"] == "Alien"
+        assert [r["year"] for r in rows[1:]] == [2016, 1995, 1985, 1982]
+
+    def test_top_n_matches_full_sort_prefix(self, db):
+        limited = Query("screening").order_by("price").limit(5).run(db)
+        everything = Query("screening").order_by("price").run(db)
+        assert limited == everything[:5]
+
+    def test_top_n_descending_matches_full_sort_prefix(self, db):
+        limited = (
+            Query("screening").order_by("room", descending=True).limit(4).run(db)
+        )
+        everything = Query("screening").order_by("room", descending=True).run(db)
+        assert limited == everything[:4]
+
+    def test_results_are_fresh_dicts(self, db):
+        rows = Query("movie").run(db)
+        rows[0]["title"] = "mutated"
+        assert Query("movie").run(db)[0]["title"] == "Heat"
+
+
+class TestCountOnly:
+    def test_count_equals_len_run(self, db):
+        query = Query("screening").where(eq("room", "room A"))
+        assert query.count(db) == len(query.run(db))
+
+    def test_count_whole_table_is_cardinality(self, db):
+        assert Query("screening").count(db) == 20
+
+    def test_count_respects_limit(self, db):
+        assert Query("screening").limit(7).count(db) == 7
+        assert Query("screening").where(eq("room", "room A")).limit(2).count(db) == 2
+
+
+class TestJoinSemantics:
+    def test_joined_columns_widen_under_table_dot_column(self, db):
+        rows = (
+            Query("screening").join("movie_id", "movie", "movie_id").limit(1).run(db)
+        )
+        row = rows[0]
+        assert "movie.title" in row and "movie.year" in row
+        assert "screening_id" in row  # root columns keep bare names
+
+    def test_none_join_keys_are_skipped(self, db):
+        db.insert(
+            "screening",
+            {"screening_id": 99, "movie_id": None, "date": dt.date(2022, 4, 1),
+             "price": 9.0, "room": "room Z"},
+        )
+        rows = Query("screening").join("movie_id", "movie", "movie_id").run(db)
+        assert all(r["movie_id"] is not None for r in rows)
+        assert len(rows) == 20  # the NULL-keyed row is dropped
+
+    def test_predicate_over_joined_column(self, db):
+        rows = (
+            Query("screening")
+            .join("movie_id", "movie", "movie_id")
+            .where(eq("movie.title", "Heat"))
+            .run(db)
+        )
+        assert rows and all(r["movie.title"] == "Heat" for r in rows)
+
+    def test_root_predicate_pushes_below_join(self, db):
+        explained = (
+            Query("screening")
+            .join("movie_id", "movie", "movie_id")
+            .where(and_(eq("screening_id", 3), gt("movie.year", 1980)))
+            .explain(db)
+        )
+        # The root filter sits under the join, the joined-column filter above.
+        join_at = explained.index("Join movie")
+        assert explained.index("movie.year > 1980") < join_at
+        assert explained.index("screening_id = 3") > join_at
+
+    def test_join_with_unknown_predicate_column_raises(self, db):
+        query = Query("screening").where(eq("missing_column", 1))
+        with pytest.raises(QueryError):
+            query.run(db)
+
+
+class TestMixedTypeOrdering:
+    def test_ordering_key_is_total(self):
+        values = [3, "b", None, 1.5, dt.date(2022, 1, 1), dt.time(12, 0),
+                  True, "a", None, 2]
+        ordered = sorted(values, key=ordering_key)
+        # Numerics first (bool included), then text, date, time, NULLs last.
+        assert ordered[:4] == [True, 1.5, 2, 3]
+        assert ordered[4:6] == ["a", "b"]
+        assert ordered[6] == dt.date(2022, 1, 1)
+        assert ordered[7] == dt.time(12, 0)
+        assert ordered[8:] == [None, None]
+
+    def test_order_by_mixed_type_column_does_not_raise(self, db):
+        # Simulate drifted data via the un-coercing restore() path: a
+        # movie whose year is a string.  The seed sort key raised
+        # TypeError here; the type-ranked key orders it deterministically.
+        table = db.table("movie")
+        row = table.get(1)
+        table.delete(1)
+        row["year"] = "nineteen ninety-five"
+        table.restore(1, row)
+        rows = Query("movie").order_by("year").run(db)
+        years = [r["year"] for r in rows]
+        assert years == [1982, 1985, 2016, "nineteen ninety-five", None]
+
+    def test_mixed_type_ordering_is_deterministic(self, db):
+        table = db.table("movie")
+        row = table.get(2)
+        table.delete(2)
+        row["year"] = "eighty-five"
+        table.restore(2, row)
+        first = Query("movie").order_by("year").run(db)
+        second = Query("movie").order_by("year").run(db)
+        assert first == second
+
+
+class TestExecuteRowIds:
+    def test_index_eq_plan_yields_ids(self, db):
+        plan = Query("screening").where(eq("screening_id", 3)).plan(db)
+        assert execute_row_ids(db, plan) == [3]
+
+    def test_filtered_scan_yields_ids_in_order(self, db):
+        plan = Query("screening").where(eq("room", "room A")).plan(db)
+        ids = execute_row_ids(db, plan)
+        assert ids == sorted(ids)
+        assert ids  # room A exists
+
+    def test_range_plan_yields_ids(self, db):
+        plan = (
+            Query("screening")
+            .where(ge("date", dt.date(2022, 4, 1)))
+            .plan(db)
+        )
+        ids = execute_row_ids(db, plan)
+        rows = Query("screening").where(ge("date", dt.date(2022, 4, 1))).run(db)
+        assert len(ids) == len(rows)
+
+    def test_non_id_preserving_plan_rejected(self, db):
+        plan = Query("screening").join("movie_id", "movie", "movie_id").plan(db)
+        with pytest.raises(QueryError):
+            execute_row_ids(db, plan)
+
+
+class TestOrderedIndexMaintenance:
+    def test_insert_update_delete_keep_index_consistent(self, db):
+        def range_ids():
+            return [
+                r["screening_id"]
+                for r in Query("screening")
+                .where(and_(ge("price", 10.0), le("price", 11.0)))
+                .run(db)
+            ]
+
+        before = range_ids()
+        db.insert(
+            "screening",
+            {"screening_id": 50, "movie_id": 1, "date": dt.date(2022, 4, 2),
+             "price": 10.5, "room": "room A"},
+        )
+        assert 50 in range_ids()
+        db.update("screening", 21, {"price": 20.0})  # row id 21 = screening 50
+        assert 50 not in range_ids()
+        db.update("screening", 21, {"price": 10.5})
+        assert 50 in range_ids()
+        db.delete("screening", 21)
+        assert range_ids() == before
+
+    def test_unbounded_lt_gt(self, db):
+        low = Query("screening").where(lt("price", 9.0)).run(db)
+        high = Query("screening").where(ge("price", 9.0)).run(db)
+        assert len(low) + len(high) == 20

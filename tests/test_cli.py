@@ -17,6 +17,45 @@ class TestCli:
         database = load_database(str(path))
         assert database.count("movie") > 0
 
+    def test_explain_single_query(self, capsys):
+        status = main(
+            ["explain", "screening", "--where", "screening_id=5"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "IndexEq on screening using screening_id" in out
+
+    def test_explain_range_order_limit(self, capsys):
+        status = main(
+            ["explain", "screening", "--where", "date>=2022-03-27",
+             "--order-by", "date", "--limit", "3"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "IndexRange on screening using date" in out
+        assert "Limit 3" in out
+
+    def test_explain_count(self, capsys):
+        status = main(
+            ["explain", "screening", "--where", "room='room A'", "--count"]
+        )
+        assert status == 0
+        assert "CountOnly" in capsys.readouterr().out
+
+    def test_explain_showcase_without_table(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("$ python -m repro explain") >= 3
+        assert "HashJoin" in out or "IndexNestedLoopJoin" in out
+
+    def test_explain_bad_join_spec(self, capsys):
+        assert main(["explain", "screening", "--join", "nonsense"]) == 2
+
+    def test_explain_bad_condition_exits_cleanly(self, capsys):
+        status = main(["explain", "screening", "--where", "date 2022-03-27"])
+        assert status == 2
+        assert "cannot parse condition" in capsys.readouterr().out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
