@@ -26,6 +26,7 @@ from repro.annotation import SchemaAnnotations, Task
 from repro.dataaware import AttributeValueCache, UserAwarenessModel
 from repro.db.catalog import Catalog
 from repro.db.database import Database
+from repro.db.engine.cache import PlanCache
 from repro.db.statistics import StatisticsCatalog
 from repro.dialogue import ConversationContext
 from repro.dialogue.policy import NextActionModel
@@ -47,6 +48,7 @@ class AgentArtifacts:
     vocabulary: SlotVocabulary
     statistics: StatisticsCatalog
     value_cache: AttributeValueCache
+    plan_cache: PlanCache
     choice_list_size: int = 3
 
     @classmethod
@@ -70,9 +72,13 @@ class AgentArtifacts:
             dm_model=dm_model,
             vocabulary=vocabulary,
             # The same catalog instance the query planner prices plans
-            # with: one rebuild per data version serves both.
+            # with: one rebuild per data version serves both — and the
+            # same prepared-plan cache every Query.run() reads through,
+            # so the first session of the day compiles the turn-query
+            # templates and every other session binds into them.
             statistics=database.statistics,
             value_cache=AttributeValueCache(database, catalog),
+            plan_cache=database.plan_cache,
             choice_list_size=choice_list_size,
         )
 

@@ -143,6 +143,19 @@ def _cmd_serve(session_ttl: float | None) -> int:
                 stats = runtime.stats()
                 for key, value in vars(stats).items():
                     print(f"  {key:24s} {value}")
+                session_ids = runtime.session_ids()
+                if session_ids:
+                    print("  per-session (plan cache + turn latency):")
+                for sid in session_ids:
+                    s = runtime.session_stats(sid)
+                    lookups = s.plan_cache_hits + s.plan_cache_misses
+                    print(
+                        f"    {sid}  turns={s.turns}  "
+                        f"plan_cache={s.plan_cache_hits}/{lookups} hits "
+                        f"({s.plan_cache_hit_rate:.0%})  "
+                        f"mean_turn={s.mean_turn_ms:.2f}ms  "
+                        f"last_turn={s.last_turn_ms:.2f}ms"
+                    )
             elif text.startswith(":"):
                 print(f"unknown command {text!r} (:help for help)")
             else:
@@ -213,7 +226,16 @@ _EXPLAIN_DEMOS = [
     "--order-by date --limit 5",
     "screening --where room='room A' --count",
     "movie --order-by year --desc --limit 3 --select title,year",
+    # Aggregate pushdown: streaming group-hash and index-only MIN/MAX.
+    "reservation --agg booked=sum:no_tickets --group-by screening_id",
+    "screening --agg lo=min:price --agg hi=max:price --agg n=count",
+    # Three joins: the planner orders them by estimated cardinality.
+    "screening --join screening_id:reservation:screening_id "
+    "--join movie_id:movie:movie_id "
+    "--join movie.language_id:language:language_id",
 ]
+
+_AGG_KINDS = ("count", "sum", "avg", "min", "max", "count_distinct")
 
 
 def _parse_explain_value(text: str):
@@ -249,10 +271,42 @@ def _parse_explain_condition(text: str):
     )
 
 
+def _parse_agg_exprs(specs):
+    """``name=kind[:column]`` strings into AggExpr tuples (or an error)."""
+    from repro.db.engine import AggExpr
+
+    exprs = []
+    for item in specs:
+        name, sep, rest = item.partition("=")
+        kind, __, column = rest.partition(":")
+        name, kind, column = name.strip(), kind.strip(), column.strip()
+        if not sep or not name or kind not in _AGG_KINDS:
+            return None, (
+                f"bad --agg {item!r} (expected name=kind[:column] with "
+                f"kind one of {', '.join(_AGG_KINDS)})"
+            )
+        if kind == "count":
+            if column:
+                return None, f"bad --agg {item!r} (count takes no column)"
+            exprs.append(AggExpr(name, "count", None))
+        else:
+            if not column:
+                return None, f"bad --agg {item!r} ({kind} needs a column)"
+            exprs.append(AggExpr(name, kind, column))
+    return tuple(exprs), None
+
+
 def _explain_one(database, args) -> int:
     from repro.db import Query
     from repro.errors import DatabaseError
 
+    if args.group_by and not args.agg:
+        print("--group-by requires at least one --agg")
+        return 2
+    if args.agg and args.count:
+        print("--count cannot be combined with --agg "
+              "(use --agg n=count instead)")
+        return 2
     query = Query(args.table)
     try:
         for condition in args.where or ():
@@ -269,7 +323,24 @@ def _explain_one(database, args) -> int:
             query.limit(args.limit)
         if args.select:
             query.select(*[c.strip() for c in args.select.split(",")])
-        print(query.explain(database, count_only=args.count))
+        if args.agg:
+            from dataclasses import replace
+
+            from repro.db.engine import render_plan
+
+            exprs, error = _parse_agg_exprs(args.agg)
+            if exprs is None:
+                print(error)
+                return 2
+            group_by = tuple(
+                c.strip() for c in args.group_by.split(",")
+            ) if args.group_by else ()
+            spec = replace(
+                query.compile(), aggregates=exprs, group_by=group_by
+            )
+            print(render_plan(database.plan_cache.plan(spec)))
+        else:
+            print(query.explain(database, count_only=args.count))
     except DatabaseError as exc:
         print(f"error: {exc}")
         return 2
@@ -308,6 +379,11 @@ def _make_explain_parser(parser):
     parser.add_argument("--select", metavar="COL,COL")
     parser.add_argument("--count", action="store_true",
                         help="plan COUNT(*) instead of row retrieval")
+    parser.add_argument("--agg", action="append", metavar="NAME=KIND[:COL]",
+                        help="aggregate, e.g. booked=sum:no_tickets or "
+                        "n=count (repeatable)")
+    parser.add_argument("--group-by", metavar="COL,COL",
+                        help="group the aggregates by these columns")
     return parser
 
 

@@ -125,9 +125,11 @@ class CandidateSet:
     ) -> "CandidateSet":
         """Candidates of ``table``, optionally pre-filtered by ``where``.
 
-        With a predicate, seeding goes through the planned query engine:
-        the access path pushes the constraints into hash/ordered indexes
-        instead of materialising every row id and filtering afterwards.
+        With a predicate, seeding goes through the planned query engine
+        (via the database's prepared-plan cache — repeated seeds of the
+        same constraint shape reuse one compiled plan): the access path
+        pushes the constraints into hash/ordered indexes instead of
+        materialising every row id and filtering afterwards.
         """
         if where is None:
             row_ids = tuple(database.table(table).row_ids())
@@ -253,9 +255,11 @@ class CandidateSet:
 
         Only exact (non-text) equality on a hash-indexed root-table
         column qualifies — text attributes need the fuzzy-match
-        semantics and joined attributes the value maps.  Returns the
-        surviving row ids (order preserved) or ``None`` to fall back to
-        the value-map path.
+        semantics and joined attributes the value maps.  The probe plan
+        comes from the prepared-plan cache: every refine of the same
+        attribute shares one compiled template, only the constant
+        changes.  Returns the surviving row ids (order preserved) or
+        ``None`` to fall back to the value-map path.
         """
         if dtype is DataType.TEXT or needle is None:
             return None

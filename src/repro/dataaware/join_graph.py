@@ -119,12 +119,17 @@ def map_values(
         next_table = database.table(step.to_table)
         dtype = next_table.schema.column(step.target_column).dtype
         frontier_size = sum(len(ids) for ids in frontier.values())
-        # The same build-vs-probe decision the planner makes for joins:
-        # a narrow frontier against an indexed column probes the hash
-        # index per row; a wide one amortises a single build pass.
+        # The same build-vs-probe decision the planner makes for joins,
+        # priced with the statistics catalog: probing pays one index
+        # lookup per expected match per frontier row, building pays one
+        # pass over the next table.  A narrow frontier against a
+        # low-fanout column probes; a wide frontier (or a fat fanout,
+        # e.g. a junction table) amortises a single build pass.
         use_index = (
             next_table.has_index(step.target_column)
-            and frontier_size < len(next_table)
+            and frontier_size * database.statistics.matches_per_key(
+                step.to_table, step.target_column
+            ) < len(next_table)
         )
         probe = (
             None if use_index

@@ -17,7 +17,7 @@ Example
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.db.table import Row
@@ -42,11 +42,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Aggregate:
-    """A named reduction over a group of rows."""
+    """A named reduction over a group of rows.
+
+    ``builtin`` marks instances made by this module's constructors,
+    whose semantics the engine knows and may push down; a hand-built
+    Aggregate (any custom reducer, whatever its name) always runs its
+    own reducer on materialised rows.
+    """
 
     name: str
     column: str | None
     reducer: Callable[[list[Any]], Any]
+    builtin: bool = field(default=False, compare=False, repr=False)
 
     def apply(self, rows: list[Row]) -> Any:
         if self.column is None:
@@ -60,30 +67,36 @@ class Aggregate:
 
 def count() -> Aggregate:
     """``COUNT(*)`` — number of rows in the group."""
-    return Aggregate("count", None, len)
+    return Aggregate("count", None, len, builtin=True)
 
 
 def count_distinct(column: str) -> Aggregate:
     """``COUNT(DISTINCT column)`` over non-NULL values."""
-    return Aggregate("count_distinct", column, lambda vs: len(set(vs)))
+    return Aggregate("count_distinct", column, lambda vs: len(set(vs)),
+                     builtin=True)
 
 
 def sum_(column: str) -> Aggregate:
     """``SUM(column)`` over non-NULL values (0 for empty groups)."""
-    return Aggregate("sum", column, lambda vs: sum(vs) if vs else 0)
+    return Aggregate("sum", column, lambda vs: sum(vs) if vs else 0,
+                     builtin=True)
 
 
 def avg(column: str) -> Aggregate:
     """``AVG(column)`` over non-NULL values (None for empty groups)."""
-    return Aggregate("avg", column, lambda vs: sum(vs) / len(vs) if vs else None)
+    return Aggregate("avg", column,
+                     lambda vs: sum(vs) / len(vs) if vs else None,
+                     builtin=True)
 
 
 def min_(column: str) -> Aggregate:
-    return Aggregate("min", column, lambda vs: min(vs) if vs else None)
+    return Aggregate("min", column, lambda vs: min(vs) if vs else None,
+                     builtin=True)
 
 
 def max_(column: str) -> Aggregate:
-    return Aggregate("max", column, lambda vs: max(vs) if vs else None)
+    return Aggregate("max", column, lambda vs: max(vs) if vs else None,
+                     builtin=True)
 
 
 def aggregate(
@@ -123,22 +136,61 @@ def aggregate(
     return result
 
 
+def _engine_exprs(aggregates: dict[str, Aggregate]):
+    """The :class:`~repro.db.engine.plan.AggExpr` tuple for built-in
+    aggregates, or ``None`` when any entry carries a custom reducer."""
+    from repro.db.engine import AggExpr
+
+    exprs = []
+    for name, agg in aggregates.items():
+        if not agg.builtin:
+            return None
+        if agg.name == "count" and agg.column is None:
+            exprs.append(AggExpr(name, "count", None))
+        elif (
+            agg.name in ("sum", "avg", "min", "max", "count_distinct")
+            and agg.column is not None
+        ):
+            exprs.append(AggExpr(name, agg.name, agg.column))
+        else:  # pragma: no cover - constructors only emit the above
+            return None
+    return tuple(exprs)
+
+
 def aggregate_query(
     database: "Database",
     query: "Query",
     aggregates: dict[str, Aggregate],
     group_by: list[str] | None = None,
 ) -> list[Row]:
-    """Aggregate the result of ``query`` via the planned executor.
+    """Aggregate the result of ``query`` inside the planned executor.
 
-    An ungrouped, lone ``COUNT(*)`` short-circuits to the engine's
-    CountOnly plan — rows are counted by the executor without being
-    materialised or projected.
+    Built-in aggregates (the constructors in this module) compile into
+    the engine's streaming :class:`~repro.db.engine.plan.HashAggregate`
+    (or, for whole-table MIN/MAX/COUNT, an
+    :class:`~repro.db.engine.plan.IndexAggScan` that reads the answer
+    from the indexes) through the database's prepared-plan cache — rows
+    are never materialised in Python.  An ungrouped, lone ``COUNT(*)``
+    short-circuits to a CountOnly plan; aggregates with custom reducers
+    fall back to materialise-then-reduce via :func:`aggregate`, whose
+    results the engine path reproduces exactly.
     """
     if not aggregates:
         raise QueryError("at least one aggregate is required")
     if not group_by and len(aggregates) == 1:
         (name, agg), = aggregates.items()
-        if agg.column is None and agg.name == "count":
+        if agg.builtin and agg.column is None and agg.name == "count":
             return [{name: query.count(database)}]
-    return aggregate(query.run(database), aggregates, group_by)
+    exprs = _engine_exprs(aggregates)
+    if exprs is None:
+        return aggregate(query.run(database), aggregates, group_by)
+    from dataclasses import replace
+
+    from repro.db.engine import execute_rows
+
+    spec = replace(
+        query.compile(),
+        aggregates=exprs,
+        group_by=tuple(group_by) if group_by else (),
+    )
+    return execute_rows(database, database.plan_cache.plan(spec))

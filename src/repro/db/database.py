@@ -43,6 +43,7 @@ class Database:
         self._change_listeners: list[Callable[[], None]] = []
         self._statistics_lock = threading.Lock()
         self._statistics = None
+        self._plan_cache = None
 
     # ------------------------------------------------------------------
     # Table access
@@ -69,18 +70,25 @@ class Database:
         return table
 
     def create_index(self, table_name: str, column: str) -> None:
-        """Build a hash index on ``table.column`` (DDL)."""
+        """Build a hash index on ``table.column`` (DDL).
+
+        Bumps the data version: cached plan templates were priced
+        without this access path and must recompile to use it.
+        """
         with self.write_locked():
             self.table(table_name).create_index(column)
+            self.notify_data_changed()
 
     def create_ordered_index(self, table_name: str, column: str) -> None:
         """Build an ordered secondary index on ``table.column`` (DDL).
 
         Ordered indexes let the query planner push range predicates and
-        ``ORDER BY`` down instead of scanning and sorting.
+        ``ORDER BY`` down instead of scanning and sorting.  Bumps the
+        data version so cached plan templates pick the new path up.
         """
         with self.write_locked():
             self.table(table_name).create_ordered_index(column)
+            self.notify_data_changed()
 
     # ------------------------------------------------------------------
     # Statistics
@@ -102,6 +110,25 @@ class Database:
                     self._statistics = StatisticsCatalog(self)
                 catalog = self._statistics
         return catalog
+
+    @property
+    def plan_cache(self):
+        """The shared :class:`~repro.db.engine.cache.PlanCache`.
+
+        Created lazily; version-stamped like the statistics catalog, so
+        committed mutations invalidate cached plan templates without
+        explicit coordination.  ``Query.run``/``count`` and
+        ``aggregate_query`` read through it.
+        """
+        cache = self._plan_cache
+        if cache is None:
+            from repro.db.engine.cache import PlanCache
+
+            with self._statistics_lock:
+                if self._plan_cache is None:
+                    self._plan_cache = PlanCache(self)
+                cache = self._plan_cache
+        return cache
 
     # ------------------------------------------------------------------
     # Concurrency

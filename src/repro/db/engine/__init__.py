@@ -1,13 +1,25 @@
-"""Cost-based query engine: plan tree, planner, executor, EXPLAIN.
+"""Cost-based query engine: plan tree, planner, executor, plan cache, EXPLAIN.
 
 ``Query.run()`` compiles the fluent query into a :class:`QuerySpec`,
-hands it to the :class:`Planner` (which consults the database's
+reads a physical plan through the database's :class:`PlanCache` (one
+compilation per query shape and data version; constants bind into the
+cached template) and executes the resulting plan tree.  The
+:class:`Planner` consults the database's
 :class:`~repro.db.statistics.StatisticsCatalog` for row counts,
-distinct counts and most-common-value selectivities) and executes the
-resulting physical plan tree.  ``Query.explain()`` renders the chosen
-plan with cost estimates.
+distinct counts and most-common-value selectivities, prices access
+paths (including IN-list probe unions), orders 3+-join queries by
+estimated intermediate cardinality, and pushes aggregation down into
+streaming :class:`HashAggregate` / index-only :class:`IndexAggScan`
+operators.  ``Query.explain()`` renders the chosen plan with cost
+estimates.
 """
 
+from repro.db.engine.cache import (
+    PlanCache,
+    bind_plan,
+    fingerprint_spec,
+    parameterize_spec,
+)
 from repro.db.engine.executor import (
     build_probe_map,
     execute_count,
@@ -17,12 +29,17 @@ from repro.db.engine.executor import (
 )
 from repro.db.engine.explain import render_plan
 from repro.db.engine.plan import (
+    AggExpr,
     CountOnly,
     Filter,
+    HashAggregate,
     HashJoin,
+    IndexAggScan,
     IndexEq,
+    IndexInList,
     IndexNestedLoopJoin,
     IndexRange,
+    Param,
     PlanNode,
     Project,
     QuerySpec,
@@ -33,12 +50,18 @@ from repro.db.engine.plan import (
 from repro.db.engine.planner import Planner, plan_query
 
 __all__ = [
+    "AggExpr",
     "CountOnly",
     "Filter",
+    "HashAggregate",
     "HashJoin",
+    "IndexAggScan",
     "IndexEq",
+    "IndexInList",
     "IndexNestedLoopJoin",
     "IndexRange",
+    "Param",
+    "PlanCache",
     "PlanNode",
     "Planner",
     "Project",
@@ -46,11 +69,14 @@ __all__ = [
     "SeqScan",
     "Sort",
     "TopN",
+    "bind_plan",
     "build_probe_map",
     "execute_count",
     "execute_plan",
     "execute_row_ids",
     "execute_rows",
+    "fingerprint_spec",
+    "parameterize_spec",
     "plan_query",
     "render_plan",
 ]

@@ -26,11 +26,17 @@ import heapq
 from itertools import islice
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
+from collections import Counter
+
 from repro.db.engine.plan import (
+    AggExpr,
     CountOnly,
     Filter,
+    HashAggregate,
     HashJoin,
+    IndexAggScan,
     IndexEq,
+    IndexInList,
     IndexNestedLoopJoin,
     IndexRange,
     PlanNode,
@@ -107,6 +113,8 @@ def execute_row_ids(database: "Database", plan: PlanNode) -> list[int]:
         return database.table(plan.table).row_ids()
     if isinstance(plan, IndexEq):
         return database.table(plan.table).lookup(plan.column, plan.value)
+    if isinstance(plan, IndexInList):
+        return sorted(_in_list_ids(database, plan))
     if isinstance(plan, IndexRange):
         index = database.table(plan.table).ordered_index(plan.column)
         return sorted(
@@ -155,14 +163,21 @@ def _iterate(
 ) -> tuple[Iterable[Row], bool]:
     """Return ``(row iterable, rows_are_fresh_dicts)`` for ``node``."""
     if isinstance(node, SeqScan):
-        table = database.table(node.table)
-        return (row for __, row in table.iter_view_items()), False
+        return database.table(node.table).iter_views(), False
     if isinstance(node, IndexEq):
         table = database.table(node.table)
         ids = table.lookup(node.column, node.value)
         return (table.row_view(rid) for rid in ids), False
+    if isinstance(node, IndexInList):
+        table = database.table(node.table)
+        ids = sorted(_in_list_ids(database, node))
+        return (table.row_view(rid) for rid in ids), False
     if isinstance(node, IndexRange):
         return _index_range(database, node), False
+    if isinstance(node, HashAggregate):
+        return _hash_aggregate(database, node), True
+    if isinstance(node, IndexAggScan):
+        return _index_agg_scan(database, node), True
     if isinstance(node, Filter):
         rows, fresh = _iterate(database, node.child)
         predicate = node.predicate
@@ -315,3 +330,212 @@ def _index_join(
             for other_col, value in match.items():
                 widened[f"{prefix}.{other_col}"] = value
             yield widened
+
+
+# ---------------------------------------------------------------------------
+# IN-list probe union
+# ---------------------------------------------------------------------------
+
+def _in_list_ids(database: "Database", node: IndexInList) -> set[int]:
+    """Deduplicated row ids matched by any of the IN-list probes."""
+    table = database.table(node.table)
+    ids: set[int] = set()
+    for value in node.values:
+        ids.update(table.lookup(node.column, value))
+    return ids
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+#
+# The aggregation operators must reproduce repro.db.aggregation.aggregate()
+# exactly: groups in first-appearance order, NULL values skipped by
+# column aggregates (COUNT(*) keeps them), sum() folding left-to-right
+# from 0, min/max keeping the first extremal value, empty global group
+# producing one row.  The single-key single-aggregate shapes that
+# dominate the serving workload get tight one-pass accumulator loops;
+# everything else banks row views per group in one pass and reduces
+# each group with C-level builtins — either way no row is ever copied.
+
+def _group_key_error(exc: KeyError) -> QueryError:
+    return QueryError(f"unknown group-by column {exc.args[0]!r}")
+
+
+def _hash_aggregate(database: "Database", node: HashAggregate) -> list[Row]:
+    rows, __ = _iterate(database, node.child)
+    exprs = node.aggregates
+    keys = node.group_by
+    if not keys:
+        return _global_aggregate(rows, exprs)
+    if len(keys) == 1 and len(exprs) == 1:
+        result = _single_key_single_agg(rows, keys[0], exprs[0])
+        if result is not None:
+            return result
+    return _generic_aggregate(rows, keys, exprs)
+
+
+def _single_key_single_agg(
+    rows: Iterable[Row], key_col: str, expr: AggExpr
+) -> list[Row] | None:
+    """Specialised one-pass loops for the hot aggregate shapes."""
+    kind = expr.kind
+    name = expr.name
+    col = expr.column
+    try:
+        if kind == "count":
+            counts = Counter(row[key_col] for row in rows)
+            return [{key_col: k, name: n} for k, n in counts.items()]
+        if kind == "sum":
+            totals: dict[Any, Any] = {}
+            lookup = totals.get
+            for row in rows:
+                k = row[key_col]
+                v = row.get(col)
+                t = lookup(k)
+                if t is None:  # totals never store None
+                    t = 0
+                totals[k] = t if v is None else t + v
+            return [{key_col: k, name: t} for k, t in totals.items()]
+        if kind in ("min", "max"):
+            keep_smaller = kind == "min"
+            best: dict[Any, Any] = {}
+            for row in rows:
+                k = row[key_col]
+                v = row.get(col)
+                if k not in best:
+                    best[k] = v
+                elif v is not None:
+                    b = best[k]
+                    if b is None or (v < b if keep_smaller else v > b):
+                        best[k] = v
+            return [{key_col: k, name: b} for k, b in best.items()]
+        if kind == "avg":
+            totals = {}
+            counts_by_key: dict[Any, int] = {}
+            for row in rows:
+                k = row[key_col]
+                v = row.get(col)
+                if k not in totals:
+                    totals[k] = 0
+                    counts_by_key[k] = 0
+                if v is not None:
+                    totals[k] = totals[k] + v
+                    counts_by_key[k] += 1
+            return [
+                {key_col: k, name: (t / counts_by_key[k]
+                                    if counts_by_key[k] else None)}
+                for k, t in totals.items()
+            ]
+        if kind == "count_distinct":
+            seen: dict[Any, set] = {}
+            for row in rows:
+                k = row[key_col]
+                v = row.get(col)
+                if k not in seen:
+                    seen[k] = set()
+                if v is not None:
+                    seen[k].add(v)
+            return [{key_col: k, name: len(s)} for k, s in seen.items()]
+    except KeyError as exc:
+        raise _group_key_error(exc) from None
+    return None  # pragma: no cover - all known kinds are specialised
+
+
+def _global_aggregate(rows: Iterable[Row], exprs: tuple[AggExpr, ...]) -> list[Row]:
+    """The single implicit group: one output row, even for empty input."""
+    banked = rows if isinstance(rows, list) else list(rows)
+    out: Row = {}
+    for expr in exprs:
+        out[expr.name] = _reduce_group(expr, banked)
+    return [out]
+
+
+def _generic_aggregate(
+    rows: Iterable[Row], keys: tuple[str, ...], exprs: tuple[AggExpr, ...]
+) -> list[Row]:
+    """Group-hash with banked row *views* and vectorised reductions.
+
+    One pass banks each row's view (no copy) under its group key, then
+    every aggregate reduces its group with C-level builtins — the same
+    reductions the baseline performs, minus the per-row dict copies and
+    per-row accumulator dispatch that would dominate multi-aggregate
+    grouping.
+    """
+    result: list[Row] = []
+    lookup: Any
+    try:
+        if len(keys) == 1:
+            key_col = keys[0]
+            scalar_groups: dict[Any, list[Row]] = {}
+            lookup = scalar_groups.get
+            for row in rows:
+                k = row[key_col]
+                bank = lookup(k)
+                if bank is None:
+                    scalar_groups[k] = bank = []
+                bank.append(row)
+            for k, bank in scalar_groups.items():
+                out: Row = {key_col: k}
+                for expr in exprs:
+                    out[expr.name] = _reduce_group(expr, bank)
+                result.append(out)
+            return result
+        groups: dict[tuple, list[Row]] = {}
+        lookup = groups.get
+        for row in rows:
+            key = tuple(row[k] for k in keys)
+            bank = lookup(key)
+            if bank is None:
+                groups[key] = bank = []
+            bank.append(row)
+    except KeyError as exc:
+        raise _group_key_error(exc) from None
+    for key, bank in groups.items():
+        out = dict(zip(keys, key))
+        for expr in exprs:
+            out[expr.name] = _reduce_group(expr, bank)
+        result.append(out)
+    return result
+
+
+def _reduce_group(expr: AggExpr, rows: list[Row]) -> Any:
+    """Reduce one group exactly like ``Aggregate.apply`` does."""
+    kind = expr.kind
+    if kind == "count":
+        return len(rows)
+    column = expr.column
+    values = [
+        row[column] for row in rows if row.get(column) is not None
+    ]
+    if kind == "sum":
+        return sum(values) if values else 0
+    if kind == "avg":
+        return sum(values) / len(values) if values else None
+    if kind == "min":
+        return min(values) if values else None
+    if kind == "max":
+        return max(values) if values else None
+    if kind == "count_distinct":
+        return len(set(values))
+    raise QueryError(  # pragma: no cover - planner only emits known kinds
+        f"unknown aggregate kind {kind!r}"
+    )
+
+
+def _index_agg_scan(database: "Database", node: IndexAggScan) -> list[Row]:
+    """Aggregates answered from index structures without visiting rows."""
+    table = database.table(node.table)
+    out: Row = {}
+    for agg in node.aggregates:
+        if agg.kind == "count":
+            out[agg.name] = len(table)
+        elif agg.kind == "count_distinct":
+            out[agg.name] = table.distinct_count(agg.column)
+        else:  # min/max via the ordered index
+            index = table.ordered_index(agg.column)
+            rid = index.first_id() if agg.kind == "min" else index.last_id()
+            out[agg.name] = (
+                None if rid is None else table.row_view(rid)[agg.column]
+            )
+    return [out]

@@ -1,12 +1,21 @@
 """Physical plan nodes and the compiled query spec.
 
 A plan is a tree of frozen dataclass nodes.  Leaves are access paths on
-the root table (:class:`SeqScan`, :class:`IndexEq`, :class:`IndexRange`);
-unary nodes transform one input (:class:`Filter`, :class:`Sort`,
-:class:`TopN`, :class:`Project`, :class:`CountOnly`); join nodes widen
-root rows with one joined table per node (:class:`HashJoin`,
-:class:`IndexNestedLoopJoin`).  Every node carries the planner's row and
-cost estimates so EXPLAIN can show *why* a plan was chosen.
+the root table (:class:`SeqScan`, :class:`IndexEq`, :class:`IndexRange`,
+:class:`IndexInList`); unary nodes transform one input (:class:`Filter`,
+:class:`Sort`, :class:`TopN`, :class:`Project`, :class:`CountOnly`,
+:class:`HashAggregate`); join nodes widen root rows with one joined
+table per node (:class:`HashJoin`, :class:`IndexNestedLoopJoin`);
+:class:`IndexAggScan` answers whole-table MIN/MAX/COUNT aggregates
+straight from the indexes without visiting rows.  Every node carries the
+planner's row and cost estimates so EXPLAIN can show *why* a plan was
+chosen.
+
+Constants inside a plan may be :class:`Param` placeholders: the plan
+cache compiles one *template* per query shape and binds the concrete
+values of each execution into a fresh tree (see
+:mod:`repro.db.engine.cache`), so equal-shape queries with different
+constants share one planning pass.
 """
 
 from __future__ import annotations
@@ -19,11 +28,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 __all__ = [
     "format_predicate",
+    "Param",
+    "AggExpr",
     "QuerySpec",
     "PlanNode",
     "SeqScan",
     "IndexEq",
     "IndexRange",
+    "IndexInList",
     "Filter",
     "HashJoin",
     "IndexNestedLoopJoin",
@@ -31,7 +43,24 @@ __all__ = [
     "TopN",
     "Project",
     "CountOnly",
+    "HashAggregate",
+    "IndexAggScan",
 ]
+
+
+@dataclass(frozen=True)
+class Param:
+    """A parameter slot standing in for one query constant.
+
+    Plan templates carry these where the planner would otherwise embed
+    the literal value; binding substitutes the execution's actual
+    constants (coerced exactly as direct planning would have).
+    """
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"${self.index + 1}"
 
 
 def format_predicate(predicate: "Predicate") -> str:
@@ -53,6 +82,25 @@ def format_predicate(predicate: "Predicate") -> str:
 
 
 @dataclass(frozen=True)
+class AggExpr:
+    """One named aggregate the engine knows how to stream.
+
+    ``kind`` is one of ``count`` (``column is None``), ``sum``, ``avg``,
+    ``min``, ``max`` or ``count_distinct``.  Aggregates with custom
+    reducers cannot be pushed down and stay on the materialise-then-
+    reduce path in :mod:`repro.db.aggregation`.
+    """
+
+    name: str
+    kind: str
+    column: str | None = None
+
+    def describe(self) -> str:
+        arg = "*" if self.column is None else self.column
+        return f"{self.name}={self.kind}({arg})"
+
+
+@dataclass(frozen=True)
 class QuerySpec:
     """The logical query compiled from the fluent :class:`~repro.db.query.Query`."""
 
@@ -64,6 +112,10 @@ class QuerySpec:
     descending: bool = False
     limit: int | None = None
     count_only: bool = False
+    # Aggregation pushdown: when ``aggregates`` is set the plan root is a
+    # HashAggregate / IndexAggScan over the row-producing query above.
+    aggregates: tuple[AggExpr, ...] | None = None
+    group_by: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -135,6 +187,31 @@ class IndexRange(PlanNode):
         return (
             f"IndexRange on {self.table} using {self.column} "
             f"{left}{low}, {high}{right}{order}"
+        )
+
+
+@dataclass(frozen=True)
+class IndexInList(PlanNode):
+    """Union of hash-index equality probes for ``column IN (values)``.
+
+    ``values`` is the tuple of probe constants (or one :class:`Param`
+    slot holding the whole tuple in a plan template).  Matched row ids
+    are deduplicated and re-sorted into row-id order, so output is
+    identical to a SeqScan + Filter over the same predicate.
+    """
+
+    table: str
+    column: str
+    values: Any
+
+    def describe(self) -> str:
+        try:
+            n = len(self.values)
+        except TypeError:
+            n = "?"
+        return (
+            f"IndexInList on {self.table} using {self.column} "
+            f"IN ({n} values)"
         )
 
 
@@ -230,14 +307,17 @@ class HashJoin(PlanNode):
     table: str
     column: str          # outer join key (root/bare column name)
     target_column: str   # inner join key
+    reordered: bool = field(default=False, kw_only=True)
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
 
     def describe(self) -> str:
+        note = " [reordered]" if self.reordered else ""
         return (
             f"HashJoin {self.table} on "
-            f"{self.column} = {self.table}.{self.target_column} (build inner)"
+            f"{self.column} = {self.table}.{self.target_column} "
+            f"(build inner){note}"
         )
 
 
@@ -249,12 +329,63 @@ class IndexNestedLoopJoin(PlanNode):
     table: str
     column: str
     target_column: str
+    reordered: bool = field(default=False, kw_only=True)
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
 
     def describe(self) -> str:
+        note = " [reordered]" if self.reordered else ""
         return (
             f"IndexNestedLoopJoin {self.table} on "
-            f"{self.column} = {self.table}.{self.target_column}"
+            f"{self.column} = {self.table}.{self.target_column}{note}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class HashAggregate(PlanNode):
+    """Streaming group-hash aggregation over the child's row stream.
+
+    One pass over the child iterator, nothing spilled, no row copied:
+    the hot single-aggregate shapes keep per-group accumulators, wider
+    aggregate lists bank row views per group and reduce them with
+    C-level builtins.  Output groups appear in first-appearance order
+    of their key, exactly like the materialise-then-reduce
+    :func:`repro.db.aggregation.aggregate`.
+    """
+
+    child: PlanNode
+    aggregates: tuple[AggExpr, ...]
+    group_by: tuple[str, ...] = ()
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        aggs = ", ".join(a.describe() for a in self.aggregates)
+        if self.group_by:
+            return f"HashAggregate [{aggs}] group by [{', '.join(self.group_by)}]"
+        return f"HashAggregate [{aggs}]"
+
+
+@dataclass(frozen=True)
+class IndexAggScan(PlanNode):
+    """Whole-table aggregates answered from indexes without visiting rows.
+
+    MIN/MAX read the first/last entry of the column's ordered index
+    (O(log n) maintenance, O(1) read), COUNT(*) is the table cardinality
+    and COUNT(DISTINCT col) the hash-index bucket count.  Only eligible
+    for unfiltered, unjoined, ungrouped, unlimited queries — anything
+    else streams through :class:`HashAggregate`.
+    """
+
+    table: str
+    aggregates: tuple[AggExpr, ...]
+
+    def describe(self) -> str:
+        aggs = ", ".join(a.describe() for a in self.aggregates)
+        return f"IndexAggScan on {self.table} [{aggs}]"

@@ -7,38 +7,57 @@ The planner is deliberately System-R-shaped for a single-root query:
    the joins) or *residual* (mentions joined ``table.column`` keys or
    unknown columns — evaluated after the joins, preserving the seed
    query's error semantics for bad column names);
-2. enumerate access paths over the pushable equality/range bindings —
-   hash-index equality probes, ordered-index range scans, and the
-   sequential scan — cost each with the statistics catalog (row counts,
-   most-common-value selectivities, min/max interpolation) and keep the
-   cheapest;
+2. enumerate access paths over the pushable equality/range/IN bindings —
+   hash-index equality probes, IN-list probe unions, ordered-index range
+   scans, and the sequential scan — cost each with the statistics
+   catalog (row counts, most-common-value selectivities, min/max
+   interpolation) and keep the cheapest;
 3. pick a join strategy per join — an index nested-loop when the inner
    table has a hash index on the join key and the outer side is small,
-   otherwise a build-side hash join;
+   otherwise a build-side hash join; with more than two joins the join
+   *order* is chosen greedily by estimated output cardinality (smallest
+   intermediate result first) instead of the query-stated order,
+   respecting joins that key on an earlier join's output columns;
 4. satisfy ``ORDER BY`` from an ordered index when the access path
    already walks one (or can), else insert Sort/TopN; ``count()``
    queries terminate in a CountOnly node that skips sorting,
    projection and row materialisation entirely.
+5. aggregate queries (``spec.aggregates``) wrap the row-producing plan
+   in a streaming :class:`HashAggregate`; whole-table MIN/MAX/COUNT
+   collapse to an :class:`IndexAggScan` that reads the answer straight
+   from the ordered/hash indexes.
 
 Every predicate part is re-applied as a Filter even when an index
 pre-selected rows: index probes coerce values to the column type while
 predicate evaluation compares raw values, so the index result is a
 *superset* of the final answer and the filter keeps results identical
 to the seed scan path.
+
+When planning a cache *template* the spec's constants are
+:class:`~repro.db.engine.plan.Param` slots and the planner receives the
+first execution's actual values via ``params``: costing uses the actual
+values, while the emitted nodes keep the slots so the compiled plan can
+be re-bound to any constants (see :mod:`repro.db.engine.cache`).
 """
 
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Any
+from dataclasses import replace
+from typing import TYPE_CHECKING, Any, Sequence
 
 from repro.db.engine.plan import (
+    AggExpr,
     CountOnly,
     Filter,
+    HashAggregate,
     HashJoin,
+    IndexAggScan,
     IndexEq,
+    IndexInList,
     IndexNestedLoopJoin,
     IndexRange,
+    Param,
     PlanNode,
     Project,
     QuerySpec,
@@ -61,14 +80,19 @@ _SEL_CONTAINS = 0.25
 _SEL_NE = 0.9
 _SEL_DEFAULT = 0.5
 
+# Join-order search only kicks in beyond this many joins; below it the
+# stated order is kept (and is what the seed semantics tests pin down).
+_REORDER_THRESHOLD = 2
+
 
 def plan_query(
     database: "Database",
     spec: QuerySpec,
     statistics: "StatisticsCatalog | None" = None,
+    params: Sequence[Any] | None = None,
 ) -> PlanNode:
     """Convenience wrapper: plan ``spec`` against ``database``."""
-    return Planner(database, statistics).plan(spec)
+    return Planner(database, statistics, params=params).plan(spec)
 
 
 class Planner:
@@ -78,13 +102,30 @@ class Planner:
         self,
         database: "Database",
         statistics: "StatisticsCatalog | None" = None,
+        params: Sequence[Any] | None = None,
     ) -> None:
         self._database = database
         self._statistics = statistics if statistics is not None \
             else database.statistics
+        self._params = params
+
+    # ------------------------------------------------------------------
+    def _resolve(self, value: Any) -> Any:
+        """The concrete constant behind ``value`` (Param slots resolve
+        to the template-compilation execution's actual parameter)."""
+        if isinstance(value, Param):
+            if self._params is None:  # pragma: no cover - cache guards this
+                raise ValueError("parameterised spec planned without params")
+            return self._params[value.index]
+        return value
 
     # ------------------------------------------------------------------
     def plan(self, spec: QuerySpec) -> PlanNode:
+        if spec.aggregates is not None:
+            return self._plan_aggregate(spec)
+        return self._plan_rows(spec)
+
+    def _plan_rows(self, spec: QuerySpec) -> PlanNode:
         table = self._database.table(spec.table)
         root_columns = set(table.schema.column_names)
         parts = _and_parts(spec.predicate)
@@ -111,8 +152,10 @@ class Planner:
                 cost=node.cost + node.estimated_rows,
             )
 
-        for column, join_table, target_column in spec.joins:
-            node = self._join(node, column, join_table, target_column)
+        for column, join_table, target_column, reordered in \
+                self._join_order(spec, node):
+            node = self._join(node, column, join_table, target_column,
+                              reordered=reordered)
 
         if residual:
             node = Filter(
@@ -140,6 +183,76 @@ class Planner:
                 cost=node.cost + node.estimated_rows,
             )
         return node
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def _plan_aggregate(self, spec: QuerySpec) -> PlanNode:
+        assert spec.aggregates is not None
+        if self._index_agg_eligible(spec):
+            return IndexAggScan(
+                table=spec.table,
+                aggregates=spec.aggregates,
+                estimated_rows=1.0,
+                # One index read per aggregate; the log term is the
+                # ordered-index descent the maintenance already paid.
+                cost=2.0 * len(spec.aggregates),
+            )
+        child = self._plan_rows(
+            replace(spec, aggregates=None, group_by=())
+        )
+        if spec.group_by:
+            est = self._group_count_estimate(spec, child.estimated_rows)
+        else:
+            est = 1.0
+        return HashAggregate(
+            child=child,
+            aggregates=spec.aggregates,
+            group_by=spec.group_by,
+            estimated_rows=est,
+            cost=child.cost + child.estimated_rows,
+        )
+
+    def _index_agg_eligible(self, spec: QuerySpec) -> bool:
+        """True when every aggregate is answerable from indexes alone.
+
+        Requires a bare query — any predicate, join, limit, projection
+        or grouping changes which rows aggregate and forces the
+        streaming path.
+        """
+        if spec.group_by or spec.joins or spec.limit is not None \
+                or spec.projection is not None:
+            return False
+        if _and_parts(spec.predicate):
+            return False
+        table = self._database.table(spec.table)
+        for agg in spec.aggregates or ():
+            if agg.kind == "count" and agg.column is None:
+                continue
+            if agg.column is None:
+                return False
+            if agg.kind in ("min", "max"):
+                if not table.has_ordered_index(agg.column):
+                    return False
+            elif agg.kind == "count_distinct":
+                if not table.has_index(agg.column):
+                    return False
+            else:  # sum/avg must see every value
+                return False
+        return True
+
+    def _group_count_estimate(
+        self, spec: QuerySpec, input_rows: float
+    ) -> float:
+        """Expected group count: distinct-count product capped by input."""
+        distinct = 1.0
+        for column in spec.group_by:
+            stats = self._column_stats(spec.table, column)
+            if stats is not None and stats.distinct_count > 0:
+                distinct *= stats.distinct_count
+            else:
+                distinct *= max(1.0, input_rows * 0.1)
+        return max(1.0, min(distinct, input_rows))
 
     # ------------------------------------------------------------------
     # Access-path selection
@@ -183,16 +296,34 @@ class Planner:
                     cost=1.0 + est,
                 )
             )
+        for column, values in _in_list_bindings(pushable).items():
+            if not table.has_index(column):
+                continue
+            probes = self._coerced_in_list(table, column, values)
+            if probes is _UNUSABLE:
+                continue
+            per_value = self._eq_selectivity_many(spec.table, column, probes)
+            est = n_rows * min(1.0, per_value)
+            candidates.append(
+                IndexInList(
+                    table=spec.table,
+                    column=column,
+                    values=values,
+                    estimated_rows=est,
+                    # One probe per list element, the matched rows, and
+                    # a small re-sort term for the row-id merge.
+                    cost=1.0 + len(probes) + 1.2 * est,
+                )
+            )
         for column, bounds in _range_bindings(pushable).items():
             if not table.has_ordered_index(column):
                 continue
-            low, low_inc, high, high_inc = self._coerced_bounds(
-                table, column, bounds
-            )
+            low, low_coerced, low_inc, high, high_coerced, high_inc = \
+                self._coerced_bounds(table, column, bounds)
             if low is _UNUSABLE or high is _UNUSABLE:
                 continue
             est = n_rows * self._range_selectivity(
-                spec.table, column, low, high
+                spec.table, column, low_coerced, high_coerced
             )
             sorted_output = spec.order_by == column and not spec.count_only
             candidates.append(
@@ -234,8 +365,61 @@ class Planner:
     # ------------------------------------------------------------------
     # Joins
     # ------------------------------------------------------------------
+    def _join_order(
+        self, spec: QuerySpec, access: PlanNode
+    ) -> list[tuple[str, str, str, bool]]:
+        """The join sequence to execute, tagged with reorder markers.
+
+        Up to two joins keep the query-stated order (which is also the
+        order the seed semantics emit rows in).  Beyond that the order
+        is chosen greedily: at each step take the not-yet-applied join
+        with the smallest estimated output cardinality whose key column
+        is available — either a root column or an earlier join's
+        ``table.column`` output.
+        """
+        stated = list(spec.joins)
+        if len(stated) <= _REORDER_THRESHOLD:
+            return [(c, t, tc, False) for c, t, tc in stated]
+        ordered: list[tuple[str, str, str, bool]] = []
+        remaining = stated[:]
+        est = max(access.estimated_rows, 1.0)
+        while remaining:
+            best_i = None
+            best_est = math.inf
+            for i, (column, join_table, target_column) in enumerate(remaining):
+                if self._depends_on_pending(column, remaining, i):
+                    continue
+                fanout = self._matches_per_key(join_table, target_column)
+                candidate_est = est * fanout
+                if candidate_est < best_est:
+                    best_i, best_est = i, candidate_est
+            if best_i is None:
+                # A dependency cycle (or a key on a never-joined table):
+                # fall back to the stated order for what's left.
+                ordered.extend(
+                    (c, t, tc, False) for c, t, tc in remaining
+                )
+                break
+            column, join_table, target_column = remaining.pop(best_i)
+            reordered = stated[len(ordered)][1] != join_table
+            ordered.append((column, join_table, target_column, reordered))
+            est = max(best_est, 1.0)
+        return ordered
+
+    @staticmethod
+    def _depends_on_pending(
+        column: str, remaining: list[tuple[str, str, str]], skip: int
+    ) -> bool:
+        """Does the join key reference a table that has not joined yet?"""
+        return any(
+            column.startswith(f"{table}.")
+            for i, (__, table, __tc) in enumerate(remaining)
+            if i != skip
+        )
+
     def _join(
-        self, outer: PlanNode, column: str, join_table: str, target_column: str
+        self, outer: PlanNode, column: str, join_table: str,
+        target_column: str, reordered: bool = False,
     ) -> PlanNode:
         inner = self._database.table(join_table)
         inner_rows = len(inner)
@@ -253,6 +437,7 @@ class Planner:
                     target_column=target_column,
                     estimated_rows=est,
                     cost=inlj_cost,
+                    reordered=reordered,
                 )
         return HashJoin(
             child=outer,
@@ -261,6 +446,7 @@ class Planner:
             target_column=target_column,
             estimated_rows=est,
             cost=hash_cost,
+            reordered=reordered,
         )
 
     # ------------------------------------------------------------------
@@ -315,6 +501,14 @@ class Planner:
             return _SEL_DEFAULT
         return stats.selectivity(value)
 
+    def _eq_selectivity_many(
+        self, table: str, column: str, values: tuple
+    ) -> float:
+        stats = self._column_stats(table, column)
+        if stats is None:
+            return len(values) * _SEL_DEFAULT / 4
+        return sum(stats.selectivity(v) for v in values)
+
     def _range_selectivity(
         self, table: str, column: str, low: Any, high: Any
     ) -> float:
@@ -324,12 +518,7 @@ class Planner:
         return stats.range_selectivity(low, high)
 
     def _matches_per_key(self, table: str, column: str) -> float:
-        stats = self._column_stats(table, column)
-        if stats is None or stats.distinct_count == 0:
-            return 1.0
-        return max(
-            1.0, (stats.row_count - stats.null_count) / stats.distinct_count
-        )
+        return self._statistics.matches_per_key(table, column)
 
     def _filter_selectivity(
         self, table: str, parts: list[Predicate]
@@ -341,15 +530,16 @@ class Planner:
 
     def _part_selectivity(self, table: str, part: Predicate) -> float:
         if isinstance(part, Comparison):
+            value = self._resolve(part.value)
             if part.op == "==":
-                return self._eq_selectivity(table, part.column, part.value)
+                return self._eq_selectivity(table, part.column, value)
             if part.op in ("<", "<="):
                 return self._range_selectivity(
-                    table, part.column, None, part.value
+                    table, part.column, None, value
                 )
             if part.op in (">", ">="):
                 return self._range_selectivity(
-                    table, part.column, part.value, None
+                    table, part.column, value, None
                 )
             if part.op == "!=":
                 return _SEL_NE
@@ -357,7 +547,7 @@ class Planner:
                 return _SEL_CONTAINS
             if part.op == "in":
                 try:
-                    n = len(part.value)
+                    n = len(value)
                 except TypeError:
                     n = 1
                 stats = self._column_stats(table, part.column)
@@ -373,34 +563,67 @@ class Planner:
     # ------------------------------------------------------------------
     def _coerced(self, table, column: str, value: Any) -> Any:
         try:
-            return coerce(value, table.schema.column(column).dtype)
+            return coerce(self._resolve(value), table.schema.column(column).dtype)
         except TypeMismatchError:
             return _UNUSABLE
 
+    def _coerced_in_list(self, table, column: str, values: Any) -> Any:
+        """All IN-list elements coerced, or ``_UNUSABLE``.
+
+        A single element that cannot coerce to the column type disables
+        the probe union for this query (the SeqScan + Filter fallback
+        keeps the seed comparison semantics for such lists).  A plain
+        string is *not* a list of probes: ``value in "room A"`` is a
+        substring test, which only the filter can evaluate.
+        """
+        resolved = self._resolve(values)
+        if isinstance(resolved, (str, bytes)):
+            return _UNUSABLE
+        try:
+            elements = tuple(resolved)
+        except TypeError:
+            return _UNUSABLE
+        coerced = []
+        for element in elements:
+            value = self._coerced(table, column, element)
+            if value is _UNUSABLE or value is None:
+                return _UNUSABLE
+            coerced.append(value)
+        return tuple(coerced)
+
     def _coerced_bounds(
         self, table, column: str, bounds: list[tuple[str, Any]]
-    ) -> tuple[Any, bool, Any, bool]:
-        """Fold op/value pairs into ``(low, low_inc, high, high_inc)``."""
+    ) -> tuple[Any, Any, bool, Any, Any, bool]:
+        """Fold op/value pairs into emitted + coerced range bounds.
+
+        Returns ``(low, low_coerced, low_inc, high, high_coerced,
+        high_inc)`` where the emitted ``low``/``high`` keep a Param slot
+        when the winning bound is parameterised (binding re-coerces) and
+        are the coerced constant otherwise.
+        """
         low: Any = None
+        low_coerced: Any = None
         low_inc = True
         high: Any = None
+        high_coerced: Any = None
         high_inc = True
         for op, value in bounds:
             coerced = self._coerced(table, column, value)
             if coerced is _UNUSABLE or coerced is None:
-                return _UNUSABLE, True, _UNUSABLE, True
+                return _UNUSABLE, None, True, _UNUSABLE, None, True
+            emitted = value if isinstance(value, Param) else coerced
             key = ordering_key(coerced)
             if op in (">", ">="):
-                if low is None or key > ordering_key(low) or (
-                    key == ordering_key(low) and op == ">"
+                if low is None or key > ordering_key(low_coerced) or (
+                    key == ordering_key(low_coerced) and op == ">"
                 ):
-                    low, low_inc = coerced, op == ">="
+                    low, low_coerced, low_inc = emitted, coerced, op == ">="
             else:  # "<", "<="
-                if high is None or key < ordering_key(high) or (
-                    key == ordering_key(high) and op == "<"
+                if high is None or key < ordering_key(high_coerced) or (
+                    key == ordering_key(high_coerced) and op == "<"
                 ):
-                    high, high_inc = coerced, op == "<="
-        return low, low_inc, high, high_inc
+                    high, high_coerced, high_inc = emitted, coerced, op == "<="
+        return low, low_coerced, low_inc, high, high_coerced, high_inc
 
 
 def _is_unique_column(table, column: str) -> bool:
@@ -439,6 +662,14 @@ def _equality_bindings(parts: list[Predicate]) -> dict[str, Any]:
     out: dict[str, Any] = {}
     for part in parts:
         if isinstance(part, Comparison) and part.op == "==":
+            out[part.column] = part.value
+    return out
+
+
+def _in_list_bindings(parts: list[Predicate]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for part in parts:
+        if isinstance(part, Comparison) and part.op == "in":
             out[part.column] = part.value
     return out
 

@@ -1,4 +1,10 @@
-"""Database snapshots: dump/load the schema and contents as JSON.
+"""Database snapshots: dump/load the schema, contents and index DDL as JSON.
+
+Secondary-index DDL (hash and ordered indexes) is part of the snapshot,
+so a loaded database presents the query planner with exactly the access
+paths the dumped one had and plans identically.  Snapshots from before
+format version 2 load fine — they simply carry no index section beyond
+the primary-key/unique indexes the schema implies.
 
 Stored procedures are Python callables and cannot be serialised; a
 loaded database starts with an empty procedure registry and the caller
@@ -19,7 +25,8 @@ from repro.errors import DatabaseError
 
 __all__ = ["dump_database", "load_database", "dumps_database", "loads_database"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def _encode_value(value: Any) -> Any:
@@ -100,8 +107,34 @@ def _schema_from_payload(payload: list[dict[str, Any]]) -> DatabaseSchema:
     return DatabaseSchema(tables)
 
 
+def _index_payload(database: Database) -> dict[str, dict[str, list[str]]]:
+    """Secondary-index DDL per table.
+
+    Hash indexes implied by the schema (primary key, unique columns)
+    are rebuilt by table construction and excluded here; everything
+    else — FK probe indexes, ordered range/ORDER BY indexes — must be
+    recorded or a loaded database silently plans worse.
+    """
+    payload: dict[str, dict[str, list[str]]] = {}
+    for name in database.table_names:
+        table = database.table(name)
+        implied = {c.name for c in table.schema.columns if c.unique}
+        if table.schema.primary_key:
+            implied.add(table.schema.primary_key)
+        hash_columns = [
+            c for c in table.hash_index_columns() if c not in implied
+        ]
+        ordered_columns = table.ordered_index_columns()
+        if hash_columns or ordered_columns:
+            payload[name] = {
+                "hash": hash_columns,
+                "ordered": ordered_columns,
+            }
+    return payload
+
+
 def dumps_database(database: Database) -> str:
-    """Serialise schema + rows to a JSON string."""
+    """Serialise schema + rows + secondary-index DDL to a JSON string."""
     payload = {
         "format_version": _FORMAT_VERSION,
         "schema": _schema_payload(database.schema),
@@ -112,6 +145,7 @@ def dumps_database(database: Database) -> str:
             ]
             for name in database.table_names
         },
+        "indexes": _index_payload(database),
     }
     return json.dumps(payload, indent=2)
 
@@ -120,7 +154,7 @@ def loads_database(payload: str) -> Database:
     """Rebuild a database from :func:`dumps_database` output."""
     body = json.loads(payload)
     version = body.get("format_version")
-    if version != _FORMAT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise DatabaseError(f"unsupported snapshot version {version!r}")
     database = Database(_schema_from_payload(body["schema"]))
     # Insert tables in FK-dependency order: repeatedly insert whatever
@@ -144,6 +178,15 @@ def loads_database(payload: str) -> Database:
             raise DatabaseError(
                 f"circular foreign-key dependency among {sorted(remaining)}"
             )
+    for name, indexes in body.get("indexes", {}).items():
+        if name not in database:
+            raise DatabaseError(
+                f"snapshot indexes reference unknown table {name!r}"
+            )
+        for column in indexes.get("hash", ()):
+            database.create_index(name, column)
+        for column in indexes.get("ordered", ()):
+            database.create_ordered_index(name, column)
     return database
 
 

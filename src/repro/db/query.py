@@ -163,13 +163,23 @@ class Not(Predicate):
 
 
 class TruePredicate(Predicate):
-    """Matches every row; the identity element for AND."""
+    """Matches every row; the identity element for AND.
+
+    All instances are interchangeable, and compare (and hash) equal so
+    that query shapes containing one work as plan-cache keys.
+    """
 
     def matches(self, row: Row) -> bool:
         return True
 
     def columns(self) -> set[str]:
         return set()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TruePredicate)
+
+    def __hash__(self) -> int:
+        return hash(TruePredicate)
 
 
 # Convenience constructors -------------------------------------------------
@@ -317,10 +327,14 @@ class Query:
         )
 
     def plan(self, database: "Database", count_only: bool = False):
-        """The costed physical plan the engine would execute."""
-        from repro.db.engine import plan_query
+        """The costed physical plan the engine would execute.
 
-        return plan_query(database, self.compile(count_only=count_only))
+        Read through the database's prepared-plan cache: the first
+        query of a given shape compiles a plan template, later queries
+        of the same shape (same structure, any constants) bind their
+        constants into the cached template instead of re-planning.
+        """
+        return database.plan_cache.plan(self.compile(count_only=count_only))
 
     def explain(self, database: "Database", count_only: bool = False) -> str:
         """EXPLAIN output: the chosen plan with row/cost estimates."""

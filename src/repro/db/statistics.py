@@ -253,6 +253,25 @@ class StatisticsCatalog:
     def column(self, table_name: str, column: str) -> ColumnStatistics:
         return self.table(table_name).column(column)
 
+    def matches_per_key(self, table_name: str, column: str) -> float:
+        """Expected rows matched by one equality probe on ``column``.
+
+        ``(non-null rows) / (distinct values)`` — always >= 1 when the
+        column has data, since every distinct value occupies at least
+        one row.  Shared by the join-cost model, the greedy join
+        ordering and the dataaware join-path walker.  Falls back to 1.0
+        when the column is unknown or empty.
+        """
+        try:
+            stats = self.column(table_name, column)
+        except KeyError:
+            return 1.0
+        if stats.distinct_count == 0:
+            return 1.0
+        return max(
+            1.0, (stats.row_count - stats.null_count) / stats.distinct_count
+        )
+
     def invalidate(self) -> None:
         self._cache.invalidate()
 

@@ -94,6 +94,14 @@ class _OrderedIndex:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def first_id(self) -> int | None:
+        """Row id of the smallest key (smallest row id on ties)."""
+        return self._entries[0][1] if self._entries else None
+
+    def last_id(self) -> int | None:
+        """Row id of the largest key (largest row id on ties)."""
+        return self._entries[-1][1] if self._entries else None
+
     def _bounds(
         self,
         low: Any,
@@ -207,6 +215,12 @@ class Table:
         for row_id in sorted(self._rows):
             yield row_id, self._rows[row_id]
 
+    def iter_views(self) -> Iterator[Row]:
+        """Internal rows in row-id order (read-only) — the sequential
+        scan's row stream, without the ``(id, row)`` tuple per row."""
+        rows = self._rows
+        return map(rows.__getitem__, sorted(rows))
+
     def has_index(self, column: str) -> bool:
         return column in self._indexes
 
@@ -215,6 +229,14 @@ class Table:
 
     def ordered_index(self, column: str) -> _OrderedIndex:
         return self._ordered_indexes[column]
+
+    def hash_index_columns(self) -> list[str]:
+        """Columns carrying a hash index (sorted; includes pk/unique)."""
+        return sorted(self._indexes)
+
+    def ordered_index_columns(self) -> list[str]:
+        """Columns carrying an ordered secondary index (sorted)."""
+        return sorted(self._ordered_indexes)
 
     # ------------------------------------------------------------------
     # Index management

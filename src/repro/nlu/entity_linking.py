@@ -116,18 +116,22 @@ class EntityLinker:
         source = self._vocabulary.source(slot)
         assert source.attribute is not None
         column = source.attribute.column
-        # A planned, projected engine query.  Rebuilds happen once per
-        # data version per slot, so the per-row projection overhead is
-        # paid off the turn path.
-        rows = (
-            Query(source.attribute.table)
-            .select(column)
-            .run(self._database)
+        # A grouped streaming aggregate through the prepared-plan cache:
+        # one row per *distinct* column value, no per-row dict
+        # materialisation.  Rebuilds happen once per data version per
+        # slot, so even that cost is off the turn path.
+        from repro.db.aggregation import aggregate_query, count
+
+        groups = aggregate_query(
+            self._database,
+            Query(source.attribute.table),
+            {"n": count()},
+            group_by=[column],
         )
         values = {
-            render(row[column], source.dtype)
-            for row in rows
-            if row[column] is not None
+            render(group[column], source.dtype)
+            for group in groups
+            if group[column] is not None
         }
         return sorted(values)
 

@@ -13,12 +13,13 @@ This package provides the runtime for that:
   lock.
 """
 
-from repro.serving.runtime import AgentRuntime, RuntimeStats
+from repro.serving.runtime import AgentRuntime, RuntimeStats, SessionStats
 from repro.serving.sessions import Session, SessionStore
 
 __all__ = [
     "AgentRuntime",
     "RuntimeStats",
     "Session",
+    "SessionStats",
     "SessionStore",
 ]

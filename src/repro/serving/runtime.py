@@ -36,7 +36,7 @@ from repro.agent.session import TranscriptTurn
 from repro.db.database import Database
 from repro.serving.sessions import Session, SessionStore
 
-__all__ = ["AgentRuntime", "RuntimeStats"]
+__all__ = ["AgentRuntime", "RuntimeStats", "SessionStats"]
 
 
 @dataclass(frozen=True)
@@ -50,6 +50,26 @@ class RuntimeStats:
     turns_served: int
     transactions_committed: int
     transactions_aborted: int
+    plan_cache_hits: int
+    plan_cache_misses: int
+    plan_cache_bypasses: int
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Per-session serving counters (observability; non-touching)."""
+
+    session_id: str
+    turns: int
+    plan_cache_hits: int
+    plan_cache_misses: int
+    mean_turn_ms: float
+    last_turn_ms: float
+
+    @property
+    def plan_cache_hit_rate(self) -> float:
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
 
 
 class AgentRuntime:
@@ -69,6 +89,9 @@ class AgentRuntime:
         # One shared engine: it holds no per-conversation state beyond
         # its (unused here) default context, so all sessions reuse it.
         self._agent = ConversationalAgent(database, artifacts)
+        # The bundle's prepared-plan cache (the same instance every
+        # Query.run on this database reads through).
+        self._plan_cache = artifacts.plan_cache
         self.sessions = SessionStore(
             context_factory=artifacts.new_context,
             ttl=session_ttl,
@@ -115,8 +138,19 @@ class AgentRuntime:
     def respond(self, session_id: str, text: str) -> AgentReply:
         """Process one utterance in the named session."""
         session = self.sessions.get(session_id)
+        plan_cache = self._plan_cache
         with session.turn_lock:
+            # The turn runs on this thread, so the thread-local cache
+            # counter delta is exactly this turn's plan-cache traffic.
+            hits_before, misses_before = plan_cache.local_counters()
+            started = time.perf_counter()
             reply = self._agent.respond(text, context=session.context)
+            elapsed = time.perf_counter() - started
+            hits_after, misses_after = plan_cache.local_counters()
+            session.plan_cache_hits += hits_after - hits_before
+            session.plan_cache_misses += misses_after - misses_before
+            session.turn_seconds += elapsed
+            session.last_turn_seconds = elapsed
             session.turn_count += 1
             if self._record_transcripts:
                 session.transcript.append(
@@ -138,6 +172,7 @@ class AgentRuntime:
     # ------------------------------------------------------------------
     def stats(self) -> RuntimeStats:
         store = self.sessions
+        plan_cache = self._plan_cache
         with self._stats_lock:
             turns = self._turns_served
         return RuntimeStats(
@@ -148,4 +183,21 @@ class AgentRuntime:
             turns_served=turns,
             transactions_committed=self.database.transactions.committed_count,
             transactions_aborted=self.database.transactions.aborted_count,
+            plan_cache_hits=plan_cache.hits,
+            plan_cache_misses=plan_cache.misses,
+            plan_cache_bypasses=plan_cache.bypasses,
+        )
+
+    def session_stats(self, session_id: str) -> SessionStats:
+        """Per-session counters (peek: does not refresh TTL/LRU)."""
+        session = self.sessions.peek(session_id)
+        turns = session.turn_count
+        return SessionStats(
+            session_id=session_id,
+            turns=turns,
+            plan_cache_hits=session.plan_cache_hits,
+            plan_cache_misses=session.plan_cache_misses,
+            mean_turn_ms=(session.turn_seconds / turns * 1000.0) if turns
+            else 0.0,
+            last_turn_ms=session.last_turn_seconds * 1000.0,
         )

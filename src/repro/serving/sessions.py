@@ -41,6 +41,13 @@ class Session:
     created_at: float
     last_used_at: float
     turn_count: int = 0
+    # Per-session serving counters, maintained by AgentRuntime.respond()
+    # under the turn lock: prepared-plan cache traffic attributed to
+    # this session's turns, and cumulative/last turn wall-clock time.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    turn_seconds: float = 0.0
+    last_turn_seconds: float = 0.0
     # TranscriptTurn entries when the runtime records transcripts; kept
     # on the session so TTL/LRU reclamation frees them too.
     transcript: list = field(default_factory=list)

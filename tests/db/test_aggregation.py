@@ -1,12 +1,20 @@
-"""Tests for group-by aggregation."""
+"""Tests for group-by aggregation (Python reducer and engine pushdown)."""
+
+import random
 
 import pytest
 
 from repro.db import (
+    Aggregate,
+    Query,
     aggregate,
+    aggregate_query,
     avg,
     count,
     count_distinct,
+    eq,
+    ge,
+    in_,
     max_,
     min_,
     sum_,
@@ -75,3 +83,159 @@ class TestAggregate:
     def test_unknown_group_column_rejected(self):
         with pytest.raises(QueryError):
             aggregate(ROWS, {"n": count()}, group_by=["ghost"])
+
+
+def _baseline(database, query, aggregates, group_by=None):
+    """The pre-pushdown aggregate_query: materialise then reduce."""
+    return aggregate(query.run(database), aggregates, group_by)
+
+
+class TestAggregatePushdown:
+    """aggregate_query must reproduce materialise-then-reduce exactly."""
+
+    def _check(self, database, query, aggregates, group_by=None):
+        expected = _baseline(database, query, aggregates, group_by)
+        assert aggregate_query(database, query, aggregates, group_by) == expected
+        return expected
+
+    def test_grouped_sum(self, movie_db):
+        database, __ = movie_db
+        self._check(database, Query("reservation"),
+                    {"booked": sum_("no_tickets")}, ["screening_id"])
+
+    def test_grouped_count_and_avg(self, movie_db):
+        database, __ = movie_db
+        self._check(database, Query("screening"),
+                    {"n": count(), "mean": avg("price")}, ["room"])
+
+    def test_grouped_multi_key(self, movie_db):
+        database, __ = movie_db
+        self._check(database, Query("screening"),
+                    {"n": count()}, ["movie_id", "room"])
+
+    def test_whole_table_min_max_uses_index_agg_scan(self, movie_db):
+        database, __ = movie_db
+        from dataclasses import replace
+
+        from repro.db.engine import AggExpr, render_plan
+
+        aggregates = {"lo": min_("price"), "hi": max_("price")}
+        self._check(database, Query("screening"), aggregates)
+        spec = replace(
+            Query("screening").compile(),
+            aggregates=(AggExpr("lo", "min", "price"),
+                        AggExpr("hi", "max", "price")),
+        )
+        assert "IndexAggScan" in render_plan(database.plan_cache.plan(spec))
+
+    def test_count_distinct_from_hash_index(self, movie_db):
+        database, __ = movie_db
+        self._check(database, Query("screening"),
+                    {"movies": count_distinct("movie_id")})
+
+    def test_filtered_aggregate_streams(self, movie_db):
+        database, __ = movie_db
+        self._check(
+            database,
+            Query("reservation").where(ge("no_tickets", 3)),
+            {"booked": sum_("no_tickets"), "n": count()},
+            ["screening_id"],
+        )
+
+    def test_aggregate_over_join(self, movie_db):
+        database, __ = movie_db
+        self._check(
+            database,
+            Query("screening").join("movie_id", "movie", "movie_id"),
+            {"n": count(), "first_year": min_("movie.year")},
+            ["movie.genre"],
+        )
+
+    def test_aggregate_respects_limit(self, movie_db):
+        database, __ = movie_db
+        self._check(
+            database,
+            Query("reservation").order_by("no_tickets").limit(7),
+            {"booked": sum_("no_tickets")},
+        )
+
+    def test_empty_result_grouped_and_global(self, movie_db):
+        database, __ = movie_db
+        nothing = Query("reservation").where(eq("screening_id", 999999))
+        assert self._check(
+            database, nothing, {"n": count()}, ["screening_id"]
+        ) == []
+        global_row = self._check(
+            database, nothing,
+            {"n": count(), "s": sum_("no_tickets"), "a": avg("no_tickets"),
+             "lo": min_("no_tickets")},
+        )
+        assert global_row == [{"n": 0, "s": 0, "a": None, "lo": None}]
+
+    def test_unknown_group_column_raises_like_baseline(self, movie_db):
+        database, __ = movie_db
+        with pytest.raises(QueryError):
+            aggregate_query(database, Query("screening"), {"n": count()},
+                            group_by=["ghost"])
+
+    def test_custom_reducer_falls_back(self, movie_db):
+        database, __ = movie_db
+        median = Aggregate(
+            "median", "no_tickets",
+            lambda vs: sorted(vs)[len(vs) // 2] if vs else None,
+        )
+        query = Query("reservation")
+        assert aggregate_query(database, query, {"m": median}) == \
+            _baseline(database, query, {"m": median})
+
+    def test_custom_reducer_named_like_builtin_is_not_pushed_down(
+        self, movie_db
+    ):
+        database, __ = movie_db
+        doubled = Aggregate("sum", "no_tickets",
+                            lambda vs: sum(vs) * 2 if vs else 0)
+        weird_count = Aggregate("count", None, lambda rows: len(rows) + 1)
+        query = Query("reservation")
+        assert aggregate_query(database, query, {"d": doubled}) == \
+            _baseline(database, query, {"d": doubled})
+        assert aggregate_query(database, query, {"c": weird_count}) == \
+            _baseline(database, query, {"c": weird_count})
+
+    def test_results_are_invalidated_by_mutation(self, movie_db):
+        database, __ = movie_db
+        query = Query("reservation").where(eq("screening_id", 1))
+        aggregates = {"booked": sum_("no_tickets")}
+        before = aggregate_query(database, query, aggregates)
+        database.insert(
+            "reservation",
+            {"reservation_id": 9999, "customer_id": 1, "screening_id": 1,
+             "no_tickets": 4},
+        )
+        after = aggregate_query(database, query, aggregates)
+        assert after[0]["booked"] == before[0]["booked"] + 4
+
+    def test_randomised_differential(self, movie_db):
+        database, __ = movie_db
+        rng = random.Random(41)
+        kinds = [sum_, avg, min_, max_, count_distinct]
+        numeric = ["price", "capacity", "movie_id"]
+        group_candidates = ["room", "movie_id", "capacity"]
+        for __i in range(200):
+            query = Query("screening")
+            shape = rng.randrange(4)
+            if shape == 1:
+                query.where(eq("movie_id", rng.randrange(1, 16)))
+            elif shape == 2:
+                query.where(ge("price", 7.0 + rng.randrange(10)))
+            elif shape == 3:
+                query.where(in_("movie_id", tuple(
+                    rng.randrange(1, 16) for __j in range(rng.randrange(1, 5))
+                )))
+            aggregates = {"n": count()}
+            for j in range(rng.randrange(0, 3)):
+                aggregates[f"a{j}"] = rng.choice(kinds)(rng.choice(numeric))
+            group_by = (
+                rng.sample(group_candidates, rng.randrange(1, 3))
+                if rng.random() < 0.6 else None
+            )
+            self._check(database, query, aggregates, group_by)

@@ -16,6 +16,7 @@ from repro.db import (
     eq,
     ge,
     gt,
+    in_,
     le,
     lt,
     or_,
@@ -365,3 +366,171 @@ class TestOrderedIndexMaintenance:
         low = Query("screening").where(lt("price", 9.0)).run(db)
         high = Query("screening").where(ge("price", 9.0)).run(db)
         assert len(low) + len(high) == 20
+
+
+class TestInListAccessPath:
+    def test_in_list_on_indexed_column_uses_probe_union(self, db):
+        db.create_index("screening", "movie_id")
+        explained = (
+            Query("screening").where(in_("movie_id", (1, 2))).explain(db)
+        )
+        assert "IndexInList on screening using movie_id" in explained
+        assert "SeqScan" not in explained
+
+    def test_in_list_results_match_scan(self, db):
+        db.create_index("screening", "movie_id")
+        via_index = Query("screening").where(in_("movie_id", (2, 4))).run(db)
+        scanned = [
+            r for r in Query("screening").run(db) if r["movie_id"] in (2, 4)
+        ]
+        assert via_index == scanned
+
+    def test_in_list_without_index_stays_seq_scan(self, db):
+        explained = (
+            Query("screening").where(in_("room", ("room A",))).explain(db)
+        )
+        assert "SeqScan on screening" in explained
+
+    def test_empty_in_list(self, db):
+        db.create_index("screening", "movie_id")
+        assert Query("screening").where(in_("movie_id", ())).run(db) == []
+
+    def test_string_in_value_keeps_substring_semantics(self, db):
+        # Comparison(col, "in", "room A") is a substring test ("room A"
+        # contains the value), not a probe list — a probe union over the
+        # string's characters would return nothing.
+        from repro.db.query import Comparison
+
+        db.create_index("screening", "room")
+        predicate = Comparison("room", "in", "room A")
+        explained = Query("screening").where(predicate).explain(db)
+        assert "IndexInList" not in explained
+        via_engine = Query("screening").where(predicate).run(db)
+        scanned = [
+            r for r in Query("screening").run(db) if r["room"] in "room A"
+        ]
+        assert via_engine == scanned and via_engine
+
+    def test_in_list_row_ids(self, db):
+        db.create_index("screening", "movie_id")
+        plan = Query("screening").where(in_("movie_id", (1, 3))).plan(db)
+        ids = execute_row_ids(db, plan)
+        assert ids == sorted(ids)
+        assert ids
+
+
+class TestJoinReordering:
+    @pytest.fixture()
+    def multi_db(self):
+        schema = DatabaseSchema(
+            [
+                TableSchema(
+                    "genre",
+                    [
+                        Column("genre_id", DataType.INTEGER),
+                        Column("name", DataType.TEXT),
+                    ],
+                    primary_key="genre_id",
+                ),
+                TableSchema(
+                    "movie",
+                    [
+                        Column("movie_id", DataType.INTEGER),
+                        Column("genre_id", DataType.INTEGER),
+                        Column("title", DataType.TEXT),
+                    ],
+                    primary_key="movie_id",
+                    foreign_keys=[ForeignKey("genre_id", "genre", "genre_id")],
+                ),
+                TableSchema(
+                    "screening",
+                    [
+                        Column("screening_id", DataType.INTEGER),
+                        Column("movie_id", DataType.INTEGER),
+                    ],
+                    primary_key="screening_id",
+                    foreign_keys=[ForeignKey("movie_id", "movie", "movie_id")],
+                ),
+                TableSchema(
+                    "reservation",
+                    [
+                        Column("reservation_id", DataType.INTEGER),
+                        Column("screening_id", DataType.INTEGER),
+                    ],
+                    primary_key="reservation_id",
+                    foreign_keys=[
+                        ForeignKey("screening_id", "screening", "screening_id")
+                    ],
+                ),
+            ]
+        )
+        database = Database(schema)
+        for genre_id in range(1, 4):
+            database.insert("genre", {"genre_id": genre_id, "name": f"g{genre_id}"})
+        for movie_id in range(1, 6):
+            database.insert(
+                "movie",
+                {"movie_id": movie_id, "genre_id": (movie_id % 3) + 1,
+                 "title": f"m{movie_id}"},
+            )
+        for screening_id in range(1, 21):
+            database.insert(
+                "screening",
+                {"screening_id": screening_id,
+                 "movie_id": (screening_id % 5) + 1},
+            )
+        # A fat fanout: many reservations per screening.
+        rid = 1
+        for screening_id in range(1, 21):
+            for __ in range(4):
+                database.insert(
+                    "reservation",
+                    {"reservation_id": rid, "screening_id": screening_id},
+                )
+                rid += 1
+        database.create_index("reservation", "screening_id")
+        return database
+
+    def _three_join_query(self):
+        return (
+            Query("screening")
+            .join("screening_id", "reservation", "screening_id")
+            .join("movie_id", "movie", "movie_id")
+            .join("movie.genre_id", "genre", "genre_id")
+        )
+
+    def test_three_joins_schedule_fat_fanout_last(self, multi_db):
+        explained = self._three_join_query().explain(multi_db)
+        # reservation multiplies rows 4x; movie and genre keep 1:1 —
+        # the greedy order must run reservation last even though the
+        # query states it first.  (Deeper in the tree = earlier.)
+        assert explained.index("reservation") < explained.index("movie")
+        assert "[reordered]" in explained
+
+    def test_dependent_join_stays_after_its_source(self, multi_db):
+        explained = self._three_join_query().explain(multi_db)
+        # genre keys on movie.genre_id, so movie must join first, i.e.
+        # appear deeper (later in the rendered tree) than genre.
+        assert explained.index("IndexNestedLoopJoin movie") > \
+            explained.index("genre_id = genre.genre_id")
+
+    def test_reordered_results_match_stated_order_semantics(self, multi_db):
+        rows = self._three_join_query().run(multi_db)
+        assert len(rows) == 80  # 20 screenings x 4 reservations x 1 x 1
+        assert all(
+            "reservation.reservation_id" in r
+            and "movie.title" in r
+            and "genre.name" in r
+            for r in rows
+        )
+
+    def test_two_joins_keep_stated_order(self, multi_db):
+        explained = (
+            Query("screening")
+            .join("screening_id", "reservation", "screening_id")
+            .join("movie_id", "movie", "movie_id")
+            .explain(multi_db)
+        )
+        assert "[reordered]" not in explained
+        # Stated first join sits deepest in the tree.
+        assert explained.index("reservation") > explained.index("movie")

@@ -95,3 +95,55 @@ class TestRoundtrip:
     def test_unknown_version_rejected(self):
         with pytest.raises(DatabaseError):
             loads_database('{"format_version": 99, "schema": [], "rows": {}}')
+
+
+class TestIndexDDLPersistence:
+    def test_secondary_indexes_survive_roundtrip(self, movie_db):
+        database, __ = movie_db
+        restored = loads_database(dumps_database(database))
+        for name in database.table_names:
+            table = database.table(name)
+            loaded = restored.table(name)
+            assert loaded.hash_index_columns() == table.hash_index_columns()
+            assert loaded.ordered_index_columns() == \
+                table.ordered_index_columns()
+
+    def test_loaded_database_plans_identically(self, movie_db):
+        import datetime as dt
+
+        from repro.db import Query, and_, eq, ge, le
+
+        database, __ = movie_db
+        restored = loads_database(dumps_database(database))
+        queries = [
+            Query("screening").where(
+                and_(ge("date", dt.date(2022, 3, 27)),
+                     le("date", dt.date(2022, 3, 30)))
+            ),
+            Query("screening").where(eq("movie_id", 3)),
+            Query("reservation").where(eq("screening_id", 5)),
+            Query("movie").order_by("year", descending=True).limit(3),
+        ]
+        for query in queries:
+            assert query.explain(restored) == query.explain(database)
+
+    def test_version_1_snapshot_without_indexes_loads(self, movie_db):
+        import json
+
+        database, __ = movie_db
+        body = json.loads(dumps_database(database))
+        body["format_version"] = 1
+        del body["indexes"]
+        restored = loads_database(json.dumps(body))
+        assert restored.count("screening") == database.count("screening")
+        # Schema-implied indexes exist; secondary DDL is (expectedly) gone.
+        assert not restored.table("screening").has_ordered_index("date")
+
+    def test_snapshot_indexes_on_unknown_table_rejected(self, movie_db):
+        import json
+
+        database, __ = movie_db
+        body = json.loads(dumps_database(database))
+        body["indexes"]["ghost_table"] = {"hash": ["x"], "ordered": []}
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps(body))

@@ -1,0 +1,290 @@
+"""Tests for the prepared-plan cache: sharing, invalidation, threads."""
+
+import datetime as dt
+import threading
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    Query,
+    TableSchema,
+    and_,
+    eq,
+    ge,
+    gt,
+    in_,
+    le,
+)
+from repro.db.engine import (
+    bind_plan,
+    fingerprint_spec,
+    parameterize_spec,
+    plan_query,
+    render_plan,
+)
+
+
+@pytest.fixture()
+def db():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "screening",
+                [
+                    Column("screening_id", DataType.INTEGER),
+                    Column("movie_id", DataType.INTEGER),
+                    Column("date", DataType.DATE),
+                    Column("price", DataType.FLOAT),
+                    Column("room", DataType.TEXT),
+                ],
+                primary_key="screening_id",
+            )
+        ]
+    )
+    database = Database(schema)
+    base = dt.date(2022, 3, 26)
+    for i in range(1, 41):
+        database.insert(
+            "screening",
+            {
+                "screening_id": i,
+                "movie_id": (i % 8) + 1,
+                "date": base + dt.timedelta(days=i % 10),
+                "price": 8.0 + (i % 5),
+                "room": f"room {chr(ord('A') + i % 3)}",
+            },
+        )
+    database.create_index("screening", "movie_id")
+    database.create_ordered_index("screening", "date")
+    return database
+
+
+class TestTemplateSharing:
+    def test_same_shape_different_constants_hits(self, db):
+        cache = db.plan_cache
+        misses_before = cache.misses
+        for movie_id in range(1, 9):
+            rows = Query("screening").where(eq("movie_id", movie_id)).run(db)
+            assert all(r["movie_id"] == movie_id for r in rows)
+        assert cache.misses - misses_before == 1
+        assert cache.hits >= 7
+
+    def test_bound_plan_matches_direct_planning(self, db):
+        spec = Query("screening").where(
+            and_(ge("date", dt.date(2022, 3, 28)),
+                 le("date", dt.date(2022, 3, 30)))
+        ).compile()
+        cached = db.plan_cache.plan(spec)
+        direct = plan_query(db, spec)
+        assert render_plan(cached) == render_plan(direct)
+
+    def test_cached_results_equal_uncached(self, db):
+        query = Query("screening").where(ge("price", 10.0)).order_by("date")
+        spec = query.compile()
+        from repro.db.engine import execute_rows
+
+        assert execute_rows(db, db.plan_cache.plan(spec)) == execute_rows(
+            db, plan_query(db, spec)
+        )
+
+    def test_in_list_constants_share_template(self, db):
+        cache = db.plan_cache
+        misses_before = cache.misses
+        a = Query("screening").where(in_("movie_id", (1, 2))).run(db)
+        b = Query("screening").where(in_("movie_id", (3, 4, 5))).run(db)
+        assert cache.misses - misses_before == 1
+        assert {r["movie_id"] for r in a} <= {1, 2}
+        assert {r["movie_id"] for r in b} <= {3, 4, 5}
+
+
+class TestFingerprints:
+    def test_different_shapes_do_not_collide(self, db):
+        specs = [
+            Query("screening").where(eq("movie_id", 3)).compile(),
+            Query("screening").where(ge("movie_id", 3)).compile(),
+            Query("screening").where(eq("screening_id", 3)).compile(),
+            Query("screening").where(eq("movie_id", 3)).compile(count_only=True),
+            Query("screening").where(eq("movie_id", 3)).limit(2).compile(),
+            Query("screening").where(in_("movie_id", (3,))).compile(),
+        ]
+        fingerprints = [fingerprint_spec(s)[0] for s in specs]
+        assert len(set(fingerprints)) == len(fingerprints)
+
+    def test_same_shape_same_fingerprint(self, db):
+        a = Query("screening").where(eq("movie_id", 1)).compile()
+        b = Query("screening").where(eq("movie_id", 999)).compile()
+        assert fingerprint_spec(a)[0] == fingerprint_spec(b)[0]
+        assert fingerprint_spec(a)[1] == (1,)
+        assert fingerprint_spec(b)[1] == (999,)
+
+    def test_value_dependent_shape_is_uncacheable(self, db):
+        spec = Query("screening").where(
+            and_(gt("price", 8.0), ge("price", 9.0))
+        ).compile()
+        fingerprint, params = fingerprint_spec(spec)
+        assert fingerprint is None and params == ()
+        bypasses_before = db.plan_cache.bypasses
+        rows = Query("screening").where(
+            and_(gt("price", 8.0), ge("price", 9.0))
+        ).run(db)
+        assert db.plan_cache.bypasses == bypasses_before + 1
+        assert all(r["price"] >= 9.0 for r in rows)
+
+    def test_parameterize_and_bind_round_trip(self, db):
+        spec = Query("screening").where(
+            and_(eq("movie_id", 5), ge("date", dt.date(2022, 3, 28)))
+        ).compile()
+        shape, params = parameterize_spec(spec)
+        template = plan_query(db, shape, params=params)
+        bound = bind_plan(db, template, params)
+        assert render_plan(bound) == render_plan(plan_query(db, spec))
+
+
+class TestRepeatedTurns:
+    def test_turn_workload_hit_rate_above_90_percent(self, db):
+        """The serving shapes, replayed with fresh constants each turn."""
+        cache = db.plan_cache
+        hits_before, misses_before = cache.hits, cache.misses
+        for turn in range(50):
+            movie_id = turn % 8 + 1
+            day = dt.date(2022, 3, 26) + dt.timedelta(days=turn % 10)
+            Query("screening").where(eq("movie_id", movie_id)).run(db)
+            Query("screening").where(eq("movie_id", movie_id)).count(db)
+            Query("screening").where(
+                and_(ge("date", day), le("date", day + dt.timedelta(days=1)))
+            ).run(db)
+        hits = cache.hits - hits_before
+        misses = cache.misses - misses_before
+        assert hits / (hits + misses) > 0.9
+
+
+class TestInvalidation:
+    def test_insert_invalidates_template(self, db):
+        query = Query("screening").where(eq("movie_id", 1))
+        before = query.count(db)
+        misses_before = db.plan_cache.misses
+        db.insert(
+            "screening",
+            {"screening_id": 99, "movie_id": 1, "date": dt.date(2022, 4, 9),
+             "price": 9.0, "room": "room A"},
+        )
+        assert query.count(db) == before + 1
+        assert db.plan_cache.misses > misses_before  # recompiled
+
+    def test_update_and_delete_keep_results_fresh(self, db):
+        query = Query("screening").where(eq("movie_id", 2))
+        baseline_ids = {r["screening_id"] for r in query.run(db)}
+        victim = sorted(baseline_ids)[0]
+        rid = db.table("screening").lookup("screening_id", victim)[0]
+        db.update("screening", rid, {"movie_id": 3})
+        after_update = {r["screening_id"] for r in query.run(db)}
+        assert after_update == baseline_ids - {victim}
+        rid2 = db.table("screening").lookup(
+            "screening_id", sorted(after_update)[0]
+        )[0]
+        db.delete("screening", rid2)
+        after_delete = {r["screening_id"] for r in query.run(db)}
+        assert after_delete == after_update - {sorted(after_update)[0]}
+
+    def test_create_index_invalidates_cached_templates(self, db):
+        # Cache a SeqScan template, then add the index: the next plan
+        # of the same shape must recompile and use the probe.
+        query = Query("screening").where(eq("room", "room A"))
+        assert "SeqScan" in query.explain(db)
+        db.create_index("screening", "room")
+        explained = query.explain(db)
+        assert "IndexEq on screening using room" in explained
+        assert "SeqScan" not in explained
+
+    def test_create_ordered_index_invalidates_cached_templates(self, db):
+        query = Query("screening").where(ge("price", 10.0))
+        assert "SeqScan" in query.explain(db)
+        db.create_ordered_index("screening", "price")
+        assert "IndexRange on screening using price" in query.explain(db)
+
+    def test_unbindable_constant_falls_back(self, db):
+        # Compile the template with a proper date, then reuse the shape
+        # with a string that cannot coerce to DATE: the cache must fall
+        # back to direct planning and reproduce scan semantics.
+        good = Query("screening").where(ge("date", dt.date(2022, 3, 28)))
+        good_rows = good.run(db)
+        assert good_rows
+        bad = Query("screening").where(ge("date", "not a date"))
+        assert bad.run(db) == []  # comparison semantics: nothing matches
+
+
+class TestThreadSafety:
+    def test_sixteen_threads_share_the_cache(self, db):
+        errors: list[Exception] = []
+        barrier = threading.Barrier(16)
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(40):
+                    movie_id = (seed + i) % 8 + 1
+                    rows = Query("screening").where(
+                        eq("movie_id", movie_id)
+                    ).run(db)
+                    assert all(r["movie_id"] == movie_id for r in rows)
+                    n = Query("screening").where(
+                        ge("price", 8.0 + (i % 5))
+                    ).count(db)
+                    assert n >= 0
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(16)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        cache = db.plan_cache
+        assert cache.hits + cache.misses >= 16 * 80
+
+    def test_reader_threads_with_concurrent_writer(self, db):
+        stop = threading.Event()
+        errors: list[Exception] = []
+
+        def writer() -> None:
+            try:
+                for i in range(30):
+                    db.insert(
+                        "screening",
+                        {"screening_id": 1000 + i, "movie_id": (i % 8) + 1,
+                         "date": dt.date(2022, 5, 1), "price": 10.0,
+                         "room": "room W"},
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        def reader() -> None:
+            try:
+                while not stop.is_set():
+                    rows = Query("screening").where(eq("movie_id", 3)).run(db)
+                    assert all(r["movie_id"] == 3 for r in rows)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for __ in range(4)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors
+        # After the writer finishes, cached plans serve the final state.
+        final = Query("screening").where(eq("movie_id", 3)).run(db)
+        direct = [
+            r for r in db.rows("screening") if r["movie_id"] == 3
+        ]
+        assert len(final) == len(direct)

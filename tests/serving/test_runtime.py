@@ -298,6 +298,56 @@ class TestRuntimeSessionManagement:
         assert [t.user for t in runtime.transcript(a)] == ["hello"]
         assert [t.user for t in runtime.transcript(b)] == ["goodbye"]
 
+    def _book(self, runtime, trained_agent, sid, triple):
+        """Drive one complete ticket booking in ``sid``."""
+        __, agent = trained_agent
+        customer = agent._database.rows("customer")[0]
+        title, date, start_time = triple
+        runtime.respond(sid, "i want to buy 2 tickets")
+        runtime.respond(sid, f"my email is {customer['email']}")
+        runtime.respond(sid, f"the movie title is {title}")
+        runtime.respond(
+            sid, f"on {date.isoformat()} at {start_time.strftime('%H:%M')}"
+        )
+        drive_to_completion(runtime, sid)
+        executed = [
+            turn.executed
+            for turn in runtime.transcript(sid)
+            if turn.executed is not None
+        ]
+        assert executed and executed[0].procedure == "ticket_reservation"
+
+    def test_stats_expose_plan_cache_counters(
+        self, runtime, trained_agent
+    ):
+        # Executing the reservation runs the booked-seats aggregate
+        # through the prepared-plan cache, whatever other caches absorb.
+        __, agent = trained_agent
+        triples = unique_screenings(agent._database, 1)
+        sid = runtime.create_session()
+        self._book(runtime, trained_agent, sid, triples[0])
+        stats = runtime.stats()
+        assert stats.plan_cache_hits + stats.plan_cache_misses > 0
+
+    def test_session_stats_attribute_cache_traffic_and_latency(
+        self, runtime, trained_agent
+    ):
+        __, agent = trained_agent
+        triples = unique_screenings(agent._database, 1)
+        a = runtime.create_session()
+        b = runtime.create_session()
+        self._book(runtime, trained_agent, a, triples[0])
+        stats_a = runtime.session_stats(a)
+        stats_b = runtime.session_stats(b)
+        assert stats_a.turns >= 4
+        assert stats_a.plan_cache_hits + stats_a.plan_cache_misses > 0
+        assert stats_a.mean_turn_ms > 0.0
+        assert stats_a.last_turn_ms > 0.0
+        # The idle session accrued no traffic and no latency.
+        assert stats_b.turns == 0
+        assert stats_b.plan_cache_hits == stats_b.plan_cache_misses == 0
+        assert stats_b.mean_turn_ms == 0.0
+
     def test_compat_single_session_api_still_works(self, trained_agent):
         """The classic CAT.synthesize() -> agent.respond() path."""
         __, agent = trained_agent

@@ -56,6 +56,47 @@ class TestCli:
         assert status == 2
         assert "cannot parse condition" in capsys.readouterr().out
 
+    def test_explain_grouped_aggregate(self, capsys):
+        status = main(
+            ["explain", "reservation", "--agg", "booked=sum:no_tickets",
+             "--group-by", "screening_id"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "HashAggregate [booked=sum(no_tickets)]" in out
+        assert "group by [screening_id]" in out
+
+    def test_explain_index_agg_scan(self, capsys):
+        status = main(
+            ["explain", "screening", "--agg", "lo=min:price",
+             "--agg", "n=count"]
+        )
+        assert status == 0
+        assert "IndexAggScan on screening" in capsys.readouterr().out
+
+    def test_explain_bad_agg_exits_cleanly(self, capsys):
+        assert main(["explain", "screening", "--agg", "x=median:price"]) == 2
+        assert "bad --agg" in capsys.readouterr().out
+        assert main(["explain", "screening", "--agg", "n=count:price"]) == 2
+
+    def test_explain_group_by_without_agg_rejected(self, capsys):
+        assert main(["explain", "screening", "--group-by", "room"]) == 2
+        assert "--group-by requires" in capsys.readouterr().out
+
+    def test_explain_agg_with_count_rejected(self, capsys):
+        status = main(
+            ["explain", "screening", "--agg", "n=count", "--count"]
+        )
+        assert status == 2
+        assert "--count cannot be combined" in capsys.readouterr().out
+
+    def test_explain_showcase_covers_aggregates_and_reordering(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        assert "HashAggregate" in out
+        assert "IndexAggScan" in out
+        assert "[reordered]" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
