@@ -229,6 +229,11 @@ _EXPLAIN_DEMOS = [
     # Aggregate pushdown: streaming group-hash and index-only MIN/MAX.
     "reservation --agg booked=sum:no_tickets --group-by screening_id",
     "screening --agg lo=min:price --agg hi=max:price --agg n=count",
+    # HAVING: a post-aggregate Filter selecting on the aggregate output.
+    "reservation --agg booked=sum:no_tickets --group-by screening_id "
+    "--having booked>=10",
+    # OR of indexable equalities: a union of hash-index probes.
+    "screening --where \"room='room A'|movie_id=3\"",
     # Three joins: the planner orders them by estimated cardinality.
     "screening --join screening_id:reservation:screening_id "
     "--join movie_id:movie:movie_id "
@@ -252,10 +257,38 @@ def _parse_explain_value(text: str):
     return text
 
 
+def _split_disjuncts(text: str) -> list[str]:
+    """Split on ``|`` outside quotes, so quoted values may contain pipes."""
+    parts: list[str] = []
+    buf: list[str] = []
+    quote = None
+    for ch in text:
+        if quote is not None:
+            buf.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "'\"":
+            quote = ch
+            buf.append(ch)
+        elif ch == "|":
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+    parts.append("".join(buf))
+    return parts
+
+
 def _parse_explain_condition(text: str):
     from repro.db import query as q
     from repro.errors import QueryError
 
+    disjuncts = _split_disjuncts(text)
+    if len(disjuncts) > 1:
+        # A disjunction: cond|cond|...  (e.g. "room='room A'|movie_id=3")
+        return q.or_(
+            *[_parse_explain_condition(part) for part in disjuncts]
+        )
     for op in _EXPLAIN_OPS:
         if op in text:
             column, __, value = text.partition(op)
@@ -303,6 +336,9 @@ def _explain_one(database, args) -> int:
     if args.group_by and not args.agg:
         print("--group-by requires at least one --agg")
         return 2
+    if args.having and not args.agg:
+        print("--having requires at least one --agg")
+        return 2
     if args.agg and args.count:
         print("--count cannot be combined with --agg "
               "(use --agg n=count instead)")
@@ -335,8 +371,16 @@ def _explain_one(database, args) -> int:
             group_by = tuple(
                 c.strip() for c in args.group_by.split(",")
             ) if args.group_by else ()
+            having = None
+            if args.having:
+                from repro.db.query import and_
+
+                having = and_(
+                    *[_parse_explain_condition(c) for c in args.having]
+                )
             spec = replace(
-                query.compile(), aggregates=exprs, group_by=group_by
+                query.compile(), aggregates=exprs, group_by=group_by,
+                having=having,
             )
             print(render_plan(database.plan_cache.plan(spec)))
         else:
@@ -384,6 +428,9 @@ def _make_explain_parser(parser):
                         "n=count (repeatable)")
     parser.add_argument("--group-by", metavar="COL,COL",
                         help="group the aggregates by these columns")
+    parser.add_argument("--having", action="append", metavar="COND",
+                        help="post-aggregate condition over the aggregate "
+                        "output, e.g. booked>=10 (repeatable)")
     return parser
 
 

@@ -25,7 +25,7 @@ from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.database import Database
-    from repro.db.query import Query
+    from repro.db.query import Predicate, Query
 
 __all__ = [
     "Aggregate",
@@ -103,12 +103,15 @@ def aggregate(
     rows: list[Row],
     aggregates: dict[str, Aggregate],
     group_by: list[str] | None = None,
+    having: "Predicate | None" = None,
 ) -> list[Row]:
     """Group ``rows`` and apply ``aggregates`` per group.
 
     Without ``group_by`` the whole input forms a single group (one output
     row).  Group keys appear in the output rows alongside the aggregate
     results; output order follows first appearance of each group.
+    ``having`` filters the *output* rows (group keys + aggregate names),
+    like SQL's HAVING clause.
     """
     if not aggregates:
         raise QueryError("at least one aggregate is required")
@@ -133,6 +136,8 @@ def aggregate(
         for name, agg in aggregates.items():
             out[name] = agg.apply(groups[key])
         result.append(out)
+    if having is not None:
+        result = [row for row in result if having.matches(row)]
     return result
 
 
@@ -162,6 +167,7 @@ def aggregate_query(
     query: "Query",
     aggregates: dict[str, Aggregate],
     group_by: list[str] | None = None,
+    having: "Predicate | None" = None,
 ) -> list[Row]:
     """Aggregate the result of ``query`` inside the planned executor.
 
@@ -169,21 +175,25 @@ def aggregate_query(
     the engine's streaming :class:`~repro.db.engine.plan.HashAggregate`
     (or, for whole-table MIN/MAX/COUNT, an
     :class:`~repro.db.engine.plan.IndexAggScan` that reads the answer
-    from the indexes) through the database's prepared-plan cache — rows
-    are never materialised in Python.  An ungrouped, lone ``COUNT(*)``
-    short-circuits to a CountOnly plan; aggregates with custom reducers
-    fall back to materialise-then-reduce via :func:`aggregate`, whose
-    results the engine path reproduces exactly.
+    from the indexes) through the database's prepared-plan cache — over
+    a batchable scan the reductions run straight on the column banks,
+    and no qualifying row is ever materialised in Python.  ``having``
+    filters the aggregate output rows (group keys + aggregate names)
+    inside the plan, as a post-aggregate Filter node.  An ungrouped,
+    lone ``COUNT(*)`` without HAVING short-circuits to a CountOnly
+    plan; aggregates with custom reducers fall back to
+    materialise-then-reduce via :func:`aggregate`, whose results the
+    engine path reproduces exactly.
     """
     if not aggregates:
         raise QueryError("at least one aggregate is required")
-    if not group_by and len(aggregates) == 1:
+    if having is None and not group_by and len(aggregates) == 1:
         (name, agg), = aggregates.items()
         if agg.builtin and agg.column is None and agg.name == "count":
             return [{name: query.count(database)}]
     exprs = _engine_exprs(aggregates)
     if exprs is None:
-        return aggregate(query.run(database), aggregates, group_by)
+        return aggregate(query.run(database), aggregates, group_by, having)
     from dataclasses import replace
 
     from repro.db.engine import execute_rows
@@ -192,5 +202,6 @@ def aggregate_query(
         query.compile(),
         aggregates=exprs,
         group_by=tuple(group_by) if group_by else (),
+        having=having,
     )
     return execute_rows(database, database.plan_cache.plan(spec))

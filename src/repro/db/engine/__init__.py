@@ -7,14 +7,19 @@ cached template) and executes the resulting plan tree.  The
 :class:`Planner` consults the database's
 :class:`~repro.db.statistics.StatisticsCatalog` for row counts,
 distinct counts and most-common-value selectivities, prices access
-paths (including IN-list probe unions), orders 3+-join queries by
-estimated intermediate cardinality, and pushes aggregation down into
-streaming :class:`HashAggregate` / index-only :class:`IndexAggScan`
-operators.  ``Query.explain()`` renders the chosen plan with cost
+paths (including IN-list probe unions and OR-of-equality probe
+unions), orders 3+-join queries by estimated intermediate cardinality,
+and pushes aggregation down into streaming :class:`HashAggregate` /
+index-only :class:`IndexAggScan` operators (with HAVING as a
+post-aggregate Filter).  Execution defaults to the *batched* columnar
+mode — predicates and reductions run directly over the table's column
+banks; :func:`execution_mode` forces the row-at-a-time path for
+measurement.  ``Query.explain()`` renders the chosen plan with cost
 estimates.
 """
 
 from repro.db.engine.cache import (
+    DEFAULT_MAX_ENTRIES,
     PlanCache,
     bind_plan,
     fingerprint_spec,
@@ -26,6 +31,7 @@ from repro.db.engine.executor import (
     execute_plan,
     execute_row_ids,
     execute_rows,
+    execution_mode,
 )
 from repro.db.engine.explain import render_plan
 from repro.db.engine.plan import (
@@ -38,6 +44,7 @@ from repro.db.engine.plan import (
     IndexEq,
     IndexInList,
     IndexNestedLoopJoin,
+    IndexOrUnion,
     IndexRange,
     Param,
     PlanNode,
@@ -52,6 +59,7 @@ from repro.db.engine.planner import Planner, plan_query
 __all__ = [
     "AggExpr",
     "CountOnly",
+    "DEFAULT_MAX_ENTRIES",
     "Filter",
     "HashAggregate",
     "HashJoin",
@@ -59,6 +67,7 @@ __all__ = [
     "IndexEq",
     "IndexInList",
     "IndexNestedLoopJoin",
+    "IndexOrUnion",
     "IndexRange",
     "Param",
     "PlanCache",
@@ -75,6 +84,7 @@ __all__ = [
     "execute_plan",
     "execute_row_ids",
     "execute_rows",
+    "execution_mode",
     "fingerprint_spec",
     "parameterize_spec",
     "plan_query",

@@ -30,6 +30,12 @@ Shapes whose plan *structure* depends on the constants (several lower or
 upper bounds on one column, where the fold winner is value-dependent)
 are refused by :func:`parameterize_spec` and planned per query.
 
+The template store is bounded: at most ``max_entries`` shapes are kept,
+evicting least-recently-used templates beyond the cap (an evicted shape
+simply recompiles on its next use).  Real workloads stay far below the
+default of :data:`DEFAULT_MAX_ENTRIES`; the bound is a guard against
+adversarial shape churn, mirroring the session store's LRU policy.
+
 Hit/miss counters are kept globally and per thread; the serving runtime
 reads the thread-local counters around a turn to attribute cache traffic
 to the session being served.
@@ -50,6 +56,7 @@ from repro.db.engine.plan import (
     IndexEq,
     IndexInList,
     IndexNestedLoopJoin,
+    IndexOrUnion,
     IndexRange,
     Param,
     PlanNode,
@@ -76,7 +83,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.database import Database
     from repro.db.statistics import StatisticsCatalog
 
-__all__ = ["PlanCache", "fingerprint_spec", "parameterize_spec", "bind_plan"]
+__all__ = [
+    "DEFAULT_MAX_ENTRIES",
+    "PlanCache",
+    "fingerprint_spec",
+    "parameterize_spec",
+    "bind_plan",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -109,6 +122,10 @@ def fingerprint_spec(spec: QuerySpec) -> tuple[tuple | None, tuple]:
     params: list[Any] = []
     try:
         predicate_key = _predicate_key(spec.predicate, params)
+        having_key = (
+            None if spec.having is None
+            else _predicate_key(spec.having, params)
+        )
     except _Uncacheable:
         return None, ()
     return (
@@ -123,6 +140,7 @@ def fingerprint_spec(spec: QuerySpec) -> tuple[tuple | None, tuple]:
             spec.count_only,
             spec.aggregates,
             spec.group_by,
+            having_key,
         ),
         tuple(params),
     )
@@ -164,9 +182,13 @@ def parameterize_spec(spec: QuerySpec) -> tuple[QuerySpec | None, tuple]:
     params: list[Any] = []
     try:
         predicate = _parameterize_predicate(spec.predicate, params)
+        having = (
+            None if spec.having is None
+            else _parameterize_predicate(spec.having, params)
+        )
     except _Uncacheable:
         return None, ()
-    return replace(spec, predicate=predicate), tuple(params)
+    return replace(spec, predicate=predicate, having=having), tuple(params)
 
 
 def _parameterize_predicate(
@@ -270,6 +292,19 @@ def _bind(database: "Database", node: PlanNode, params: tuple) -> PlanNode:
             if coerced is None:
                 raise _Unbindable
         return replace(node, values=elements)
+    if isinstance(node, IndexOrUnion):
+        if not any(isinstance(v, Param) for __, v in node.probes):
+            return node
+        probes = []
+        for column, value in node.probes:
+            if isinstance(value, Param):
+                value = params[value.index]
+                # Like IndexEq: a value that no longer coerces needs the
+                # SeqScan + Filter plan (None probes match nothing, and
+                # the Or re-check keeps results exact either way).
+                _check_coercible(database, node.table, column, value)
+            probes.append((column, value))
+        return replace(node, probes=tuple(probes))
     if isinstance(node, IndexRange):
         low = _bind_bound(database, node, node.low, params)
         high = _bind_bound(database, node, node.high, params)
@@ -345,23 +380,34 @@ def _bind_predicate(predicate: Predicate, params: tuple) -> Predicate:
 # The cache
 # ---------------------------------------------------------------------------
 
+#: Default cap on cached plan templates.  Real workloads issue a
+#: handful of shapes; the bound exists so an adversarial client cannot
+#: grow the shape space (and the cache) without limit.
+DEFAULT_MAX_ENTRIES = 512
+
+
 class PlanCache:
-    """Version-stamped ``shape -> plan template`` cache.
+    """Version-stamped, LRU-bounded ``shape -> plan template`` cache.
 
     Thread-safe via the shared :class:`VersionStampedCache` protocol:
     hits never take the database lock, rebuilds run under the shared
     read lock and stamp the data version they observed, racing rebuilds
-    converge on the freshest template.
+    converge on the freshest template.  Entries are capped at
+    ``max_entries`` with least-recently-used eviction (like the serving
+    session store), so unbounded query-shape churn cannot exhaust
+    memory; evictions are counted for the runtime's observability
+    surface.
     """
 
     def __init__(
         self,
         database: "Database",
         statistics: "StatisticsCatalog | None" = None,
+        max_entries: int | None = DEFAULT_MAX_ENTRIES,
     ) -> None:
         self._database = database
         self._statistics = statistics
-        self._cache = VersionStampedCache(database)
+        self._cache = VersionStampedCache(database, max_entries=max_entries)
         self._local = threading.local()
         self._bypass_lock = threading.Lock()
         self._bypasses = 0
@@ -381,6 +427,15 @@ class PlanCache:
     def bypasses(self) -> int:
         """Queries planned directly because their shape is uncacheable."""
         return self._bypasses
+
+    @property
+    def evictions(self) -> int:
+        """Templates dropped by the LRU bound (not by invalidation)."""
+        return self._cache.evictions
+
+    def __len__(self) -> int:
+        """Number of currently cached templates (stale ones included)."""
+        return len(self._cache)
 
     def local_counters(self) -> tuple[int, int]:
         """(hits, misses) attributed to the calling thread.

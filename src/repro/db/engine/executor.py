@@ -1,11 +1,23 @@
-"""Physical plan execution.
+"""Physical plan execution: batched (columnar) and row-at-a-time modes.
 
-Operators are generators over row dicts.  Scans yield the table's
-*internal* row dicts (views) to avoid one copy per visited row — the
-output boundary copies any view that survives to the result, so callers
-always receive fresh dicts (exactly as the seed ``Query.run()`` did).
-Joins and projections build fresh dicts, so nothing downstream of them
-needs copying.
+The executor runs every plan in one of two modes:
+
+* **batch mode** (the default) — plans whose pipeline is unary operators
+  over a sequential scan of the root table (SeqScan, Filter, Sort,
+  TopN, Project, CountOnly, HashAggregate) execute directly over the
+  table's column banks: a *batch* is ``(table, slots)``, predicates
+  narrow the slot list columnwise with C-level list comprehensions,
+  aggregates reduce column lists per group, and only the surviving rows
+  are materialised (columnwise) at the output boundary;
+* **row mode** — everything else (index probes, joins, and any operator
+  above them) streams lazy :class:`~repro.db.table.RowView` mappings
+  exactly like the pre-columnar executor streamed dict views; the
+  output boundary copies any view that survives to the result.
+
+Both modes produce byte-identical results (the columnar differential
+benchmark and the parity tests pin this down); batch mode just avoids
+per-row mapping overhead.  :func:`execution_mode` forces row mode for
+benchmarking the difference.
 
 Ordering contracts (these keep results byte-for-byte identical to the
 seed scan-everything implementation):
@@ -14,7 +26,8 @@ seed scan-everything implementation):
   :class:`IndexRange` used purely as a filter re-sorts its matches by
   row id; one used to satisfy ORDER BY walks the index in value order,
   which equals the stable sort of a row-id scan because index entries
-  tie-break on row id;
+  tie-break on row id; :class:`IndexInList` / :class:`IndexOrUnion`
+  probe unions deduplicate and re-sort into row-id order;
 * joins preserve outer order and emit inner matches in row-id order;
 * Sort is a stable sort; TopN tie-breaks on arrival order in both
   directions, matching ``sorted(...)[:n]`` / ``sorted(..., reverse=True)[:n]``.
@@ -23,8 +36,10 @@ seed scan-everything implementation):
 from __future__ import annotations
 
 import heapq
+import operator
+from contextlib import contextmanager
 from itertools import islice
-from typing import TYPE_CHECKING, Any, Iterable, Iterator
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from collections import Counter
 
@@ -38,6 +53,7 @@ from repro.db.engine.plan import (
     IndexEq,
     IndexInList,
     IndexNestedLoopJoin,
+    IndexOrUnion,
     IndexRange,
     PlanNode,
     Project,
@@ -46,7 +62,15 @@ from repro.db.engine.plan import (
     TopN,
 )
 from repro.db.ordering import ordering_key
-from repro.db.table import Row
+from repro.db.query import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from repro.db.table import Row, Table
 from repro.db.types import coerce
 from repro.errors import QueryError
 
@@ -58,8 +82,31 @@ __all__ = [
     "execute_rows",
     "execute_count",
     "execute_row_ids",
+    "execution_mode",
     "build_probe_map",
 ]
+
+
+# Process-wide execution-mode switch.  Batch mode is the default; the
+# columnar benchmark (and the parity tests) flip to row mode to measure
+# and differential-check the two paths against each other.  Toggling is
+# not thread-safe — it exists for single-threaded measurement, not for
+# per-query routing (the batch pipeline falls back per plan on its own).
+_BATCH_MODE = True
+
+
+@contextmanager
+def execution_mode(mode: str):
+    """Force ``"row"`` or restore ``"batch"`` execution within a block."""
+    global _BATCH_MODE
+    if mode not in ("batch", "row"):
+        raise ValueError(f"unknown execution mode {mode!r}")
+    previous = _BATCH_MODE
+    _BATCH_MODE = mode == "batch"
+    try:
+        yield
+    finally:
+        _BATCH_MODE = previous
 
 
 def execute_plan(database: "Database", plan: PlanNode) -> list[Row] | int:
@@ -71,6 +118,14 @@ def execute_plan(database: "Database", plan: PlanNode) -> list[Row] | int:
 
 def execute_rows(database: "Database", plan: PlanNode) -> list[Row]:
     """Materialise ``plan``'s output as fresh row dicts."""
+    if isinstance(plan, Project):
+        batch = _batch_node(database, plan.child)
+        if batch is not None:
+            return batch.table.materialise_slots(batch.slots, plan.columns)
+    else:
+        batch = _batch_node(database, plan)
+        if batch is not None:
+            return batch.table.materialise_slots(batch.slots)
     rows, fresh = _iterate(database, plan)
     if fresh:
         return list(rows)
@@ -80,16 +135,35 @@ def execute_rows(database: "Database", plan: PlanNode) -> list[Row]:
 def execute_count(database: "Database", plan: CountOnly) -> int:
     """Count matching rows without materialising or projecting them."""
     child = plan.child
+    count = None
     if isinstance(child, SeqScan):
         # No predicate, no joins: the table knows its cardinality.
         count = len(database.table(child.table))
-    else:
-        rows, __ = _iterate(database, child)
-        count = 0
-        for __row in rows:
-            count += 1
-            if plan.limit is not None and count >= plan.limit:
-                break
+    elif (
+        _BATCH_MODE
+        and plan.limit is not None
+        and isinstance(child, Filter)
+    ):
+        # A capped count stops filtering at the cap, like the row loop
+        # (which always pulls through the first match, even for a cap
+        # of 0 — hence the max with 1).
+        inner = _batch_node(database, child.child)
+        if inner is not None:
+            count = len(_filter_slots_limited(
+                inner.table, child.predicate, inner.slots,
+                max(plan.limit, 1),
+            ))
+    if count is None:
+        batch = _batch_node(database, child)
+        if batch is not None:
+            count = len(batch.slots)
+        else:
+            rows, __ = _iterate(database, child)
+            count = 0
+            for __row in rows:
+                count += 1
+                if plan.limit is not None and count >= plan.limit:
+                    break
     if plan.limit is not None:
         count = min(count, plan.limit)
     return count
@@ -103,6 +177,9 @@ def execute_row_ids(database: "Database", plan: PlanNode) -> list[int]:
     do not preserve root ids, so such plans are rejected.
     """
     if isinstance(plan, Filter):
+        batch = _batch_node(database, plan)
+        if batch is not None:
+            return batch.table.ids_for_slots(batch.slots)
         ids = execute_row_ids(database, plan.child)
         table = database.table(_leaf_table(plan))
         predicate = plan.predicate
@@ -115,6 +192,8 @@ def execute_row_ids(database: "Database", plan: PlanNode) -> list[int]:
         return database.table(plan.table).lookup(plan.column, plan.value)
     if isinstance(plan, IndexInList):
         return sorted(_in_list_ids(database, plan))
+    if isinstance(plan, IndexOrUnion):
+        return sorted(_or_union_ids(database, plan))
     if isinstance(plan, IndexRange):
         index = database.table(plan.table).ordered_index(plan.column)
         return sorted(
@@ -143,11 +222,14 @@ def _leaf_table(plan: PlanNode) -> str:
 def build_probe_map(table, column: str) -> dict[Any, list[int]]:
     """``value -> row ids`` (ascending) for one column — the build side
     of a hash join.  Values are the stored, canonical column values;
-    NULLs are excluded.  Shared with the dataaware join-path walker.
+    NULLs are excluded.  Reads the column's bank directly.  Shared with
+    the dataaware join-path walker.
     """
+    bank = table.bank_map()[column]
+    slots = table.scan_slots()
+    ids = table.ids_for_slots(slots)
     probe: dict[Any, list[int]] = {}
-    for rid, row in table.iter_view_items():
-        value = row[column]
+    for rid, value in zip(ids, map(bank.__getitem__, slots)):
         if value is None:
             continue
         probe.setdefault(value, []).append(rid)
@@ -155,7 +237,256 @@ def build_probe_map(table, column: str) -> dict[Any, list[int]]:
 
 
 # ---------------------------------------------------------------------------
-# Operator dispatch
+# Batched pipeline
+# ---------------------------------------------------------------------------
+
+class _Batch:
+    """A columnar intermediate: active ``slots`` of one root ``table``.
+
+    ``slots`` is a list (or, for a dense full scan, a ``range``) in the
+    pipeline's current row order — row-id order out of a scan, value
+    order after a Sort/TopN.
+    """
+
+    __slots__ = ("table", "slots")
+
+    def __init__(self, table: Table, slots: Sequence[int]) -> None:
+        self.table = table
+        self.slots = slots
+
+
+def _batch_node(database: "Database", node: PlanNode) -> _Batch | None:
+    """Columnar evaluation of ``node``, or ``None`` when the subtree
+    needs the row path (index probes, joins, aggregation roots)."""
+    if not _BATCH_MODE:
+        return None
+    if isinstance(node, SeqScan):
+        table = database.table(node.table)
+        return _Batch(table, table.scan_slots())
+    if isinstance(node, Filter):
+        batch = _batch_node(database, node.child)
+        if batch is None:
+            return None
+        slots = _filter_slots(batch.table, node.predicate, batch.slots)
+        return _Batch(batch.table, slots)
+    if isinstance(node, Sort):
+        batch = _batch_node(database, node.child)
+        if batch is None:
+            return None
+        slots = _sorted_slots(
+            batch.table, batch.slots, node.column, node.descending
+        )
+        return _Batch(batch.table, slots)
+    if isinstance(node, TopN):
+        if node.n == 0:
+            # Row mode's islice(rows, 0) never pulls a row, so the child
+            # (and any error it would surface) must not evaluate here
+            # either.
+            table = _batch_leaf_table(database, node.child)
+            if table is None:
+                return None
+            return _Batch(table, [])
+        if node.column is None:
+            # A plain LIMIT: stop filtering once n rows survived, like
+            # the row path's islice early exit.
+            child = node.child
+            if isinstance(child, Filter):
+                inner = _batch_node(database, child.child)
+                if inner is None:
+                    return None
+                slots = _filter_slots_limited(
+                    inner.table, child.predicate, inner.slots, node.n
+                )
+                return _Batch(inner.table, slots)
+            batch = _batch_node(database, child)
+            if batch is None:
+                return None
+            return _Batch(batch.table, list(batch.slots[: node.n]))
+        batch = _batch_node(database, node.child)
+        if batch is None:
+            return None
+        slots = _sorted_slots(
+            batch.table, batch.slots, node.column, node.descending
+        )
+        return _Batch(batch.table, slots[: node.n])
+    return None
+
+
+def _batch_leaf_table(database: "Database", node: PlanNode) -> Table | None:
+    """The root table of a batchable subtree — without evaluating it."""
+    while isinstance(node, (Filter, Sort, TopN)):
+        node = node.child
+    if isinstance(node, SeqScan):
+        return database.table(node.table)
+    return None
+
+
+# Chunk-size cap for limit-aware columnwise filtering.  Chunks grow
+# geometrically from a small start, so a LIMIT an unselective predicate
+# satisfies in the first rows touches a sliver of the table (like the
+# row path's islice early exit) while a selective one quickly reaches
+# C-dominated full-size chunks.
+_FILTER_CHUNK = 4096
+_FILTER_CHUNK_START = 64
+
+
+def _filter_slots_limited(
+    table: Table, predicate: Predicate, slots: Sequence[int], n: int
+) -> list[int]:
+    """At most ``n`` matching slots, row-path-identical under LIMIT.
+
+    Chunks evaluate columnwise; an erroring chunk replays row by row,
+    because the row path's islice early exit stops at the nth match and
+    never evaluates the rows behind it — columnwise narrowing inside
+    one chunk does.  The replay raises exactly when the erroring row
+    precedes the nth match in row order, and returns the matches
+    otherwise, so both modes stay byte- (and error-) identical.
+    """
+    out: list[int] = []
+    total = len(slots)
+    start = 0
+    size = min(_FILTER_CHUNK_START, _FILTER_CHUNK)
+    while start < total:
+        end = min(start + size, total)
+        chunk = slots[start:end]
+        try:
+            hits = _filter_slots(table, predicate, chunk)
+        except Exception:
+            # Row-order replay of this chunk: the set of (row, part)
+            # evaluations matches columnwise narrowing, but the order
+            # is row-major with the early exit, like islice.
+            for slot, row in zip(chunk, table.views_for_slots(chunk)):
+                if predicate.matches(row):
+                    out.append(slot)
+                    if len(out) >= n:
+                        return out
+            start = end
+            size = min(size * 4, _FILTER_CHUNK)
+            continue
+        out.extend(hits)
+        if len(out) >= n:
+            return out[:n]
+        start = end
+        size = min(size * 4, _FILTER_CHUNK)
+    return out
+
+
+def _sorted_slots(
+    table: Table, slots: Sequence[int], column: str, descending: bool
+) -> list[int]:
+    """Slots reordered by the column's ordering key — a stable sort, so
+    ties keep the incoming order exactly like the row path's Sort/TopN."""
+    if not len(slots):
+        return []
+    bank = table.bank_map().get(column)
+    if bank is None:
+        # The row path raises KeyError from ``row[column]`` as soon as a
+        # sort key is computed, which happens iff there are rows.
+        raise KeyError(column)
+    return sorted(
+        slots,
+        key=lambda s: ordering_key(bank[s]),
+        reverse=descending,
+    )
+
+
+# --- columnwise predicate evaluation --------------------------------------
+#
+# These reproduce Predicate.matches() exactly, clause by clause: NULLs
+# never match a comparison, a TypeError during a comparison means False
+# for that row, an unknown column raises QueryError — but only when a
+# row actually reaches the comparison (an empty candidate set never
+# evaluates, exactly like the row loop never calls matches()).
+
+def _filter_slots(
+    table: Table, predicate: Predicate, slots: Sequence[int]
+) -> Sequence[int]:
+    if isinstance(predicate, TruePredicate):
+        return slots
+    if isinstance(predicate, Comparison):
+        return _comparison_slots(table, predicate, slots)
+    if isinstance(predicate, And):
+        # Sequential narrowing: a row rejected by an earlier part never
+        # reaches a later one — the row path's all() short-circuit.
+        for part in predicate.parts:
+            slots = _filter_slots(table, part, slots)
+        return slots
+    if isinstance(predicate, Or):
+        matched: set[int] = set()
+        remaining = slots
+        for part in predicate.parts:
+            # Rows already matched never evaluate later disjuncts (the
+            # row path's any() short-circuit), so errors and TypeErrors
+            # surface for exactly the same rows.
+            hits = _filter_slots(table, part, remaining)
+            matched.update(hits)
+            remaining = [s for s in remaining if s not in matched]
+            if not remaining:
+                break
+        return [s for s in slots if s in matched]
+    if isinstance(predicate, Not):
+        matched = set(_filter_slots(table, predicate.part, slots))
+        return [s for s in slots if s not in matched]
+    # Unknown predicate subclass: evaluate row-wise through views.
+    views = table.views_for_slots(slots)
+    return [s for s, row in zip(slots, views) if predicate.matches(row)]
+
+
+# C-level comparison functions for the columnwise evaluator — the same
+# truth tables as Predicate._OPERATORS, minus one Python frame per row.
+_COLUMN_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "in": lambda a, b: a in b,
+}
+
+
+def _comparison_slots(
+    table: Table, predicate: Comparison, slots: Sequence[int]
+) -> list[int]:
+    if not len(slots):
+        return []
+    column = predicate.column
+    bank = table.bank_map().get(column)
+    if bank is None:
+        raise QueryError(f"row has no column {column!r}")
+    op = predicate.op
+    value = predicate.value
+    if op == "contains":
+        if not isinstance(value, str):
+            return []
+        needle = value.lower()
+        return [
+            s for s in slots
+            if isinstance(bank[s], str) and needle in bank[s].lower()
+        ]
+    op_fn = _COLUMN_OPS[op]
+    try:
+        return [
+            s for s in slots
+            if (v := bank[s]) is not None and op_fn(v, value)
+        ]
+    except TypeError:
+        # Mixed-type comparison somewhere in the column: fall back to
+        # the row path's per-value TypeError-means-False semantics.
+        return [s for s in slots if _safe_match(op_fn, bank[s], value)]
+
+
+def _safe_match(op_fn, actual: Any, value: Any) -> bool:
+    if actual is None:
+        return False
+    try:
+        return op_fn(actual, value)
+    except TypeError:
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Operator dispatch (row mode / batch fallback boundary)
 # ---------------------------------------------------------------------------
 
 def _iterate(
@@ -172,6 +503,10 @@ def _iterate(
         table = database.table(node.table)
         ids = sorted(_in_list_ids(database, node))
         return (table.row_view(rid) for rid in ids), False
+    if isinstance(node, IndexOrUnion):
+        table = database.table(node.table)
+        ids = sorted(_or_union_ids(database, node))
+        return (table.row_view(rid) for rid in ids), False
     if isinstance(node, IndexRange):
         return _index_range(database, node), False
     if isinstance(node, HashAggregate):
@@ -179,6 +514,9 @@ def _iterate(
     if isinstance(node, IndexAggScan):
         return _index_agg_scan(database, node), True
     if isinstance(node, Filter):
+        batch = _batch_node(database, node)
+        if batch is not None:
+            return batch.table.views_for_slots(batch.slots), False
         rows, fresh = _iterate(database, node.child)
         predicate = node.predicate
         return (row for row in rows if predicate.matches(row)), fresh
@@ -189,6 +527,9 @@ def _iterate(
         rows, __ = _iterate(database, node.child)
         return _index_join(database, node, rows), True
     if isinstance(node, Sort):
+        batch = _batch_node(database, node)
+        if batch is not None:
+            return batch.table.views_for_slots(batch.slots), False
         rows, fresh = _iterate(database, node.child)
         materialised = list(rows)
         materialised.sort(
@@ -197,11 +538,20 @@ def _iterate(
         )
         return materialised, fresh
     if isinstance(node, TopN):
+        batch = _batch_node(database, node)
+        if batch is not None:
+            return batch.table.views_for_slots(batch.slots), False
         rows, fresh = _iterate(database, node.child)
         if node.column is None:
             return islice(rows, node.n), fresh
         return _top_n(rows, node.n, node.column, node.descending), fresh
     if isinstance(node, Project):
+        batch = _batch_node(database, node.child)
+        if batch is not None:
+            return (
+                batch.table.materialise_slots(batch.slots, node.columns),
+                True,
+            )
         rows, __ = _iterate(database, node.child)
         columns = node.columns
         return ({c: row[c] for c in columns} for row in rows), True
@@ -333,7 +683,7 @@ def _index_join(
 
 
 # ---------------------------------------------------------------------------
-# IN-list probe union
+# Probe unions (IN-list, OR of equalities)
 # ---------------------------------------------------------------------------
 
 def _in_list_ids(database: "Database", node: IndexInList) -> set[int]:
@@ -345,6 +695,15 @@ def _in_list_ids(database: "Database", node: IndexInList) -> set[int]:
     return ids
 
 
+def _or_union_ids(database: "Database", node: IndexOrUnion) -> set[int]:
+    """Deduplicated row ids matched by any of the OR's equality probes."""
+    table = database.table(node.table)
+    ids: set[int] = set()
+    for column, value in node.probes:
+        ids.update(table.lookup(column, value))
+    return ids
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 # ---------------------------------------------------------------------------
@@ -353,16 +712,22 @@ def _in_list_ids(database: "Database", node: IndexInList) -> set[int]:
 # exactly: groups in first-appearance order, NULL values skipped by
 # column aggregates (COUNT(*) keeps them), sum() folding left-to-right
 # from 0, min/max keeping the first extremal value, empty global group
-# producing one row.  The single-key single-aggregate shapes that
-# dominate the serving workload get tight one-pass accumulator loops;
-# everything else banks row views per group in one pass and reduces
-# each group with C-level builtins — either way no row is ever copied.
+# producing one row.  When the child is a batchable scan the reductions
+# run straight over the column banks (the default); otherwise the
+# single-key single-aggregate shapes get tight one-pass accumulator
+# loops over the row stream and everything else banks row views per
+# group — no row is ever copied on any path.
 
 def _group_key_error(exc: KeyError) -> QueryError:
     return QueryError(f"unknown group-by column {exc.args[0]!r}")
 
 
 def _hash_aggregate(database: "Database", node: HashAggregate) -> list[Row]:
+    batch = _batch_node(database, node.child)
+    if batch is not None:
+        return _banked_aggregate(
+            batch.table, batch.slots, node.group_by, node.aggregates
+        )
     rows, __ = _iterate(database, node.child)
     exprs = node.aggregates
     keys = node.group_by
@@ -375,6 +740,191 @@ def _hash_aggregate(database: "Database", node: HashAggregate) -> list[Row]:
     return _generic_aggregate(rows, keys, exprs)
 
 
+# --- banked (columnar) aggregation ----------------------------------------
+
+def _select(bank: list, slots: Sequence[int]) -> Sequence[Any]:
+    """The bank values at ``slots`` (the bank itself for a full range)."""
+    if type(slots) is range:
+        return bank
+    return [bank[s] for s in slots]
+
+
+def _banked_aggregate(
+    table: Table,
+    slots: Sequence[int],
+    keys: tuple[str, ...],
+    exprs: tuple[AggExpr, ...],
+) -> list[Row]:
+    banks = table.bank_map()
+    if not keys:
+        out: Row = {}
+        for expr in exprs:
+            out[expr.name] = _reduce_bank(expr, banks, slots)
+        return [out]
+    key_banks = []
+    for key in keys:
+        bank = banks.get(key)
+        if bank is None:
+            if not len(slots):
+                return []
+            raise _group_key_error(KeyError(key))
+        key_banks.append(bank)
+    if len(keys) == 1 and len(exprs) == 1:
+        result = _banked_single_key_single_agg(
+            key_banks[0], banks, slots, keys[0], exprs[0]
+        )
+        if result is not None:
+            return result
+    # Generic: bank slot lists per group, reduce each column list.
+    groups: dict[Any, list[int]]
+    if len(keys) == 1:
+        key_bank = key_banks[0]
+        groups = {}
+        lookup = groups.get
+        for s in slots:
+            k = key_bank[s]
+            bucket = lookup(k)
+            if bucket is None:
+                groups[k] = bucket = []
+            bucket.append(s)
+        key_col = keys[0]
+        result = []
+        for k, bucket in groups.items():
+            out = {key_col: k}
+            for expr in exprs:
+                out[expr.name] = _reduce_bank(expr, banks, bucket)
+            result.append(out)
+        return result
+    groups = {}
+    lookup = groups.get
+    for s in slots:
+        k = tuple(bank[s] for bank in key_banks)
+        bucket = lookup(k)
+        if bucket is None:
+            groups[k] = bucket = []
+        bucket.append(s)
+    result = []
+    for k, bucket in groups.items():
+        out = dict(zip(keys, k))
+        for expr in exprs:
+            out[expr.name] = _reduce_bank(expr, banks, bucket)
+        result.append(out)
+    return result
+
+
+def _banked_single_key_single_agg(
+    key_bank: list,
+    banks: dict[str, list],
+    slots: Sequence[int],
+    key_col: str,
+    expr: AggExpr,
+) -> list[Row] | None:
+    """One-pass zipped-bank loops for the hot aggregate shapes."""
+    kind = expr.kind
+    name = expr.name
+    keys_seq = _select(key_bank, slots)
+    if kind == "count":
+        counts = Counter(keys_seq)
+        return [{key_col: k, name: n} for k, n in counts.items()]
+    value_bank = banks.get(expr.column)
+    if value_bank is None:
+        # ``row.get(column)`` yields None for every row: groups still
+        # enumerate in first-appearance order with their empty-group
+        # defaults.
+        default = 0 if kind in ("sum", "count_distinct") else None
+        return [
+            {key_col: k, name: default} for k in dict.fromkeys(keys_seq)
+        ]
+    return _single_key_pairs_agg(
+        zip(keys_seq, _select(value_bank, slots)), kind, key_col, name
+    )
+
+
+def _single_key_pairs_agg(
+    pairs: Iterable[tuple[Any, Any]], kind: str, key_col: str, name: str
+) -> list[Row] | None:
+    """The single-key accumulator loops, shared by the banked and the
+    row-stream paths — both feed ``(group key, value)`` pairs; NULL
+    handling and first-appearance group order live here, once."""
+    if kind == "sum":
+        totals: dict[Any, Any] = {}
+        lookup = totals.get
+        for k, v in pairs:
+            t = lookup(k)
+            if t is None:  # totals never store None
+                t = 0
+            totals[k] = t if v is None else t + v
+        return [{key_col: k, name: t} for k, t in totals.items()]
+    if kind in ("min", "max"):
+        keep_smaller = kind == "min"
+        best: dict[Any, Any] = {}
+        for k, v in pairs:
+            if k not in best:
+                best[k] = v
+            elif v is not None:
+                b = best[k]
+                if b is None or (v < b if keep_smaller else v > b):
+                    best[k] = v
+        return [{key_col: k, name: b} for k, b in best.items()]
+    if kind == "avg":
+        totals = {}
+        counts_by_key: dict[Any, int] = {}
+        for k, v in pairs:
+            if k not in totals:
+                totals[k] = 0
+                counts_by_key[k] = 0
+            if v is not None:
+                totals[k] = totals[k] + v
+                counts_by_key[k] += 1
+        return [
+            {key_col: k, name: (t / counts_by_key[k]
+                                if counts_by_key[k] else None)}
+            for k, t in totals.items()
+        ]
+    if kind == "count_distinct":
+        seen: dict[Any, set] = {}
+        for k, v in pairs:
+            if k not in seen:
+                seen[k] = set()
+            if v is not None:
+                seen[k].add(v)
+        return [{key_col: k, name: len(s)} for k, s in seen.items()]
+    return None  # pragma: no cover - all known kinds are specialised
+
+
+def _reduce_bank(
+    expr: AggExpr, banks: dict[str, list], slots: Sequence[int]
+) -> Any:
+    """Reduce one slot group from the banks, like ``Aggregate.apply``."""
+    kind = expr.kind
+    if kind == "count":
+        return len(slots)
+    bank = banks.get(expr.column)
+    if bank is None:
+        values: list = []
+    else:
+        values = [v for s in slots if (v := bank[s]) is not None]
+    return _reduce_values(kind, values)
+
+
+def _reduce_values(kind: str, values: list) -> Any:
+    if kind == "sum":
+        return sum(values) if values else 0
+    if kind == "avg":
+        return sum(values) / len(values) if values else None
+    if kind == "min":
+        return min(values) if values else None
+    if kind == "max":
+        return max(values) if values else None
+    if kind == "count_distinct":
+        return len(set(values))
+    raise QueryError(  # pragma: no cover - planner only emits known kinds
+        f"unknown aggregate kind {kind!r}"
+    )
+
+
+# --- row-stream aggregation (fallback) ------------------------------------
+
 def _single_key_single_agg(
     rows: Iterable[Row], key_col: str, expr: AggExpr
 ) -> list[Row] | None:
@@ -386,60 +936,10 @@ def _single_key_single_agg(
         if kind == "count":
             counts = Counter(row[key_col] for row in rows)
             return [{key_col: k, name: n} for k, n in counts.items()]
-        if kind == "sum":
-            totals: dict[Any, Any] = {}
-            lookup = totals.get
-            for row in rows:
-                k = row[key_col]
-                v = row.get(col)
-                t = lookup(k)
-                if t is None:  # totals never store None
-                    t = 0
-                totals[k] = t if v is None else t + v
-            return [{key_col: k, name: t} for k, t in totals.items()]
-        if kind in ("min", "max"):
-            keep_smaller = kind == "min"
-            best: dict[Any, Any] = {}
-            for row in rows:
-                k = row[key_col]
-                v = row.get(col)
-                if k not in best:
-                    best[k] = v
-                elif v is not None:
-                    b = best[k]
-                    if b is None or (v < b if keep_smaller else v > b):
-                        best[k] = v
-            return [{key_col: k, name: b} for k, b in best.items()]
-        if kind == "avg":
-            totals = {}
-            counts_by_key: dict[Any, int] = {}
-            for row in rows:
-                k = row[key_col]
-                v = row.get(col)
-                if k not in totals:
-                    totals[k] = 0
-                    counts_by_key[k] = 0
-                if v is not None:
-                    totals[k] = totals[k] + v
-                    counts_by_key[k] += 1
-            return [
-                {key_col: k, name: (t / counts_by_key[k]
-                                    if counts_by_key[k] else None)}
-                for k, t in totals.items()
-            ]
-        if kind == "count_distinct":
-            seen: dict[Any, set] = {}
-            for row in rows:
-                k = row[key_col]
-                v = row.get(col)
-                if k not in seen:
-                    seen[k] = set()
-                if v is not None:
-                    seen[k].add(v)
-            return [{key_col: k, name: len(s)} for k, s in seen.items()]
+        pairs = ((row[key_col], row.get(col)) for row in rows)
+        return _single_key_pairs_agg(pairs, kind, key_col, name)
     except KeyError as exc:
         raise _group_key_error(exc) from None
-    return None  # pragma: no cover - all known kinds are specialised
 
 
 def _global_aggregate(rows: Iterable[Row], exprs: tuple[AggExpr, ...]) -> list[Row]:
@@ -508,19 +1008,7 @@ def _reduce_group(expr: AggExpr, rows: list[Row]) -> Any:
     values = [
         row[column] for row in rows if row.get(column) is not None
     ]
-    if kind == "sum":
-        return sum(values) if values else 0
-    if kind == "avg":
-        return sum(values) / len(values) if values else None
-    if kind == "min":
-        return min(values) if values else None
-    if kind == "max":
-        return max(values) if values else None
-    if kind == "count_distinct":
-        return len(set(values))
-    raise QueryError(  # pragma: no cover - planner only emits known kinds
-        f"unknown aggregate kind {kind!r}"
-    )
+    return _reduce_values(kind, values)
 
 
 def _index_agg_scan(database: "Database", node: IndexAggScan) -> list[Row]:

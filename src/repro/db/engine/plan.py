@@ -2,7 +2,8 @@
 
 A plan is a tree of frozen dataclass nodes.  Leaves are access paths on
 the root table (:class:`SeqScan`, :class:`IndexEq`, :class:`IndexRange`,
-:class:`IndexInList`); unary nodes transform one input (:class:`Filter`,
+:class:`IndexInList`, :class:`IndexOrUnion`); unary nodes transform one
+input (:class:`Filter`,
 :class:`Sort`, :class:`TopN`, :class:`Project`, :class:`CountOnly`,
 :class:`HashAggregate`); join nodes widen root rows with one joined
 table per node (:class:`HashJoin`, :class:`IndexNestedLoopJoin`);
@@ -36,6 +37,7 @@ __all__ = [
     "IndexEq",
     "IndexRange",
     "IndexInList",
+    "IndexOrUnion",
     "Filter",
     "HashJoin",
     "IndexNestedLoopJoin",
@@ -116,6 +118,10 @@ class QuerySpec:
     # HashAggregate / IndexAggScan over the row-producing query above.
     aggregates: tuple[AggExpr, ...] | None = None
     group_by: tuple[str, ...] = ()
+    # HAVING: a post-aggregate predicate over the aggregate output rows
+    # (group keys + aggregate names); planned as a Filter above the
+    # aggregation root.
+    having: "Predicate | None" = None
 
 
 @dataclass(frozen=True)
@@ -213,6 +219,27 @@ class IndexInList(PlanNode):
             f"IndexInList on {self.table} using {self.column} "
             f"IN ({n} values)"
         )
+
+
+@dataclass(frozen=True)
+class IndexOrUnion(PlanNode):
+    """Union of hash-index equality probes for an OR of equalities.
+
+    ``probes`` holds one ``(column, value)`` pair per disjunct of an
+    ``or_(eq(a, x), eq(b, y))`` predicate — the columns may differ, which
+    is what distinguishes this from :class:`IndexInList`.  Values may be
+    :class:`Param` slots in a plan template.  Matched row ids are
+    deduplicated and re-sorted into row-id order, and the planner always
+    re-applies the Or predicate in a Filter above, so output is
+    identical to a SeqScan + Filter over the same predicate.
+    """
+
+    table: str
+    probes: tuple[tuple[str, Any], ...]
+
+    def describe(self) -> str:
+        parts = " OR ".join(f"{c} = {v!r}" for c, v in self.probes)
+        return f"IndexOrUnion on {self.table} ({parts})"
 
 
 # ---------------------------------------------------------------------------

@@ -7,11 +7,12 @@ The planner is deliberately System-R-shaped for a single-root query:
    the joins) or *residual* (mentions joined ``table.column`` keys or
    unknown columns — evaluated after the joins, preserving the seed
    query's error semantics for bad column names);
-2. enumerate access paths over the pushable equality/range/IN bindings —
-   hash-index equality probes, IN-list probe unions, ordered-index range
-   scans, and the sequential scan — cost each with the statistics
-   catalog (row counts, most-common-value selectivities, min/max
-   interpolation) and keep the cheapest;
+2. enumerate access paths over the pushable equality/range/IN/OR
+   bindings — hash-index equality probes, IN-list probe unions, unions
+   of index probes for disjunctions of indexable equalities, ordered-
+   index range scans, and the sequential scan — cost each with the
+   statistics catalog (row counts, most-common-value selectivities,
+   min/max interpolation) and keep the cheapest;
 3. pick a join strategy per join — an index nested-loop when the inner
    table has a hash index on the join key and the outer side is small,
    otherwise a build-side hash join; with more than two joins the join
@@ -25,7 +26,9 @@ The planner is deliberately System-R-shaped for a single-root query:
 5. aggregate queries (``spec.aggregates``) wrap the row-producing plan
    in a streaming :class:`HashAggregate`; whole-table MIN/MAX/COUNT
    collapse to an :class:`IndexAggScan` that reads the answer straight
-   from the ordered/hash indexes.
+   from the ordered/hash indexes; a HAVING predicate (``spec.having``)
+   becomes a Filter above the aggregation root, selecting on the
+   aggregate output rows.
 
 Every predicate part is re-applied as a Filter even when an index
 pre-selected rows: index probes coerce values to the column type while
@@ -56,6 +59,7 @@ from repro.db.engine.plan import (
     IndexEq,
     IndexInList,
     IndexNestedLoopJoin,
+    IndexOrUnion,
     IndexRange,
     Param,
     PlanNode,
@@ -66,7 +70,7 @@ from repro.db.engine.plan import (
     TopN,
 )
 from repro.db.ordering import ordering_key
-from repro.db.query import And, Comparison, Predicate, TruePredicate, and_
+from repro.db.query import And, Comparison, Or, Predicate, TruePredicate, and_
 from repro.db.types import TypeMismatchError, coerce
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -190,27 +194,47 @@ class Planner:
     def _plan_aggregate(self, spec: QuerySpec) -> PlanNode:
         assert spec.aggregates is not None
         if self._index_agg_eligible(spec):
-            return IndexAggScan(
-                table=spec.table,
-                aggregates=spec.aggregates,
-                estimated_rows=1.0,
-                # One index read per aggregate; the log term is the
-                # ordered-index descent the maintenance already paid.
-                cost=2.0 * len(spec.aggregates),
+            return self._having_filter(
+                spec,
+                IndexAggScan(
+                    table=spec.table,
+                    aggregates=spec.aggregates,
+                    estimated_rows=1.0,
+                    # One index read per aggregate; the log term is the
+                    # ordered-index descent the maintenance already paid.
+                    cost=2.0 * len(spec.aggregates),
+                ),
             )
         child = self._plan_rows(
-            replace(spec, aggregates=None, group_by=())
+            replace(spec, aggregates=None, group_by=(), having=None)
         )
         if spec.group_by:
             est = self._group_count_estimate(spec, child.estimated_rows)
         else:
             est = 1.0
-        return HashAggregate(
+        root: PlanNode = HashAggregate(
             child=child,
             aggregates=spec.aggregates,
             group_by=spec.group_by,
             estimated_rows=est,
             cost=child.cost + child.estimated_rows,
+        )
+        return self._having_filter(spec, root)
+
+    def _having_filter(self, spec: QuerySpec, root: PlanNode) -> PlanNode:
+        """Wrap the aggregation root in the post-aggregate HAVING filter.
+
+        The predicate sees the aggregate output rows (group keys plus
+        aggregate names), so it can select on aggregate results the way
+        SQL's HAVING does.
+        """
+        if spec.having is None or isinstance(spec.having, TruePredicate):
+            return root
+        return Filter(
+            child=root,
+            predicate=spec.having,
+            estimated_rows=root.estimated_rows * _SEL_DEFAULT,
+            cost=root.cost + root.estimated_rows,
         )
 
     def _index_agg_eligible(self, spec: QuerySpec) -> bool:
@@ -315,6 +339,26 @@ class Planner:
                     cost=1.0 + len(probes) + 1.2 * est,
                 )
             )
+        for part in pushable:
+            probes = self._or_probes(table, part)
+            if probes is None:
+                continue
+            per_probe = sum(
+                self._eq_selectivity(spec.table, column, coerced)
+                for column, __, coerced in probes
+            )
+            est = n_rows * min(1.0, per_probe)
+            candidates.append(
+                IndexOrUnion(
+                    table=spec.table,
+                    probes=tuple((c, v) for c, v, __ in probes),
+                    estimated_rows=est,
+                    # One probe per disjunct, the matched rows, and a
+                    # small re-sort term for the row-id merge (the Or
+                    # predicate is re-checked by the Filter above).
+                    cost=1.0 + len(probes) + 1.2 * est,
+                )
+            )
         for column, bounds in _range_bindings(pushable).items():
             if not table.has_ordered_index(column):
                 continue
@@ -361,6 +405,34 @@ class Planner:
                 cost=n_rows + 1.0,
             )
         return best
+
+    def _or_probes(
+        self, table, part: Predicate
+    ) -> list[tuple[str, Any, Any]] | None:
+        """``(column, emitted value, coerced value)`` per disjunct of an
+        indexable OR, or ``None`` when the disjunction cannot become a
+        probe union.
+
+        Every disjunct must be an equality on a hash-indexed column
+        whose constant coerces to the column type — one unindexable (or
+        uncoercible) disjunct would make the union miss rows the Or
+        predicate matches, so such queries keep the SeqScan + Filter
+        plan.  The emitted value keeps a Param slot when parameterised
+        (binding re-coerces); probing coerces exactly like IndexEq.
+        """
+        if not isinstance(part, Or):
+            return None
+        probes: list[tuple[str, Any, Any]] = []
+        for disjunct in part.parts:
+            if not isinstance(disjunct, Comparison) or disjunct.op != "==":
+                return None
+            if not table.has_index(disjunct.column):
+                return None
+            coerced = self._coerced(table, disjunct.column, disjunct.value)
+            if coerced is _UNUSABLE:
+                return None
+            probes.append((disjunct.column, disjunct.value, coerced))
+        return probes
 
     # ------------------------------------------------------------------
     # Joins

@@ -1,10 +1,17 @@
 """Database snapshots: dump/load the schema, contents and index DDL as JSON.
 
-Secondary-index DDL (hash and ordered indexes) is part of the snapshot,
-so a loaded database presents the query planner with exactly the access
-paths the dumped one had and plans identically.  Snapshots from before
-format version 2 load fine — they simply carry no index section beyond
-the primary-key/unique indexes the schema implies.
+Format version 3 serialises table contents *column-oriented*, mirroring
+the columnar bank storage: one value list per column, parallel by row
+(in row-id order).  That keeps the snapshot a straight dump of the
+banks — no per-row dict is built on the way out — and typically smaller
+(column names appear once per table instead of once per row).  Versions
+1 and 2 stored row dicts; both still load.
+
+Secondary-index DDL (hash and ordered indexes) is part of the snapshot
+(since version 2), so a loaded database presents the query planner with
+exactly the access paths the dumped one had and plans identically.
+Version-1 snapshots simply carry no index section beyond the
+primary-key/unique indexes the schema implies.
 
 Stored procedures are Python callables and cannot be serialised; a
 loaded database starts with an empty procedure registry and the caller
@@ -25,8 +32,8 @@ from repro.errors import DatabaseError
 
 __all__ = ["dump_database", "load_database", "dumps_database", "loads_database"]
 
-_FORMAT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+_FORMAT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def _encode_value(value: Any) -> Any:
@@ -133,21 +140,78 @@ def _index_payload(database: Database) -> dict[str, dict[str, list[str]]]:
     return payload
 
 
+def _column_payload(database: Database) -> dict[str, dict[str, list]]:
+    """Per-table column banks (v3): ``column -> values`` in row-id order.
+
+    Each bank is read straight off the table's columnar storage; all
+    banks of one table have equal length (the row count).
+    """
+    payload: dict[str, dict[str, list]] = {}
+    for name in database.table_names:
+        table = database.table(name)
+        payload[name] = {
+            column: [_encode_value(value) for value in values]
+            for column, values in table.column_arrays().items()
+        }
+    return payload
+
+
 def dumps_database(database: Database) -> str:
-    """Serialise schema + rows + secondary-index DDL to a JSON string."""
+    """Serialise schema + column banks + secondary-index DDL to JSON."""
     payload = {
         "format_version": _FORMAT_VERSION,
         "schema": _schema_payload(database.schema),
-        "rows": {
-            name: [
-                {key: _encode_value(value) for key, value in row.items()}
-                for row in database.rows(name)
-            ]
-            for name in database.table_names
-        },
+        "columns": _column_payload(database),
         "indexes": _index_payload(database),
     }
     return json.dumps(payload, indent=2)
+
+
+def _content_section(body: dict[str, Any], key: str) -> dict[str, Any]:
+    """The mandatory content section, failing loudly when absent.
+
+    A snapshot whose version mandates a section but lacks it (truncated
+    write, hand-edited file) must not load as an empty database.
+    """
+    try:
+        return body[key]
+    except KeyError:
+        raise DatabaseError(
+            f"snapshot (version {body.get('format_version')!r}) is missing "
+            f"its {key!r} section"
+        ) from None
+
+
+def _rows_from_v3(body: dict[str, Any]) -> dict[str, list[dict[str, Any]]]:
+    """Decode a v3 ``columns`` section into per-table row dicts."""
+    out: dict[str, list[dict[str, Any]]] = {}
+    for name, banks in _content_section(body, "columns").items():
+        columns = list(banks)
+        decoded = [
+            [_decode_value(value) for value in banks[column]]
+            for column in columns
+        ]
+        lengths = {len(bank) for bank in decoded}
+        if len(lengths) > 1:
+            raise DatabaseError(
+                f"snapshot table {name!r}: ragged column banks "
+                f"(lengths {sorted(lengths)})"
+            )
+        out[name] = [
+            dict(zip(columns, values)) for values in zip(*decoded)
+        ]
+    return out
+
+
+def _rows_from_legacy(body: dict[str, Any]) -> dict[str, list[dict[str, Any]]]:
+    """Decode a v1/v2 ``rows`` section (one dict per row)."""
+    return {
+        name: [
+            {key: _decode_value(value) for key, value in row.items()}
+            for row in rows
+        ]
+        for name, rows in _content_section(body, "rows").items()
+    }
 
 
 def loads_database(payload: str) -> Database:
@@ -159,7 +223,10 @@ def loads_database(payload: str) -> Database:
     database = Database(_schema_from_payload(body["schema"]))
     # Insert tables in FK-dependency order: repeatedly insert whatever
     # whose referenced tables are already loaded.
-    remaining = dict(body["rows"])
+    if version >= 3:
+        remaining = _rows_from_v3(body)
+    else:
+        remaining = _rows_from_legacy(body)
     loaded: set[str] = set()
     while remaining:
         progressed = False
@@ -168,10 +235,7 @@ def loads_database(payload: str) -> Database:
             depends = {fk.target_table for fk in schema.foreign_keys} - {name}
             if depends <= loaded:
                 for row in remaining.pop(name):
-                    database.insert(
-                        name,
-                        {key: _decode_value(value) for key, value in row.items()},
-                    )
+                    database.insert(name, row)
                 loaded.add(name)
                 progressed = True
         if not progressed:

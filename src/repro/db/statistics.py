@@ -278,11 +278,13 @@ class StatisticsCatalog:
     def _compute(self, table_name: str) -> TableStatistics:
         table = self._database.table(table_name)
         columns: dict[str, ColumnStatistics] = {}
-        # Materialise each column once; tables are modest in OLTP workloads.
-        rows = list(table)
-        for column in table.schema.column_names:
-            values = [row[column] for row in rows]
+        # Read the columns straight from the banks (one shared slot
+        # pass) — the columnar layout makes statistics a per-column
+        # list pass, no row materialised.
+        for column, values in table.column_arrays().items():
             columns[column] = compute_column_statistics(
                 table_name, column, values, self._most_common_k
             )
-        return TableStatistics(table=table_name, row_count=len(rows), columns=columns)
+        return TableStatistics(
+            table=table_name, row_count=len(table), columns=columns
+        )

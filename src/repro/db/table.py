@@ -1,14 +1,25 @@
-"""Row storage for one relation, with hash + ordered indexes and checks.
+"""Columnar row storage for one relation, with hash + ordered indexes.
 
-Rows are stored as dictionaries keyed by an internal, monotonically
-increasing row id.  Every column can carry a hash index (value -> set of
-row ids); primary-key and unique columns always do, since the constraint
-check needs the index anyway.  Columns can additionally carry an
-*ordered* secondary index (a bisect-maintained sorted array of
-``(ordering key, row id)`` pairs) so the query engine can push range
-predicates and ``ORDER BY`` down instead of scanning and sorting.  The
-:class:`Table` exposes a low-level mutation API
-(``insert``/``update``/``delete``) used by
+Rows are stored column-oriented: one append-only Python list per column
+(a *bank*), parallel by storage *slot*.  A row id — internal and
+monotonically increasing, exactly as before the columnar refactor —
+maps to its slot through ``_slot_of``; deleted slots are recycled
+through a free list, so long-lived tables do not leak bank entries.
+The columnar layout is what the engine's batched execution mode runs
+on: predicates and reductions evaluate directly over the column lists
+with C-level builtins instead of materialising one dict per row (see
+:mod:`repro.db.engine.executor`).
+
+Row-oriented access survives as views: :meth:`Table.row_view` returns a
+lazy :class:`RowView` mapping backed by the banks (read-only by
+convention), and :meth:`Table.get` materialises a fresh dict.  Every
+column can carry a hash index (value -> set of row ids); primary-key
+and unique columns always do, since the constraint check needs the
+index anyway.  Columns can additionally carry an *ordered* secondary
+index (a bisect-maintained sorted array of ``(ordering key, row id)``
+pairs) so the query engine can push range predicates and ``ORDER BY``
+down instead of scanning and sorting.  The :class:`Table` exposes a
+low-level mutation API (``insert``/``update``/``delete``) used by
 :class:`repro.db.database.Database`, which layers transactions and
 foreign-key enforcement on top.
 """
@@ -17,17 +28,67 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left, bisect_right, insort
-from typing import Any, Callable, Iterator
+from collections.abc import Mapping
+from typing import Any, Callable, Iterator, Sequence
 
 from repro.db.ordering import ordering_key
 from repro.db.schema import TableSchema
 from repro.db.types import coerce, is_null
 from repro.errors import ConstraintViolation, UnknownColumnError
 
-__all__ = ["Row", "Table"]
+__all__ = ["Row", "RowView", "Table"]
 
 Row = dict[str, Any]
 """A materialised row: column name -> value."""
+
+
+class RowView(Mapping):
+    """A lazy, read-only row over the table's column banks.
+
+    Indexing reads straight from the banks (``banks[column][slot]``), so
+    constructing a view copies nothing.  Views compare equal to dicts
+    with the same items (via the :class:`Mapping` protocol) and support
+    everything the executor and predicates need: ``row[col]``,
+    ``col in row``, ``row.get``, ``row.items()`` and ``dict(row)``.
+    Views are invalidated by any mutation of their row's slot — hold
+    them only within one read-locked operation.
+    """
+
+    __slots__ = ("_banks", "_slot")
+
+    def __init__(self, banks: dict[str, list], slot: int) -> None:
+        self._banks = banks
+        self._slot = slot
+
+    def __getitem__(self, key: str) -> Any:
+        return self._banks[key][self._slot]
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._banks
+
+    def get(self, key: str, default: Any = None) -> Any:
+        bank = self._banks.get(key)
+        return default if bank is None else bank[self._slot]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._banks)
+
+    def __len__(self) -> int:
+        return len(self._banks)
+
+    def keys(self):
+        return self._banks.keys()
+
+    def items(self) -> list[tuple[str, Any]]:
+        slot = self._slot
+        return [(column, bank[slot]) for column, bank in self._banks.items()]
+
+    def values(self) -> list[Any]:
+        slot = self._slot
+        return [bank[slot] for bank in self._banks.values()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RowView({dict(self)!r})"
 
 
 class _HashIndex:
@@ -162,11 +223,23 @@ class _OrderedIndex:
 
 
 class Table:
-    """Mutable storage for the rows of one table schema."""
+    """Mutable columnar storage for the rows of one table schema."""
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
-        self._rows: dict[int, Row] = {}
+        self._columns: tuple[str, ...] = tuple(schema.column_names)
+        self._banks: dict[str, list] = {c: [] for c in self._columns}
+        self._bank_list: list[list] = [self._banks[c] for c in self._columns]
+        self._slot_of: dict[int, int] = {}
+        self._id_at: list[int | None] = []
+        self._free: set[int] = set()
+        # _dense: slots, walked front to back, are exactly the rows in
+        # ascending row-id order with no holes — the common append-only
+        # case, where a scan is the banks themselves.  _id_ordered:
+        # active slots are in ascending id order (holes allowed); while
+        # it holds, draining the free set makes the table dense again.
+        self._dense = True
+        self._id_ordered = True
         self._next_row_id = 1
         self._indexes: dict[str, _HashIndex] = {}
         self._ordered_indexes: dict[str, _OrderedIndex] = {}
@@ -184,42 +257,53 @@ class Table:
         return self.schema.name
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return len(self._slot_of)
 
     def __iter__(self) -> Iterator[Row]:
-        """Iterate over copies of all rows (stable order by row id)."""
-        for row_id in sorted(self._rows):
-            yield dict(self._rows[row_id])
+        """Iterate over copies of all rows (stable order by row id).
+
+        The rows are snapshotted (columnwise) up front, so mutating the
+        table mid-iteration affects neither the count nor the contents
+        of the rows already promised.
+        """
+        return iter(self.materialise_slots(self.scan_slots()))
 
     def row_ids(self) -> list[int]:
-        return sorted(self._rows)
+        return sorted(self._slot_of)
 
     def has_row(self, row_id: int) -> bool:
-        return row_id in self._rows
+        return row_id in self._slot_of
+
+    def _row_at(self, slot: int) -> Row:
+        """Fresh dict of the row at ``slot`` (bank layout's single exit)."""
+        return dict(
+            zip(self._columns, (bank[slot] for bank in self._bank_list))
+        )
 
     def get(self, row_id: int) -> Row:
-        """Return a copy of the row with internal id ``row_id``."""
-        return dict(self._rows[row_id])
+        """Return a fresh dict copy of the row with internal id ``row_id``."""
+        return self._row_at(self._slot_of[row_id])
 
-    def row_view(self, row_id: int) -> Row:
-        """The *internal* row dict — read-only by convention.
+    def row_view(self, row_id: int) -> RowView:
+        """A lazy bank-backed view of one row — read-only by convention.
 
         The query executor filters and joins over views to avoid one
         dict copy per visited row; anything handed back to callers is
         copied (or rebuilt) at the output boundary.
         """
-        return self._rows[row_id]
+        return RowView(self._banks, self._slot_of[row_id])
 
-    def iter_view_items(self) -> Iterator[tuple[int, Row]]:
-        """``(row_id, internal row)`` pairs in row-id order (read-only)."""
-        for row_id in sorted(self._rows):
-            yield row_id, self._rows[row_id]
+    def iter_view_items(self) -> Iterator[tuple[int, RowView]]:
+        """``(row_id, row view)`` pairs in row-id order (read-only)."""
+        banks = self._banks
+        id_at = self._id_at
+        return ((id_at[s], RowView(banks, s)) for s in self.scan_slots())
 
-    def iter_views(self) -> Iterator[Row]:
-        """Internal rows in row-id order (read-only) — the sequential
-        scan's row stream, without the ``(id, row)`` tuple per row."""
-        rows = self._rows
-        return map(rows.__getitem__, sorted(rows))
+    def iter_views(self) -> Iterator[RowView]:
+        """Row views in row-id order (read-only) — the sequential scan's
+        row stream for the executor's row-at-a-time mode."""
+        banks = self._banks
+        return (RowView(banks, s) for s in self.scan_slots())
 
     def has_index(self, column: str) -> bool:
         return column in self._indexes
@@ -239,27 +323,109 @@ class Table:
         return sorted(self._ordered_indexes)
 
     # ------------------------------------------------------------------
+    # Columnar access (the batched executor's surface)
+    # ------------------------------------------------------------------
+    def bank_map(self) -> dict[str, list]:
+        """The internal ``column -> bank`` mapping (read-only by
+        convention).  Banks are parallel by slot; entries at free slots
+        are ``None`` and must only be reached through active slots."""
+        return self._banks
+
+    def scan_slots(self) -> "range | list[int]":
+        """Active slots in ascending row-id order.
+
+        Returns a :class:`range` covering the banks whole when the table
+        is dense (no holes, slots already in id order) so batched
+        operators can run directly over the full column lists.
+        """
+        if self._dense:
+            return range(len(self._id_at))
+        slot_of = self._slot_of
+        return [slot_of[rid] for rid in sorted(slot_of)]
+
+    def ids_for_slots(self, slots: Sequence[int]) -> list[int]:
+        """Row ids of ``slots``, preserving the given slot order."""
+        id_at = self._id_at
+        return [id_at[s] for s in slots]
+
+    def views_for_slots(self, slots: Sequence[int]) -> Iterator[RowView]:
+        """Lazy row views over ``slots``, preserving the given order."""
+        banks = self._banks
+        return (RowView(banks, s) for s in slots)
+
+    def materialise_slots(
+        self, slots: Sequence[int], columns: Sequence[str] | None = None
+    ) -> list[Row]:
+        """Fresh row dicts for ``slots``, built columnwise.
+
+        ``columns`` restricts (and orders) the output keys — the batched
+        Project path; unknown names raise ``KeyError`` exactly like
+        ``row[column]`` on the row path would.
+        """
+        if not len(slots):
+            # The row path never touches a column for zero rows, so an
+            # unknown projected name must not raise here either.
+            return []
+        names = self._columns if columns is None else tuple(columns)
+        banks = [self._banks[c] for c in names]
+        if type(slots) is range:
+            selected = banks
+        else:
+            selected = [[bank[s] for s in slots] for bank in banks]
+        if not banks:  # pragma: no cover - schemas always carry columns
+            return [{} for __ in slots]
+        return [dict(zip(names, values)) for values in zip(*selected)]
+
+    # ------------------------------------------------------------------
     # Index management
     # ------------------------------------------------------------------
     def create_index(self, column: str) -> None:
         """Build (or rebuild) a hash index on ``column``."""
         self.schema.column(column)  # raises UnknownColumnError
         index = _HashIndex()
-        for row_id, row in self._rows.items():
-            index.add(row[column], row_id)
+        bank = self._banks[column]
+        for row_id, slot in self._slot_of.items():
+            index.add(bank[slot], row_id)
         self._indexes[column] = index
 
     def create_ordered_index(self, column: str) -> None:
         """Build (or rebuild) an ordered secondary index on ``column``."""
         self.schema.column(column)  # raises UnknownColumnError
         index = _OrderedIndex()
-        for row_id, row in self._rows.items():
-            index.add(row[column], row_id)
+        bank = self._banks[column]
+        for row_id, slot in self._slot_of.items():
+            index.add(bank[slot], row_id)
         self._ordered_indexes[column] = index
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
+    def _allocate_slot(self, row_id: int) -> int:
+        """Claim a slot for ``row_id``: reuse a freed one or append."""
+        if self._free:
+            # A recycled slot sits in front of newer ids: the id order
+            # of the slot walk is broken until the table fully empties.
+            slot = self._free.pop()
+            self._id_at[slot] = row_id
+            self._id_ordered = False
+        else:
+            slot = len(self._id_at)
+            self._id_at.append(row_id)
+            for bank in self._bank_list:
+                bank.append(None)
+            if slot > 0:
+                previous = self._id_at[slot - 1]
+                if previous is not None and previous > row_id:
+                    # An out-of-order restore at the tail.
+                    self._dense = False
+                    self._id_ordered = False
+        self._slot_of[row_id] = slot
+        return slot
+
+    def _write_slot(self, slot: int, row: Row) -> None:
+        for column, bank in zip(self._columns, self._bank_list):
+            bank[slot] = row[column]
+
     def insert(self, values: dict[str, Any]) -> int:
         """Insert one row; returns the internal row id.
 
@@ -273,7 +439,8 @@ class Table:
         self._check_unique(row, exclude_row_id=None)
         row_id = self._next_row_id
         self._next_row_id += 1
-        self._rows[row_id] = row
+        slot = self._allocate_slot(row_id)
+        self._write_slot(slot, row)
         for column, index in self._indexes.items():
             index.add(row[column], row_id)
         for column, ordered in self._ordered_indexes.items():
@@ -282,7 +449,8 @@ class Table:
 
     def update(self, row_id: int, changes: dict[str, Any]) -> Row:
         """Apply ``changes`` to an existing row; returns a copy of the old row."""
-        old = self._rows[row_id]
+        slot = self._slot_of[row_id]
+        old = self._row_at(slot)
         new = dict(old)
         for column, value in changes.items():
             col = self.schema.column(column)
@@ -297,30 +465,67 @@ class Table:
             if old[column] != new[column]:
                 ordered.remove(old[column], row_id)
                 ordered.add(new[column], row_id)
-        self._rows[row_id] = new
-        return dict(old)
+        banks = self._banks
+        for column, value in new.items():
+            if old[column] is not value:
+                banks[column][slot] = value
+        return old
 
     def delete(self, row_id: int) -> Row:
         """Delete a row; returns a copy of it (for undo logs)."""
-        row = self._rows.pop(row_id)
+        slot = self._slot_of.pop(row_id)
+        row = self._row_at(slot)
         for column, index in self._indexes.items():
             index.remove(row[column], row_id)
         for column, ordered in self._ordered_indexes.items():
             ordered.remove(row[column], row_id)
-        return dict(row)
+        if not self._slot_of:
+            # Table emptied: reset the banks wholesale so a refill is
+            # append-only (dense) again.
+            self._id_at.clear()
+            self._free.clear()
+            for bank in self._bank_list:
+                bank.clear()
+            self._dense = True
+            self._id_ordered = True
+        elif slot == len(self._id_at) - 1:
+            # Popping the tail keeps the layout hole-free; also shed any
+            # freed slots that become trailing.
+            self._id_at.pop()
+            for bank in self._bank_list:
+                bank.pop()
+            while self._id_at and self._id_at[-1] is None:
+                tail = len(self._id_at) - 1
+                self._id_at.pop()
+                for bank in self._bank_list:
+                    bank.pop()
+                self._free.discard(tail)
+            if self._id_ordered and not self._free:
+                # Hole-free and id-ordered again: the scan fast path is
+                # back (density recovers once the free set drains).
+                self._dense = True
+        else:
+            self._id_at[slot] = None
+            for bank in self._bank_list:
+                bank[slot] = None
+            self._free.add(slot)
+            self._dense = False
+        return row
 
     def restore(self, row_id: int, row: Row) -> None:
         """Re-insert a previously deleted row under its original id (undo)."""
-        if row_id in self._rows:
+        if row_id in self._slot_of:
             raise ConstraintViolation(
                 f"table {self.name!r}: cannot restore row {row_id}, id in use"
             )
-        self._rows[row_id] = dict(row)
+        slot = self._allocate_slot(row_id)
+        for column, bank in zip(self._columns, self._bank_list):
+            bank[slot] = row.get(column)
         self._next_row_id = max(self._next_row_id, row_id + 1)
         for column, index in self._indexes.items():
-            index.add(row[column], row_id)
+            index.add(row.get(column), row_id)
         for column, ordered in self._ordered_indexes.items():
-            ordered.add(row[column], row_id)
+            ordered.add(row.get(column), row_id)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -334,28 +539,70 @@ class Table:
         index = self._indexes.get(column)
         if index is not None:
             return sorted(index.lookup(needle))
-        return [rid for rid, row in self._rows.items() if row[column] == needle]
+        bank = self._banks[column]
+        id_at = self._id_at
+        return [
+            id_at[slot]
+            for slot in self.scan_slots()
+            if bank[slot] == needle
+        ]
 
     def scan(self, predicate: Callable[[Row], bool] | None = None) -> list[int]:
         """Row ids of rows matching ``predicate`` (all rows when ``None``)."""
         if predicate is None:
             return self.row_ids()
-        return [rid for rid in sorted(self._rows) if predicate(self._rows[rid])]
+        banks = self._banks
+        id_at = self._id_at
+        return [
+            id_at[slot]
+            for slot in self.scan_slots()
+            if predicate(RowView(banks, slot))
+        ]
 
     def column_values(self, column: str, row_ids: list[int] | None = None) -> list[Any]:
-        """Values of one column, over all rows or a row-id subset."""
+        """Values of one column, over all rows or a row-id subset.
+
+        Reads straight from the column's bank — no row materialisation;
+        this is what the statistics catalog builds its summaries from.
+        """
         self.schema.column(column)
+        bank = self._banks[column]
         if row_ids is None:
-            return [self._rows[rid][column] for rid in sorted(self._rows)]
-        return [self._rows[rid][column] for rid in row_ids]
+            slots = self.scan_slots()
+            if type(slots) is range:
+                return bank[:]
+            return [bank[s] for s in slots]
+        slot_of = self._slot_of
+        return [bank[slot_of[rid]] for rid in row_ids]
+
+    def column_arrays(self) -> dict[str, list]:
+        """Every column's values in row-id order, from one slot pass.
+
+        What a whole-table consumer (statistics rebuild, snapshot dump)
+        should use instead of per-column :meth:`column_values` calls,
+        which would each re-derive the slot order on non-dense tables.
+        """
+        slots = self.scan_slots()
+        if type(slots) is range:
+            return {
+                column: bank[:]
+                for column, bank in zip(self._columns, self._bank_list)
+            }
+        return {
+            column: [bank[s] for s in slots]
+            for column, bank in zip(self._columns, self._bank_list)
+        }
 
     def distinct_count(self, column: str) -> int:
         """Number of distinct non-NULL values in ``column``."""
         index = self._indexes.get(column)
         if index is not None:
             return len(index)
+        bank = self._banks[column]
         values = {
-            row[column] for row in self._rows.values() if not is_null(row[column])
+            bank[slot]
+            for slot in self.scan_slots()
+            if not is_null(bank[slot])
         }
         return len(values)
 

@@ -53,6 +53,7 @@ class RuntimeStats:
     plan_cache_hits: int
     plan_cache_misses: int
     plan_cache_bypasses: int
+    plan_cache_evictions: int
 
 
 @dataclass(frozen=True)
@@ -186,6 +187,7 @@ class AgentRuntime:
             plan_cache_hits=plan_cache.hits,
             plan_cache_misses=plan_cache.misses,
             plan_cache_bypasses=plan_cache.bypasses,
+            plan_cache_evictions=plan_cache.evictions,
         )
 
     def session_stats(self, session_id: str) -> SessionStats:

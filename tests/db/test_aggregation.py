@@ -239,3 +239,107 @@ class TestAggregatePushdown:
                 if rng.random() < 0.6 else None
             )
             self._check(database, query, aggregates, group_by)
+
+
+class TestHaving:
+    """HAVING: the post-aggregate Filter over aggregate output rows."""
+
+    def test_aggregate_having_filters_output(self):
+        result = aggregate(ROWS, {"booked": sum_("no_tickets")},
+                           group_by=["screening_id"],
+                           having=ge("booked", 5))
+        assert result == [{"screening_id": 1, "booked": 5}]
+
+    def test_aggregate_query_having_matches_baseline(self, movie_db):
+        database, __ = movie_db
+        query = Query("reservation")
+        aggregates = {"booked": sum_("no_tickets"), "n": count()}
+        having = ge("booked", 6)
+        expected = aggregate(query.run(database), aggregates,
+                             ["screening_id"], having)
+        actual = aggregate_query(database, query, aggregates,
+                                 ["screening_id"], having=having)
+        assert actual == expected
+        assert actual  # the cinema workload has busy screenings
+        assert all(row["booked"] >= 6 for row in actual)
+
+    def test_having_on_group_key(self, movie_db):
+        database, __ = movie_db
+        actual = aggregate_query(
+            database, Query("screening"), {"n": count()}, ["movie_id"],
+            having=eq("movie_id", 3),
+        )
+        assert [row["movie_id"] for row in actual] == [3]
+
+    def test_having_explain_shows_post_aggregate_filter(self, movie_db):
+        from dataclasses import replace
+
+        from repro.db.engine import AggExpr, render_plan
+
+        database, __ = movie_db
+        spec = replace(
+            Query("reservation").compile(),
+            aggregates=(AggExpr("booked", "sum", "no_tickets"),),
+            group_by=("screening_id",),
+            having=ge("booked", 6),
+        )
+        plan = render_plan(database.plan_cache.plan(spec))
+        lines = plan.splitlines()
+        assert lines[0].startswith("Filter booked >= 6")
+        assert "HashAggregate" in lines[1]
+
+    def test_having_over_index_agg_scan(self, movie_db):
+        database, __ = movie_db
+        aggregates = {"lo": min_("price"), "hi": max_("price")}
+        kept = aggregate_query(database, Query("screening"), aggregates,
+                               having=ge("hi", 0.0))
+        dropped = aggregate_query(database, Query("screening"), aggregates,
+                                  having=ge("hi", 1e9))
+        assert len(kept) == 1 and dropped == []
+
+    def test_having_count_star_does_not_short_circuit(self, movie_db):
+        database, __ = movie_db
+        n = database.count("screening")
+        assert aggregate_query(database, Query("screening"), {"n": count()},
+                               having=ge("n", n)) == [{"n": n}]
+        assert aggregate_query(database, Query("screening"), {"n": count()},
+                               having=ge("n", n + 1)) == []
+
+    def test_having_templates_bind_fresh_constants(self, movie_db):
+        database, __ = movie_db
+        cache = database.plan_cache
+        query = Query("reservation")
+        aggregates = {"booked": sum_("no_tickets")}
+
+        def run(threshold):
+            return aggregate_query(database, query, aggregates,
+                                   ["screening_id"],
+                                   having=ge("booked", threshold))
+
+        baseline = {
+            t: aggregate(query.run(database), aggregates,
+                         ["screening_id"], ge("booked", t))
+            for t in (2, 5, 9)
+        }
+        run(2)
+        misses = cache.misses
+        for t in (5, 9):
+            assert run(t) == baseline[t]
+        # Same shape, different HAVING constants: no recompilation.
+        assert cache.misses == misses
+
+    def test_custom_reducer_fallback_applies_having(self, movie_db):
+        database, __ = movie_db
+        spread = Aggregate(
+            "spread", "no_tickets",
+            lambda vs: (max(vs) - min(vs)) if vs else None,
+        )
+        actual = aggregate_query(
+            database, Query("reservation"), {"spread": spread},
+            ["screening_id"], having=ge("spread", 1),
+        )
+        expected = aggregate(
+            Query("reservation").run(database), {"spread": spread},
+            ["screening_id"], ge("spread", 1),
+        )
+        assert actual == expected

@@ -108,13 +108,23 @@ class TestPlannerChoices:
         explained = Query("screening").where(eq("room", "room A")).explain(db)
         assert "SeqScan on screening" in explained
 
-    def test_or_predicates_cannot_push_down(self, db):
+    def test_or_of_indexable_equalities_unions_probes(self, db):
         explained = (
             Query("screening")
             .where(or_(eq("screening_id", 1), eq("screening_id", 2)))
             .explain(db)
         )
+        assert "IndexOrUnion on screening" in explained
+        assert "Filter" in explained  # the Or predicate is re-checked
+
+    def test_or_with_unindexable_disjunct_stays_seq_scan(self, db):
+        explained = (
+            Query("screening")
+            .where(or_(eq("screening_id", 1), eq("room", "room B")))
+            .explain(db)
+        )
         assert "SeqScan on screening" in explained
+        assert "IndexOrUnion" not in explained
 
     def test_order_by_with_ordered_index_skips_sort(self, db):
         explained = Query("screening").order_by("date").explain(db)
@@ -534,3 +544,57 @@ class TestJoinReordering:
         assert "[reordered]" not in explained
         # Stated first join sits deepest in the tree.
         assert explained.index("reservation") > explained.index("movie")
+
+
+class TestOrUnionExecution:
+    """OR-of-equality probe unions: results identical to the scan plan."""
+
+    def _expected(self, db, predicate):
+        return [
+            row for row in db.rows("screening") if predicate.matches(row)
+        ]
+
+    def test_results_match_scan_semantics(self, db):
+        predicate = or_(eq("screening_id", 3), eq("screening_id", 7))
+        rows = Query("screening").where(predicate).run(db)
+        assert rows == self._expected(db, predicate)
+
+    def test_union_deduplicates_overlapping_probes(self, db):
+        predicate = or_(eq("screening_id", 3), eq("screening_id", 3))
+        rows = Query("screening").where(predicate).run(db)
+        assert rows == self._expected(db, predicate)
+        assert len(rows) == 1
+
+    def test_row_ids_preserved_for_candidates(self, db):
+        predicate = or_(eq("screening_id", 2), eq("screening_id", 9))
+        plan = Query("screening").where(predicate).plan(db)
+        assert execute_row_ids(db, plan) == [2, 9]
+
+    def test_template_rebinds_constants(self, db):
+        cache = db.plan_cache
+
+        def run(a, b):
+            return Query("screening").where(
+                or_(eq("screening_id", a), eq("screening_id", b))
+            ).run(db)
+
+        run(1, 2)
+        misses = cache.misses
+        rows = run(5, 6)
+        assert cache.misses == misses  # same shape: bound, not replanned
+        assert sorted(r["screening_id"] for r in rows) == [5, 6]
+
+    def test_uncoercible_constant_falls_back_to_scan(self, db):
+        predicate = or_(eq("screening_id", 1),
+                        eq("screening_id", "not-an-int"))
+        rows = Query("screening").where(predicate).run(db)
+        assert rows == self._expected(db, predicate)
+        assert [r["screening_id"] for r in rows] == [1]
+
+    def test_or_across_different_columns(self, db):
+        db.create_index("screening", "movie_id")
+        predicate = or_(eq("movie_id", 2), eq("screening_id", 7))
+        explained = Query("screening").where(predicate).explain(db)
+        assert "IndexOrUnion" in explained
+        rows = Query("screening").where(predicate).run(db)
+        assert rows == self._expected(db, predicate)

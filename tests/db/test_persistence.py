@@ -134,6 +134,14 @@ class TestIndexDDLPersistence:
         body = json.loads(dumps_database(database))
         body["format_version"] = 1
         del body["indexes"]
+        # v1 stored one dict per row; rebuild that layout from the
+        # columnar v3 section.
+        body["rows"] = {
+            name: [
+                dict(zip(banks, values)) for values in zip(*banks.values())
+            ]
+            for name, banks in body.pop("columns").items()
+        }
         restored = loads_database(json.dumps(body))
         assert restored.count("screening") == database.count("screening")
         # Schema-implied indexes exist; secondary DDL is (expectedly) gone.
@@ -147,3 +155,74 @@ class TestIndexDDLPersistence:
         body["indexes"]["ghost_table"] = {"hash": ["x"], "ordered": []}
         with pytest.raises(DatabaseError):
             loads_database(json.dumps(body))
+
+
+class TestColumnarSnapshotFormat:
+    """Format v3: column banks on disk; v1/v2 row layouts still load."""
+
+    def test_dump_is_version_3_and_columnar(self, movie_db):
+        import json
+
+        database, __ = movie_db
+        body = json.loads(dumps_database(database))
+        assert body["format_version"] == 3
+        assert "rows" not in body
+        banks = body["columns"]["screening"]
+        lengths = {column: len(values) for column, values in banks.items()}
+        assert set(lengths.values()) == {database.count("screening")}
+
+    def test_v3_roundtrip_preserves_rows_and_order(self, movie_db):
+        database, __ = movie_db
+        restored = loads_database(dumps_database(database))
+        for name in database.table_names:
+            assert restored.rows(name) == database.rows(name)
+
+    def test_v3_roundtrip_after_deletes(self, movie_db):
+        database, __ = movie_db
+        # Punch holes into the slot layout; the snapshot and the reload
+        # must both present rows in row-id order regardless.
+        reservations = database.table("reservation").row_ids()
+        for rid in reservations[1:4]:
+            database.delete("reservation", rid)
+        restored = loads_database(dumps_database(database))
+        assert restored.rows("reservation") == database.rows("reservation")
+
+    def test_version_2_row_snapshot_loads(self, movie_db):
+        import json
+
+        database, __ = movie_db
+        body = json.loads(dumps_database(database))
+        body["format_version"] = 2
+        body["rows"] = {
+            name: [
+                dict(zip(banks, values)) for values in zip(*banks.values())
+            ]
+            for name, banks in body.pop("columns").items()
+        }
+        restored = loads_database(json.dumps(body))
+        for name in database.table_names:
+            assert restored.rows(name) == database.rows(name)
+        # v2 carried the index DDL section, so access paths survive.
+        assert restored.table("screening").has_ordered_index("date")
+
+    def test_ragged_v3_banks_rejected(self, movie_db):
+        import json
+
+        database, __ = movie_db
+        body = json.loads(dumps_database(database))
+        body["columns"]["screening"]["room"].append("room Z")
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps(body))
+
+    def test_missing_content_section_rejected(self, movie_db):
+        import json
+
+        database, __ = movie_db
+        body = json.loads(dumps_database(database))
+        del body["columns"]
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps(body))
+        legacy = {"format_version": 2,
+                  "schema": json.loads(dumps_database(database))["schema"]}
+        with pytest.raises(DatabaseError):
+            loads_database(json.dumps(legacy))

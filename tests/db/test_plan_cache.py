@@ -288,3 +288,58 @@ class TestThreadSafety:
             r for r in db.rows("screening") if r["movie_id"] == 3
         ]
         assert len(final) == len(direct)
+
+
+class TestLRUBound:
+    def test_eviction_beyond_cap(self, db):
+        from repro.db.engine import PlanCache
+
+        cache = PlanCache(db, max_entries=4)
+        for i in range(6):
+            # One distinct shape per projection column set.
+            cache.plan(Query("screening").select(f"c{i}").compile())
+        assert len(cache) == 4
+        assert cache.evictions == 2
+
+    def test_hit_refreshes_recency(self, db):
+        from repro.db.engine import PlanCache
+
+        cache = PlanCache(db, max_entries=2)
+        a = Query("screening").select("room").compile()
+        b = Query("screening").select("price").compile()
+        c = Query("screening").select("date").compile()
+        cache.plan(a)
+        cache.plan(b)
+        cache.plan(a)        # touch a: b is now the LRU entry
+        cache.plan(c)        # evicts b, not a
+        misses = cache.misses
+        cache.plan(a)
+        assert cache.misses == misses  # still cached
+        cache.plan(b)
+        assert cache.misses == misses + 1  # was evicted, recompiles
+
+    def test_evicted_shape_recompiles_correctly(self, db):
+        from repro.db.engine import PlanCache
+
+        cache = PlanCache(db, max_entries=1)
+        q1 = Query("screening").where(eq("movie_id", 3))
+        q2 = Query("screening").where(ge("price", 9.0))
+        plan1 = cache.plan(q1.compile())
+        cache.plan(q2.compile())
+        plan1_again = cache.plan(q1.compile())
+        assert plan1_again == plan1
+        assert cache.evictions >= 1
+
+    def test_default_cache_is_bounded(self, db):
+        from repro.db.engine import DEFAULT_MAX_ENTRIES
+
+        assert DEFAULT_MAX_ENTRIES >= 64
+        # The database's shared cache exposes the eviction counter.
+        assert db.plan_cache.evictions == 0
+
+    def test_invalidation_does_not_count_as_eviction(self, db):
+        cache = db.plan_cache
+        cache.plan(Query("screening").where(eq("movie_id", 1)).compile())
+        before = cache.evictions
+        cache.invalidate()
+        assert cache.evictions == before

@@ -328,6 +328,9 @@ class TestRuntimeSessionManagement:
         self._book(runtime, trained_agent, sid, triples[0])
         stats = runtime.stats()
         assert stats.plan_cache_hits + stats.plan_cache_misses > 0
+        # The LRU-bounded template store exposes its eviction counter;
+        # a per-turn workload of a few shapes never reaches the cap.
+        assert stats.plan_cache_evictions == 0
 
     def test_session_stats_attribute_cache_traffic_and_latency(
         self, runtime, trained_agent

@@ -109,3 +109,22 @@ class TestCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["--help"])
         assert excinfo.value.code == 0
+
+
+class TestExplainConditionParsing:
+    def test_pipe_splits_into_disjunction(self):
+        from repro.cli import _parse_explain_condition
+        from repro.db.query import Or
+
+        predicate = _parse_explain_condition("room='room A'|movie_id=3")
+        assert isinstance(predicate, Or)
+        assert len(predicate.parts) == 2
+
+    def test_quoted_pipe_is_a_value_not_a_split(self):
+        from repro.cli import _parse_explain_condition
+        from repro.db.query import Comparison
+
+        predicate = _parse_explain_condition("title~'rock|roll'")
+        assert isinstance(predicate, Comparison)
+        assert predicate.op == "contains"
+        assert predicate.value == "rock|roll"
