@@ -15,6 +15,8 @@ import sys
 
 from repro import CAT, ConversationSession
 from repro.datasets import build_movie_database, movie_templates
+from repro.db import Param, select
+from repro.db.query import eq
 
 
 def build_agent():
@@ -50,10 +52,13 @@ def scripted_demo(database, agent) -> None:
         ],
     )
 
-    reservation = database.rows("reservation")[0]
-    customer = database.find_one(
-        "customer", "customer_id", reservation["customer_id"]
-    )
+    # Read through the unified execution API: one connection, prepared
+    # statements with named parameters, streaming results.
+    conn = database.connect()
+    reservation = conn.execute(select("reservation").limit(1)).fetchone()
+    customer = conn.prepare(
+        select("customer").where(eq("customer_id", Param("c"))).limit(1)
+    ).execute(c=reservation["customer_id"]).fetchone()
     scenario(
         "Scenario 2: cancel a reservation",
         [
@@ -64,7 +69,7 @@ def scripted_demo(database, agent) -> None:
         ],
     )
 
-    title = database.rows("movie")[2]["title"]
+    title = conn.execute(select("movie").project("title")).fetchmany(3)[2]["title"]
     scenario(
         "Scenario 3: list screenings (read-only, no confirmation)",
         [f"when is {title} playing"],

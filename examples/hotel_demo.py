@@ -123,7 +123,15 @@ def build_hotel_database(seed: int = 21) -> Database:
     def book_room(db, guest_id, room_id, check_in, nights):
         if nights <= 0:
             raise ProcedureError("nights must be positive")
-        taken = db.find("booking", "room_id", room_id)
+        # Overlap check through the unified execution API: the
+        # statement compiles once, every booking binds its room id.
+        from repro.db import Param, select
+        from repro.db.query import eq
+
+        taken = db.default_connection.prepare_cached(
+            ("hotel.room_bookings",),
+            lambda: select("booking").where(eq("room_id", Param("room"))),
+        ).execute(room=room_id)
         for other in taken:
             delta = (check_in - other["check_in"]).days
             if -nights < delta < other["nights"]:

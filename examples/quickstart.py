@@ -7,6 +7,9 @@ Run with::
 
 from repro import CAT, ConversationSession
 from repro.datasets import build_movie_database, movie_templates
+from repro.db import Param, api, select
+from repro.db.aggregation import sum_
+from repro.db.query import eq
 
 
 def main() -> None:
@@ -44,6 +47,31 @@ def main() -> None:
     executed = session.executed_results()
     if executed:
         print(f"\nexecuted transactions: {[r.procedure for r in executed]}")
+
+    # 4. Inspect the database through the unified execution API:
+    #    connect -> prepare -> execute -> stream.  The statement is
+    #    compiled once; each execute just binds its parameters.
+    conn = database.connect()
+    reservations = conn.prepare(
+        select("reservation").where(eq("screening_id", Param("s")))
+    )
+    booked = conn.prepare(
+        api.aggregate("reservation", seats=sum_("no_tickets")).where(
+            eq("screening_id", Param("s"))
+        )
+    )
+    for screening in conn.execute(select("screening").limit(3)):
+        sid = screening["screening_id"]
+        rows = reservations.execute(s=sid).all()
+        seats = booked.execute(s=sid).scalar()
+        print(
+            f"screening {sid}: {len(rows)} reservations, {seats} seats booked"
+        )
+    stats = conn.stats()
+    print(
+        f"connection stats: {stats.executions} statements executed, "
+        f"plan cache {stats.plan_cache_hits}/{stats.plan_cache_hits + stats.plan_cache_misses} hits"
+    )
 
 
 if __name__ == "__main__":

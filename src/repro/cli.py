@@ -82,7 +82,8 @@ session has its own dialogue state and awareness model.
   :use <id>     switch the active session
   :sessions     list live sessions
   :close <id>   end a session
-  :stats        runtime counters
+  :stats        runtime + per-session connection counters
+  :advisor      ranked CREATE INDEX suggestions from observed scans
   :help         this text
   :quit         leave
 Anything else is sent to the active session."""
@@ -145,7 +146,7 @@ def _cmd_serve(session_ttl: float | None) -> int:
                     print(f"  {key:24s} {value}")
                 session_ids = runtime.session_ids()
                 if session_ids:
-                    print("  per-session (plan cache + turn latency):")
+                    print("  per-session (connection stats + turn latency):")
                 for sid in session_ids:
                     s = runtime.session_stats(sid)
                     lookups = s.plan_cache_hits + s.plan_cache_misses
@@ -153,8 +154,18 @@ def _cmd_serve(session_ttl: float | None) -> int:
                         f"    {sid}  turns={s.turns}  "
                         f"plan_cache={s.plan_cache_hits}/{lookups} hits "
                         f"({s.plan_cache_hit_rate:.0%})  "
+                        f"statements={s.executions}  "
                         f"mean_turn={s.mean_turn_ms:.2f}ms  "
                         f"last_turn={s.last_turn_ms:.2f}ms"
+                    )
+            elif text == ":advisor":
+                suggestions = runtime.advisor()
+                if not suggestions:
+                    print("  no index suggestions (no advisable scans seen)")
+                for s in suggestions:
+                    print(
+                        f"  {s.statement}  "
+                        f"[{s.misses} scans, ~{s.rows_scanned} rows walked]"
                     )
             elif text.startswith(":"):
                 print(f"unknown command {text!r} (:help for help)")
@@ -304,11 +315,19 @@ def _parse_explain_condition(text: str):
     )
 
 
-def _parse_agg_exprs(specs):
-    """``name=kind[:column]`` strings into AggExpr tuples (or an error)."""
-    from repro.db.engine import AggExpr
+def _parse_aggregates(specs):
+    """``name=kind[:column]`` strings into an Aggregate dict (or an error)."""
+    from repro.db import aggregation
 
-    exprs = []
+    factories = {
+        "count": lambda column: aggregation.count(),
+        "sum": aggregation.sum_,
+        "avg": aggregation.avg,
+        "min": aggregation.min_,
+        "max": aggregation.max_,
+        "count_distinct": aggregation.count_distinct,
+    }
+    aggregates = {}
     for item in specs:
         name, sep, rest = item.partition("=")
         kind, __, column = rest.partition(":")
@@ -321,16 +340,16 @@ def _parse_agg_exprs(specs):
         if kind == "count":
             if column:
                 return None, f"bad --agg {item!r} (count takes no column)"
-            exprs.append(AggExpr(name, "count", None))
+            aggregates[name] = factories[kind](None)
         else:
             if not column:
                 return None, f"bad --agg {item!r} ({kind} needs a column)"
-            exprs.append(AggExpr(name, kind, column))
-    return tuple(exprs), None
+            aggregates[name] = factories[kind](column)
+    return aggregates, None
 
 
 def _explain_one(database, args) -> int:
-    from repro.db import Query
+    from repro.db import api
     from repro.errors import DatabaseError
 
     if args.group_by and not args.agg:
@@ -343,48 +362,44 @@ def _explain_one(database, args) -> int:
         print("--count cannot be combined with --agg "
               "(use --agg n=count instead)")
         return 2
-    query = Query(args.table)
     try:
+        if args.agg:
+            aggregates, error = _parse_aggregates(args.agg)
+            if aggregates is None:
+                print(error)
+                return 2
+            statement = api.aggregate(args.table, aggregates)
+        else:
+            statement = api.select(args.table)
         for condition in args.where or ():
-            query.where(_parse_explain_condition(condition))
+            statement.where(_parse_explain_condition(condition))
         for join in args.join or ():
             parts = join.split(":")
             if len(parts) != 3:
                 print(f"bad --join {join!r} (expected column:table:target)")
                 return 2
-            query.join(*parts)
+            statement.join(*parts)
         if args.order_by:
-            query.order_by(args.order_by, descending=args.desc)
+            statement.order_by(args.order_by, descending=args.desc)
         if args.limit is not None:
-            query.limit(args.limit)
+            statement.limit(args.limit)
         if args.select:
-            query.select(*[c.strip() for c in args.select.split(",")])
-        if args.agg:
-            from dataclasses import replace
-
-            from repro.db.engine import render_plan
-
-            exprs, error = _parse_agg_exprs(args.agg)
-            if exprs is None:
-                print(error)
-                return 2
-            group_by = tuple(
-                c.strip() for c in args.group_by.split(",")
-            ) if args.group_by else ()
-            having = None
-            if args.having:
-                from repro.db.query import and_
-
-                having = and_(
-                    *[_parse_explain_condition(c) for c in args.having]
-                )
-            spec = replace(
-                query.compile(), aggregates=exprs, group_by=group_by,
-                having=having,
+            statement.project(*[c.strip() for c in args.select.split(",")])
+        if args.count:
+            statement.count()
+        if args.group_by:
+            statement.group_by(
+                *[c.strip() for c in args.group_by.split(",")]
             )
-            print(render_plan(database.plan_cache.plan(spec)))
-        else:
-            print(query.explain(database, count_only=args.count))
+        if args.having:
+            from repro.db.query import and_
+
+            statement.having(
+                and_(*[_parse_explain_condition(c) for c in args.having])
+            )
+        # The unified path: compile + fingerprint once, explain the
+        # plan the statement would execute.
+        print(database.default_connection.prepare(statement).explain())
     except DatabaseError as exc:
         print(f"error: {exc}")
         return 2

@@ -22,9 +22,10 @@ from typing import Any
 
 from repro.dataaware.caching import AttributeValueCache
 from repro.dataaware.join_graph import JoinPath, JoinPlanner, map_values
+from repro.db.api import Param, select
 from repro.db.catalog import Catalog, ColumnRef
 from repro.db.database import Database
-from repro.db.query import Predicate, Query, eq
+from repro.db.query import Predicate, eq
 from repro.db.types import DataType, TypeMismatchError, coerce
 from repro.errors import PolicyError
 from repro.textutil import damerau_levenshtein
@@ -125,19 +126,20 @@ class CandidateSet:
     ) -> "CandidateSet":
         """Candidates of ``table``, optionally pre-filtered by ``where``.
 
-        With a predicate, seeding goes through the planned query engine
-        (via the database's prepared-plan cache — repeated seeds of the
-        same constraint shape reuse one compiled plan): the access path
-        pushes the constraints into hash/ordered indexes instead of
-        materialising every row id and filtering afterwards.
+        With a predicate, seeding executes through the database's
+        shared connection (and therefore the prepared-plan cache —
+        repeated seeds of the same constraint shape reuse one compiled
+        plan): the access path pushes the constraints into hash/ordered
+        indexes instead of materialising every row id and filtering
+        afterwards.
         """
         if where is None:
             row_ids = tuple(database.table(table).row_ids())
         else:
-            from repro.db.engine import execute_row_ids
-
-            plan = Query(table).where(where).plan(database)
-            row_ids = tuple(execute_row_ids(database, plan))
+            result = database.default_connection.execute(
+                select(table).where(where)
+            )
+            row_ids = tuple(result.row_ids())
         return cls(database, catalog, table, row_ids,
                    fuzzy_threshold=fuzzy_threshold, shared_cache=shared_cache)
 
@@ -255,11 +257,12 @@ class CandidateSet:
 
         Only exact (non-text) equality on a hash-indexed root-table
         column qualifies — text attributes need the fuzzy-match
-        semantics and joined attributes the value maps.  The probe plan
-        comes from the prepared-plan cache: every refine of the same
-        attribute shares one compiled template, only the constant
-        changes.  Returns the surviving row ids (order preserved) or
-        ``None`` to fall back to the value-map path.
+        semantics and joined attributes the value maps.  The probe runs
+        through a prepared statement pooled on the shared connection:
+        every refine of the same attribute binds into one compiled
+        template without re-fingerprinting — only the constant changes.
+        Returns the surviving row ids (order preserved) or ``None`` to
+        fall back to the value-map path.
         """
         if dtype is DataType.TEXT or needle is None:
             return None
@@ -268,13 +271,13 @@ class CandidateSet:
         table = self._database.table(self.table)
         if not table.has_index(attribute.column):
             return None
-        from repro.db.engine import execute_row_ids
-
-        plan = Query(self.table).where(eq(attribute.column, needle)).plan(
-            self._database
+        root, column = self.table, attribute.column
+        statement = self._database.default_connection.prepare_cached(
+            ("candidates.refine", root, column),
+            lambda: select(root).where(eq(column, Param("value"))),
         )
         try:
-            matched = set(execute_row_ids(self._database, plan))
+            matched = set(statement.execute(value=needle).row_ids())
         except TypeMismatchError:
             return None
         return tuple(rid for rid in self.row_ids if rid in matched)

@@ -326,14 +326,19 @@ def _ticket_reservation(
     screening = database.find_one("screening", "screening_id", screening_id)
     if screening is None:
         raise ProcedureError(f"no screening with id {screening_id}")
-    from repro.db.aggregation import aggregate_query, sum_
-    from repro.db.query import Query, eq
+    # The booked-seats aggregate runs through a prepared statement
+    # pooled on the shared connection: one compilation serves every
+    # reservation this database ever processes.
+    from repro.db import api
+    from repro.db.aggregation import sum_
+    from repro.db.query import eq
 
-    booked = aggregate_query(
-        database,
-        Query("reservation").where(eq("screening_id", screening_id)),
-        {"booked": sum_("no_tickets")},
-    )[0]["booked"]
+    statement = database.default_connection.prepare_cached(
+        ("movies.booked_seats",),
+        lambda: api.aggregate("reservation", booked=sum_("no_tickets"))
+        .where(eq("screening_id", api.Param("screening_id"))),
+    )
+    booked = statement.execute(screening_id=screening_id).scalar()
     if booked + ticket_amount > screening["capacity"]:
         raise ProcedureError(
             f"screening {screening_id} has only "
@@ -364,9 +369,16 @@ def _cancel_reservation(database: Database, reservation_id: int) -> dict:
 
 
 def _list_screenings(database: Database, movie_id: int) -> list[dict]:
-    from repro.db.query import Query, eq
+    from repro.db import api
+    from repro.db.query import eq
 
-    return Query("screening").where(eq("movie_id", movie_id)).run(database)
+    statement = database.default_connection.prepare_cached(
+        ("movies.list_screenings",),
+        lambda: api.select("screening").where(
+            eq("movie_id", api.Param("movie_id"))
+        ),
+    )
+    return statement.execute(movie_id=movie_id).all()
 
 
 def _register_procedures(database: Database) -> None:

@@ -112,3 +112,39 @@ __all__ += [
     "min_",
     "sum_",
 ]
+
+# The unified execution API (Connection / PreparedStatement / Result).
+# The aggregate-statement builder is NOT re-exported here because its
+# name collides with the row reducer above; reach it via
+# ``from repro.db import api`` → ``api.aggregate(...)``.
+from repro.db import api
+from repro.db.api import (
+    CallStatement,
+    Connection,
+    ConnectionStats,
+    IndexAdvisor,
+    IndexSuggestion,
+    Param,
+    PreparedStatement,
+    Result,
+    SelectStatement,
+    Statement,
+    call,
+    select,
+)
+
+__all__ += [
+    "CallStatement",
+    "Connection",
+    "ConnectionStats",
+    "IndexAdvisor",
+    "IndexSuggestion",
+    "Param",
+    "PreparedStatement",
+    "Result",
+    "SelectStatement",
+    "Statement",
+    "api",
+    "call",
+    "select",
+]

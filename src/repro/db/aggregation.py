@@ -171,37 +171,30 @@ def aggregate_query(
 ) -> list[Row]:
     """Aggregate the result of ``query`` inside the planned executor.
 
+    .. deprecated::
+        Thin shim over the unified execution API; prefer an aggregate
+        statement through a connection::
+
+            conn = database.connect()
+            stmt = conn.prepare(
+                api.aggregate("reservation", booked=sum_("no_tickets"))
+                   .where(eq("screening_id", api.Param("s")))
+            )
+            booked = stmt.execute(s=screening_id).scalar()
+
+        (see :mod:`repro.db.api`).
+
     Built-in aggregates (the constructors in this module) compile into
     the engine's streaming :class:`~repro.db.engine.plan.HashAggregate`
     (or, for whole-table MIN/MAX/COUNT, an
     :class:`~repro.db.engine.plan.IndexAggScan` that reads the answer
-    from the indexes) through the database's prepared-plan cache — over
-    a batchable scan the reductions run straight on the column banks,
-    and no qualifying row is ever materialised in Python.  ``having``
-    filters the aggregate output rows (group keys + aggregate names)
-    inside the plan, as a post-aggregate Filter node.  An ungrouped,
-    lone ``COUNT(*)`` without HAVING short-circuits to a CountOnly
-    plan; aggregates with custom reducers fall back to
+    from the indexes) through the database's prepared-plan cache.
+    ``having`` filters the aggregate output rows inside the plan; an
+    ungrouped, lone ``COUNT(*)`` without HAVING short-circuits to a
+    CountOnly plan; aggregates with custom reducers fall back to
     materialise-then-reduce via :func:`aggregate`, whose results the
     engine path reproduces exactly.
     """
-    if not aggregates:
-        raise QueryError("at least one aggregate is required")
-    if having is None and not group_by and len(aggregates) == 1:
-        (name, agg), = aggregates.items()
-        if agg.builtin and agg.column is None and agg.name == "count":
-            return [{name: query.count(database)}]
-    exprs = _engine_exprs(aggregates)
-    if exprs is None:
-        return aggregate(query.run(database), aggregates, group_by, having)
-    from dataclasses import replace
-
-    from repro.db.engine import execute_rows
-
-    spec = replace(
-        query.compile(),
-        aggregates=exprs,
-        group_by=tuple(group_by) if group_by else (),
-        having=having,
+    return database.default_connection.run_aggregate(
+        query, aggregates, group_by, having
     )
-    return execute_rows(database, database.plan_cache.plan(spec))

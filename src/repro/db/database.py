@@ -44,6 +44,8 @@ class Database:
         self._statistics_lock = threading.Lock()
         self._statistics = None
         self._plan_cache = None
+        self._default_connection = None
+        self._index_advisor = None
 
     # ------------------------------------------------------------------
     # Table access
@@ -129,6 +131,56 @@ class Database:
                     self._plan_cache = PlanCache(self)
                 cache = self._plan_cache
         return cache
+
+    # ------------------------------------------------------------------
+    # Connections (the unified execution API)
+    # ------------------------------------------------------------------
+    def connect(self, name: str | None = None):
+        """A fresh :class:`~repro.db.api.Connection` handle.
+
+        Connections are lightweight: per-connection statistics, a
+        prepared-statement pool and an index advisor over the shared
+        database.  The serving runtime opens one per session.
+        """
+        from repro.db.api import Connection
+
+        return Connection(self, name=name)
+
+    @property
+    def default_connection(self):
+        """The shared connection behind the legacy ``Query.run`` /
+        ``aggregate_query`` shims and long-lived internal components.
+
+        Its prepared-statement pool amortises compilation across every
+        session the way the plan cache amortises planning.
+        """
+        connection = self._default_connection
+        if connection is None:
+            from repro.db.api import Connection
+
+            with self._statistics_lock:
+                if self._default_connection is None:
+                    self._default_connection = Connection(self, name="default")
+                connection = self._default_connection
+        return connection
+
+    @property
+    def index_advisor(self):
+        """Database-wide :class:`~repro.db.api.IndexAdvisor`.
+
+        Every connection records its SeqScan+Filter misses here as well
+        as locally, so ``database.index_advisor.suggestions()`` ranks
+        CREATE INDEX candidates across the whole workload.
+        """
+        advisor = self._index_advisor
+        if advisor is None:
+            from repro.db.api import IndexAdvisor
+
+            with self._statistics_lock:
+                if self._index_advisor is None:
+                    self._index_advisor = IndexAdvisor()
+                advisor = self._index_advisor
+        return advisor
 
     # ------------------------------------------------------------------
     # Concurrency

@@ -28,6 +28,7 @@ from repro.db.engine.cache import (
 from repro.db.engine.executor import (
     build_probe_map,
     execute_count,
+    execute_iter,
     execute_plan,
     execute_row_ids,
     execute_rows,
@@ -81,6 +82,7 @@ __all__ = [
     "bind_plan",
     "build_probe_map",
     "execute_count",
+    "execute_iter",
     "execute_plan",
     "execute_row_ids",
     "execute_rows",

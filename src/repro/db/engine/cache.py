@@ -89,6 +89,7 @@ __all__ = [
     "fingerprint_spec",
     "parameterize_spec",
     "bind_plan",
+    "compile_binder",
 ]
 
 
@@ -356,6 +357,185 @@ def _check_coercible(
         raise _Unbindable from None
 
 
+# ---------------------------------------------------------------------------
+# Compiled binders (the PreparedStatement fast path)
+# ---------------------------------------------------------------------------
+
+def compile_binder(database: "Database", template: PlanNode):
+    """A specialised bind function for one ``template`` instance.
+
+    ``bind_plan`` re-discovers per call which nodes carry Param slots
+    and what column types their constants must coerce to; a prepared
+    statement executes one template thousands of times, so this
+    compiles that discovery once into a closure tree: static subtrees
+    collapse to the template's own nodes, slot-carrying nodes capture
+    their coercion targets.  Returns ``fn(params) -> PlanNode`` with
+    exactly ``bind_plan``'s semantics (including raising the internal
+    unbindable signal handled by :meth:`PlanCache.bind_or_replan`).
+    """
+    binder = _compile_node_binder(database, template)
+    if binder is None:
+        return lambda params: template
+    return binder
+
+
+def _compile_node_binder(database: "Database", node: PlanNode):
+    """``fn(params) -> node`` or ``None`` when the subtree is static."""
+    if isinstance(node, (SeqScan, IndexAggScan)):
+        return None
+    if isinstance(node, IndexEq):
+        if not isinstance(node.value, Param):
+            return None
+        dtype = database.table(node.table).schema.column(node.column).dtype
+        index = node.value.index
+
+        def bind_eq(params, node=node, dtype=dtype, index=index):
+            value = params[index]
+            try:
+                coerce(value, dtype)
+            except TypeMismatchError:
+                raise _Unbindable from None
+            return replace(node, value=value)
+
+        return bind_eq
+    if isinstance(node, IndexInList):
+        if not isinstance(node.values, Param):
+            return None
+        dtype = database.table(node.table).schema.column(node.column).dtype
+        index = node.values.index
+
+        def bind_in(params, node=node, dtype=dtype, index=index):
+            values = params[index]
+            if isinstance(values, (str, bytes)):
+                raise _Unbindable
+            try:
+                elements = tuple(values)
+            except TypeError:
+                raise _Unbindable from None
+            for element in elements:
+                try:
+                    coerced = coerce(element, dtype)
+                except TypeMismatchError:
+                    raise _Unbindable from None
+                if coerced is None:
+                    raise _Unbindable
+            return replace(node, values=elements)
+
+        return bind_in
+    if isinstance(node, IndexOrUnion):
+        if not any(isinstance(v, Param) for __, v in node.probes):
+            return None
+        schema = database.table(node.table).schema
+        slots = tuple(
+            (column, value, schema.column(column).dtype
+             if isinstance(value, Param) else None)
+            for column, value in node.probes
+        )
+
+        def bind_or(params, node=node, slots=slots):
+            probes = []
+            for column, value, dtype in slots:
+                if dtype is not None:
+                    value = params[value.index]
+                    try:
+                        coerce(value, dtype)
+                    except TypeMismatchError:
+                        raise _Unbindable from None
+                probes.append((column, value))
+            return replace(node, probes=tuple(probes))
+
+        return bind_or
+    if isinstance(node, IndexRange):
+        if not isinstance(node.low, Param) and not isinstance(node.high, Param):
+            return None
+        dtype = database.table(node.table).schema.column(node.column).dtype
+
+        def coerce_bound(value):
+            try:
+                coerced = coerce(value, dtype)
+            except TypeMismatchError:
+                raise _Unbindable from None
+            if coerced is None:
+                raise _Unbindable
+            return coerced
+
+        low_index = node.low.index if isinstance(node.low, Param) else None
+        high_index = node.high.index if isinstance(node.high, Param) else None
+
+        def bind_range(params, node=node):
+            low = node.low if low_index is None else \
+                coerce_bound(params[low_index])
+            high = node.high if high_index is None else \
+                coerce_bound(params[high_index])
+            return replace(node, low=low, high=high)
+
+        return bind_range
+    if isinstance(node, Filter):
+        child = _compile_node_binder(database, node.child)
+        predicate = _compile_predicate_binder(node.predicate)
+        if child is None and predicate is None:
+            return None
+
+        def bind_filter(params, node=node, child=child, predicate=predicate):
+            return replace(
+                node,
+                child=node.child if child is None else child(params),
+                predicate=node.predicate if predicate is None
+                else predicate(params),
+            )
+
+        return bind_filter
+    if isinstance(
+        node,
+        (HashJoin, IndexNestedLoopJoin, Sort, TopN, Project, CountOnly,
+         HashAggregate),
+    ):
+        child = _compile_node_binder(database, node.child)
+        if child is None:
+            return None
+
+        def bind_unary(params, node=node, child=child):
+            return replace(node, child=child(params))
+
+        return bind_unary
+    raise QueryError(  # pragma: no cover - new nodes must be taught here
+        f"cannot compile a binder for {type(node).__name__}"
+    )
+
+
+def _compile_predicate_binder(predicate: Predicate):
+    """``fn(params) -> predicate`` or ``None`` for static predicates."""
+    if isinstance(predicate, Comparison):
+        if not isinstance(predicate.value, Param):
+            return None
+        column, op, index = predicate.column, predicate.op, predicate.value.index
+        return lambda params: Comparison(column, op, params[index])
+    if isinstance(predicate, (And, Or)):
+        binders = tuple(
+            _compile_predicate_binder(p) for p in predicate.parts
+        )
+        if not any(binders):
+            return None
+        cls = type(predicate)
+        parts = predicate.parts
+
+        def bind_parts(params, cls=cls, parts=parts, binders=binders):
+            return cls(
+                tuple(
+                    part if binder is None else binder(params)
+                    for part, binder in zip(parts, binders)
+                )
+            )
+
+        return bind_parts
+    if isinstance(predicate, Not):
+        inner = _compile_predicate_binder(predicate.part)
+        if inner is None:
+            return None
+        return lambda params: Not(inner(params))
+    return None
+
+
 def _bind_predicate(predicate: Predicate, params: tuple) -> Predicate:
     if isinstance(predicate, Comparison):
         if isinstance(predicate.value, Param):
@@ -482,6 +662,45 @@ class PlanCache:
             # These constants need a different plan shape (failed
             # coercion etc.); plan them directly, outside the cache.
             return plan_query(self._database, spec, self._statistics)
+
+    def template_for(
+        self, fingerprint: tuple, spec: QuerySpec, params: tuple
+    ) -> tuple[PlanNode, bool]:
+        """``(template, hit)`` for a *pre-fingerprinted* spec.
+
+        The :class:`~repro.db.api.PreparedStatement` hot path: the
+        statement computed ``fingerprint`` once at prepare time, so
+        each execution is a version-stamped dict lookup — no per-call
+        spec traversal.  Only a miss parameterises ``spec`` into the
+        shape to compile (like :meth:`plan`); ``params`` are the
+        execution's concrete constants, used to cost the template
+        (classic generic-plan behaviour).
+        """
+        computed = False
+
+        def compile_template() -> PlanNode:
+            nonlocal computed
+            computed = True
+            shape, __ = parameterize_spec(spec)
+            return plan_query(
+                self._database, shape, self._statistics, params=params
+            )
+
+        template = self._cache.lookup(fingerprint, compile_template)
+        self._count(hit=not computed)
+        return template, not computed
+
+    def bind_or_replan(
+        self, binder, params: tuple, spec_factory
+    ) -> PlanNode:
+        """Run a compiled :func:`compile_binder` closure, falling back to
+        an uncached planning pass (via ``spec_factory``'s concrete spec)
+        when a constant cannot be absorbed by the template — exactly
+        :meth:`plan`'s unbindable fallback."""
+        try:
+            return binder(params)
+        except _Unbindable:
+            return plan_query(self._database, spec_factory(), self._statistics)
 
     def invalidate(self) -> None:
         """Drop every template (they also refresh lazily via the stamps)."""

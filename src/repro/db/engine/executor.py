@@ -81,6 +81,7 @@ __all__ = [
     "execute_plan",
     "execute_rows",
     "execute_count",
+    "execute_iter",
     "execute_row_ids",
     "execution_mode",
     "build_probe_map",
@@ -130,6 +131,58 @@ def execute_rows(database: "Database", plan: PlanNode) -> list[Row]:
     if fresh:
         return list(rows)
     return [dict(row) for row in rows]
+
+
+# Streaming results materialise batch-mode slots in chunks of this many
+# rows, so a consumer that stops early never pays for the full result.
+_STREAM_CHUNK = 256
+
+
+def execute_iter(
+    database: "Database", plan: PlanNode, chunk_size: int = _STREAM_CHUNK
+) -> Iterator[Row]:
+    """Stream ``plan``'s output as fresh row dicts, lazily.
+
+    The cursor path behind :class:`~repro.db.api.Result`: rows
+    materialise as the consumer pulls them — batch-mode plans still
+    narrow their slot list eagerly (the filter is columnwise), but the
+    per-row dict construction is deferred and chunked, and row-mode
+    plans stream straight off the operator pipeline.  Draining the
+    iterator yields exactly ``execute_rows(database, plan)``.
+    """
+    if isinstance(plan, Project):
+        batch = _batch_node(database, plan.child)
+        if batch is not None:
+            yield from _materialise_chunks(batch, plan.columns, chunk_size)
+            return
+    else:
+        batch = _batch_node(database, plan)
+        if batch is not None:
+            yield from _materialise_chunks(batch, None, chunk_size)
+            return
+    rows, fresh = _iterate(database, plan)
+    if fresh:
+        yield from rows
+    else:
+        for row in rows:
+            yield dict(row)
+
+
+def _materialise_chunks(
+    batch: "_Batch", columns: tuple[str, ...] | None, chunk_size: int
+) -> Iterator[Row]:
+    slots = batch.slots
+    total = len(slots)
+    if total <= chunk_size:
+        yield from batch.table.materialise_slots(slots, columns)
+        return
+    for start in range(0, total, chunk_size):
+        chunk = slots[start : start + chunk_size]
+        if type(chunk) is range:
+            # materialise_slots treats a range as "the banks whole";
+            # a partial chunk must go through explicit slot lists.
+            chunk = list(chunk)
+        yield from batch.table.materialise_slots(chunk, columns)
 
 
 def execute_count(database: "Database", plan: CountOnly) -> int:

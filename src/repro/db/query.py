@@ -214,6 +214,12 @@ def contains(column: str, needle: str) -> Comparison:
 
 
 def in_(column: str, values: Iterable[Any]) -> Comparison:
+    from repro.db.api import Param
+
+    if isinstance(values, Param):
+        # A named placeholder for the whole list: the prepared-statement
+        # API binds the tuple at execute time.
+        return Comparison(column, "in", values)
     return Comparison(column, "in", tuple(values))
 
 
@@ -288,25 +294,36 @@ class Query:
     def run(self, database: "Database") -> list[Row]:
         """Execute against ``database`` and return materialised rows.
 
-        Compiles the fluent query into a spec, asks the cost-based
-        planner (driven by the database's statistics catalog) for a
-        physical plan, and executes it.  Results are identical to a
-        scan-filter-sort evaluation; the plan just gets there faster.
-        """
-        from repro.db.engine import execute_rows
+        .. deprecated::
+            Thin shim over the unified execution API — new code should
+            hold a connection and prepare statements instead::
 
-        return execute_rows(database, self.plan(database))
+                conn = database.connect()
+                rows = conn.execute(select(...)).all()          # one-shot
+                stmt = conn.prepare(select(...))                # hot shapes
+                rows = stmt.execute(x=...).all()
+
+            ``prepare``/``execute`` skips the per-call fingerprinting
+            this path pays on every run (see :mod:`repro.db.api`).
+
+        Results are identical to a scan-filter-sort evaluation; the
+        cost-based plan just gets there faster.
+        """
+        return database.default_connection.run_query(self)
 
     def count(self, database: "Database") -> int:
         """Number of matching rows, via a CountOnly plan.
+
+        .. deprecated::
+            Thin shim over the unified execution API; prefer
+            ``conn.execute(select(...).count()).scalar()`` (see
+            :mod:`repro.db.api`).
 
         Rows are neither materialised, projected nor sorted — the
         executor counts matches directly (and short-circuits once a
         ``limit`` is reached).
         """
-        from repro.db.engine import execute_count
-
-        return execute_count(database, self.plan(database, count_only=True))
+        return database.default_connection.count_query(self)
 
     # Planning ---------------------------------------------------------------
     def compile(self, count_only: bool = False):

@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.db.database import Database
-from repro.db.query import Query
 from repro.db.types import DataType, TypeMismatchError, coerce, render
 from repro.db.versioncache import VersionStampedCache
 from repro.nlu.textmatch import best_match
@@ -115,22 +114,23 @@ class EntityLinker:
     def _build_pool(self, slot: str) -> list[str]:
         source = self._vocabulary.source(slot)
         assert source.attribute is not None
+        table = source.attribute.table
         column = source.attribute.column
-        # A grouped streaming aggregate through the prepared-plan cache:
-        # one row per *distinct* column value, no per-row dict
-        # materialisation.  Rebuilds happen once per data version per
-        # slot, so even that cost is off the turn path.
-        from repro.db.aggregation import aggregate_query, count
+        # A grouped streaming aggregate prepared once per attribute and
+        # pooled on the shared connection: one row per *distinct*
+        # column value, no per-row dict materialisation.  Rebuilds
+        # happen once per data version per slot, so even that cost is
+        # off the turn path.
+        from repro.db import api
+        from repro.db.aggregation import count
 
-        groups = aggregate_query(
-            self._database,
-            Query(source.attribute.table),
-            {"n": count()},
-            group_by=[column],
+        statement = self._database.default_connection.prepare_cached(
+            ("linker.pool", table, column),
+            lambda: api.aggregate(table, n=count()).group_by(column),
         )
         values = {
             render(group[column], source.dtype)
-            for group in groups
+            for group in statement.execute()
             if group[column] is not None
         }
         return sorted(values)

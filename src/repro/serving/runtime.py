@@ -33,6 +33,7 @@ from typing import Callable
 from repro.agent.agent import AgentReply, ConversationalAgent
 from repro.agent.artifacts import AgentArtifacts
 from repro.agent.session import TranscriptTurn
+from repro.db.api import Connection, IndexSuggestion
 from repro.db.database import Database
 from repro.serving.sessions import Session, SessionStore
 
@@ -58,7 +59,12 @@ class RuntimeStats:
 
 @dataclass(frozen=True)
 class SessionStats:
-    """Per-session serving counters (observability; non-touching)."""
+    """Per-session serving counters (observability; non-touching).
+
+    Sourced from the session's :class:`~repro.db.api.Connection` (the
+    runtime charges each turn's plan-cache traffic to it) plus the
+    session's turn clock.
+    """
 
     session_id: str
     turns: int
@@ -66,6 +72,11 @@ class SessionStats:
     plan_cache_misses: int
     mean_turn_ms: float
     last_turn_ms: float
+    # Statements the client issued directly through the session's
+    # connection (the turn queries run through shared internal
+    # connections and are attributed via the plan-cache counters).
+    executions: int = 0
+    statements_prepared: int = 0
 
     @property
     def plan_cache_hit_rate(self) -> float:
@@ -113,7 +124,14 @@ class AgentRuntime:
     # Session lifecycle
     # ------------------------------------------------------------------
     def create_session(self, session_id: str | None = None) -> str:
-        return self.sessions.create(session_id).session_id
+        session = self.sessions.create(session_id)
+        # Every session holds its own connection: per-session execution
+        # stats come free, and a session-scoped index advisor with
+        # them.  Created through the locked lazy path so a concurrent
+        # respond() on a predictable id never ends up charging a
+        # connection this assignment would orphan.
+        self._session_connection(session)
+        return session.session_id
 
     def end_session(self, session_id: str) -> None:
         self.sessions.close(session_id)
@@ -141,15 +159,18 @@ class AgentRuntime:
         session = self.sessions.get(session_id)
         plan_cache = self._plan_cache
         with session.turn_lock:
+            connection = self._session_connection(session)
             # The turn runs on this thread, so the thread-local cache
-            # counter delta is exactly this turn's plan-cache traffic.
+            # counter delta is exactly this turn's plan-cache traffic —
+            # charged to the session's connection.
             hits_before, misses_before = plan_cache.local_counters()
             started = time.perf_counter()
             reply = self._agent.respond(text, context=session.context)
             elapsed = time.perf_counter() - started
             hits_after, misses_after = plan_cache.local_counters()
-            session.plan_cache_hits += hits_after - hits_before
-            session.plan_cache_misses += misses_after - misses_before
+            connection.note_plan_cache(
+                hits_after - hits_before, misses_after - misses_before
+            )
             session.turn_seconds += elapsed
             session.last_turn_seconds = elapsed
             session.turn_count += 1
@@ -194,12 +215,46 @@ class AgentRuntime:
         """Per-session counters (peek: does not refresh TTL/LRU)."""
         session = self.sessions.peek(session_id)
         turns = session.turn_count
+        connection = self._session_connection(session)
+        conn_stats = connection.stats()
         return SessionStats(
             session_id=session_id,
             turns=turns,
-            plan_cache_hits=session.plan_cache_hits,
-            plan_cache_misses=session.plan_cache_misses,
+            plan_cache_hits=conn_stats.plan_cache_hits,
+            plan_cache_misses=conn_stats.plan_cache_misses,
             mean_turn_ms=(session.turn_seconds / turns * 1000.0) if turns
             else 0.0,
             last_turn_ms=session.last_turn_seconds * 1000.0,
+            executions=conn_stats.executions,
+            statements_prepared=conn_stats.statements_prepared,
         )
+
+    def session_connection(self, session_id: str) -> Connection:
+        """The session's database connection (peek: no TTL/LRU touch)."""
+        return self._session_connection(self.sessions.peek(session_id))
+
+    def _session_connection(self, session: Session) -> Connection:
+        connection = session.connection
+        if connection is None:
+            # Sessions created directly on the store (tests, custom
+            # integrations) get their connection on first use; the
+            # double-check under the lock keeps two racing callers from
+            # charging stats to an orphaned connection.
+            with self._stats_lock:
+                connection = session.connection
+                if connection is None:
+                    connection = self.database.connect(
+                        name=session.session_id
+                    )
+                    session.connection = connection
+        return connection
+
+    def advisor(self) -> list[IndexSuggestion]:
+        """Ranked CREATE INDEX suggestions across the whole workload.
+
+        Reads the database-wide advisor, which every connection
+        (session-held and internal) records its SeqScan+Filter misses
+        into — the serve REPL's ``:advisor`` surface.  Suggestions an
+        existing index already satisfies are elided.
+        """
+        return self.database.index_advisor.suggestions(self.database)

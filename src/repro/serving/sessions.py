@@ -22,10 +22,13 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.dialogue import ConversationContext
 from repro.errors import ServingError, SessionExpiredError, UnknownSessionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.api import Connection
 
 __all__ = ["Session", "SessionStore"]
 
@@ -41,11 +44,13 @@ class Session:
     created_at: float
     last_used_at: float
     turn_count: int = 0
-    # Per-session serving counters, maintained by AgentRuntime.respond()
-    # under the turn lock: prepared-plan cache traffic attributed to
-    # this session's turns, and cumulative/last turn wall-clock time.
-    plan_cache_hits: int = 0
-    plan_cache_misses: int = 0
+    # The session's database connection (set by the runtime).  Owns the
+    # per-session execution counters: the runtime charges each turn's
+    # plan-cache traffic to it, and clients may issue their own
+    # statements through it.
+    connection: "Connection | None" = None
+    # Turn wall-clock counters, maintained by AgentRuntime.respond()
+    # under the turn lock.
     turn_seconds: float = 0.0
     last_turn_seconds: float = 0.0
     # TranscriptTurn entries when the runtime records transcripts; kept

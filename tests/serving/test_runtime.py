@@ -361,3 +361,52 @@ class TestRuntimeSessionManagement:
         assert agent.state.collected["ticket_amount"] == 2
         agent.reset()
         assert agent.state.task is None
+
+
+class TestSessionConnections:
+    """Sessions hold Connections: the unified execution API threaded
+    through the serving runtime."""
+
+    def test_sessions_hold_distinct_connections(self, runtime):
+        a = runtime.create_session()
+        b = runtime.create_session()
+        conn_a = runtime.session_connection(a)
+        conn_b = runtime.session_connection(b)
+        assert conn_a is not conn_b
+        assert conn_a.name == a
+        assert conn_a.database is runtime.database
+
+    def test_turn_traffic_lands_on_session_connection(self, runtime):
+        sid = runtime.create_session()
+        runtime.respond(sid, "i want to buy 2 tickets")
+        runtime.respond(sid, "my name is alice")
+        stats = runtime.session_connection(sid).stats()
+        assert stats.plan_cache_hits + stats.plan_cache_misses > 0
+
+    def test_client_statements_counted_per_session(self, runtime):
+        from repro.db import select
+
+        sid = runtime.create_session()
+        conn = runtime.session_connection(sid)
+        conn.execute(select("movie").count()).scalar()
+        stats = runtime.session_stats(sid)
+        assert stats.executions == 1
+        assert stats.statements_prepared == 1
+
+    def test_store_created_sessions_get_connection_lazily(self, runtime):
+        session = runtime.sessions.create("direct")
+        assert session.connection is None
+        runtime.respond("direct", "hello")
+        assert runtime.session_connection("direct") is not None
+
+    def test_runtime_advisor_reads_database_advisor(self, runtime):
+        from repro.db import select
+        from repro.db.query import eq
+
+        sid = runtime.create_session()
+        conn = runtime.session_connection(sid)
+        conn.execute(select("movie").where(eq("title", "Nothing"))).all()
+        suggestions = runtime.advisor()
+        assert any(
+            s.table == "movie" and s.column == "title" for s in suggestions
+        )

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Lint: internal callers must execute through the unified Connection API.
+
+``Query.run(db)`` / ``Query.count(db)`` / ``aggregate_query(...)`` are
+deprecated shims kept for external callers and the existing test suite;
+code *inside* ``src/repro`` (outside the shim modules themselves) must
+go through ``database.connect()`` / ``Connection.prepare`` /
+``Connection.execute`` so per-connection stats, the index advisor and
+prepared-statement amortisation actually see the traffic.
+
+Run from the repository root (CI does)::
+
+    python tools/check_execution_api.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+# The shim modules themselves (and the API that implements them).
+ALLOWED = {
+    SRC / "db" / "query.py",
+    SRC / "db" / "aggregation.py",
+    SRC / "db" / "api.py",
+}
+
+# Direct executions of the legacy surface: Query(...).run(...) chains,
+# run/count against a database handle, and the aggregate_query shim.
+FORBIDDEN = (
+    re.compile(r"Query\([^)]*\)(\.\w+\([^)]*\))*\.(run|count)\("),
+    re.compile(r"\.(run|count)\(\s*(database|db|self\._database)\b"),
+    re.compile(r"\baggregate_query\("),
+)
+
+
+def main() -> int:
+    violations: list[str] = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            stripped = line.strip()
+            if stripped.startswith("#"):
+                continue
+            for pattern in FORBIDDEN:
+                if pattern.search(line):
+                    rel = path.relative_to(SRC.parent.parent)
+                    violations.append(f"{rel}:{lineno}: {stripped}")
+                    break
+    if violations:
+        print(
+            "direct legacy-surface executions found in src/repro "
+            "(use the Connection API from repro.db.api instead):",
+            file=sys.stderr,
+        )
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(f"execution-API lint ok ({SRC})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
