@@ -237,9 +237,19 @@ _EXPLAIN_DEMOS = [
     "--order-by date --limit 5",
     "screening --where room='room A' --count",
     "movie --order-by year --desc --limit 3 --select title,year",
-    # Aggregate pushdown: streaming group-hash and index-only MIN/MAX.
+    # Aggregate pushdown: bucket-walking group-by and index-only MIN/MAX.
     "reservation --agg booked=sum:no_tickets --group-by screening_id",
     "screening --agg lo=min:price --agg hi=max:price --agg n=count",
+    # A filtered group-by streams through the group-hash aggregate.
+    "reservation --where no_tickets>=2 --agg booked=sum:no_tickets "
+    "--group-by screening_id",
+    # Aggregate pushdown below joins: a NOT NULL FK join is elided, a
+    # group-keyed join onto a unique column becomes a per-group semi
+    # probe above the aggregate.
+    "reservation --join screening_id:screening:screening_id "
+    "--agg booked=sum:no_tickets --group-by screening_id",
+    "movie --join language_id:language:language_id "
+    "--agg n=count --group-by language_id",
     # HAVING: a post-aggregate Filter selecting on the aggregate output.
     "reservation --agg booked=sum:no_tickets --group-by screening_id "
     "--having booked>=10",

@@ -59,6 +59,7 @@ from repro.db.aggregation import Aggregate, _engine_exprs
 from repro.db.aggregation import aggregate as _reduce_rows
 from repro.db.engine import (
     Filter,
+    HashJoin,
     PlanNode,
     QuerySpec,
     SeqScan,
@@ -404,11 +405,20 @@ def _index_misses(
     database: "Database", plan: PlanNode
 ) -> list[tuple[str, str, str, int]]:
     """``(table, column, kind, rows_scanned)`` per advisable predicate
-    in ``plan``'s SeqScan+Filter subtrees."""
+    in ``plan``'s SeqScan+Filter subtrees and per unindexed join key."""
     out: list[tuple[str, str, str, int]] = []
     stack = [plan]
     while stack:
         node = stack.pop()
+        if isinstance(node, HashJoin):
+            # The planner builds a transient hash table per execution;
+            # a hash index on the inner key would unlock the
+            # index-nested-loop (and the vectorized bucket-probe) path.
+            inner = database.table(node.table)
+            if not inner.has_index(node.target_column):
+                out.append(
+                    (node.table, node.target_column, "hash", len(inner))
+                )
         if isinstance(node, Filter) and isinstance(node.child, SeqScan):
             table = database.table(node.child.table)
             names = table.schema.column_names  # tuple; few entries

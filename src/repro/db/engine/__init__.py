@@ -27,6 +27,7 @@ from repro.db.engine.cache import (
 )
 from repro.db.engine.executor import (
     build_probe_map,
+    plan_mode,
     execute_count,
     execute_iter,
     execute_plan,
@@ -39,10 +40,12 @@ from repro.db.engine.plan import (
     AggExpr,
     CountOnly,
     Filter,
+    GroupSemiJoin,
     HashAggregate,
     HashJoin,
     IndexAggScan,
     IndexEq,
+    IndexGroupedAggScan,
     IndexInList,
     IndexNestedLoopJoin,
     IndexOrUnion,
@@ -62,10 +65,12 @@ __all__ = [
     "CountOnly",
     "DEFAULT_MAX_ENTRIES",
     "Filter",
+    "GroupSemiJoin",
     "HashAggregate",
     "HashJoin",
     "IndexAggScan",
     "IndexEq",
+    "IndexGroupedAggScan",
     "IndexInList",
     "IndexNestedLoopJoin",
     "IndexOrUnion",
@@ -89,6 +94,7 @@ __all__ = [
     "execution_mode",
     "fingerprint_spec",
     "parameterize_spec",
+    "plan_mode",
     "plan_query",
     "render_plan",
 ]

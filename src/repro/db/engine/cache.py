@@ -50,10 +50,12 @@ from typing import TYPE_CHECKING, Any
 from repro.db.engine.plan import (
     CountOnly,
     Filter,
+    GroupSemiJoin,
     HashAggregate,
     HashJoin,
     IndexAggScan,
     IndexEq,
+    IndexGroupedAggScan,
     IndexInList,
     IndexNestedLoopJoin,
     IndexOrUnion,
@@ -312,7 +314,7 @@ def _bind(database: "Database", node: PlanNode, params: tuple) -> PlanNode:
         if low is node.low and high is node.high:
             return node
         return replace(node, low=low, high=high)
-    if isinstance(node, IndexAggScan):
+    if isinstance(node, (IndexAggScan, IndexGroupedAggScan)):
         return node
     if isinstance(node, Filter):
         child = _bind(database, node.child, params)
@@ -322,8 +324,8 @@ def _bind(database: "Database", node: PlanNode, params: tuple) -> PlanNode:
         return replace(node, child=child, predicate=predicate)
     if isinstance(
         node,
-        (HashJoin, IndexNestedLoopJoin, Sort, TopN, Project, CountOnly,
-         HashAggregate),
+        (HashJoin, IndexNestedLoopJoin, GroupSemiJoin, Sort, TopN, Project,
+         CountOnly, HashAggregate),
     ):
         child = _bind(database, node.child, params)
         if child is node.child:
@@ -381,7 +383,7 @@ def compile_binder(database: "Database", template: PlanNode):
 
 def _compile_node_binder(database: "Database", node: PlanNode):
     """``fn(params) -> node`` or ``None`` when the subtree is static."""
-    if isinstance(node, (SeqScan, IndexAggScan)):
+    if isinstance(node, (SeqScan, IndexAggScan, IndexGroupedAggScan)):
         return None
     if isinstance(node, IndexEq):
         if not isinstance(node.value, Param):
@@ -487,8 +489,8 @@ def _compile_node_binder(database: "Database", node: PlanNode):
         return bind_filter
     if isinstance(
         node,
-        (HashJoin, IndexNestedLoopJoin, Sort, TopN, Project, CountOnly,
-         HashAggregate),
+        (HashJoin, IndexNestedLoopJoin, GroupSemiJoin, Sort, TopN, Project,
+         CountOnly, HashAggregate),
     ):
         child = _compile_node_binder(database, node.child)
         if child is None:

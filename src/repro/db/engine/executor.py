@@ -2,17 +2,21 @@
 
 The executor runs every plan in one of two modes:
 
-* **batch mode** (the default) — plans whose pipeline is unary operators
-  over a sequential scan of the root table (SeqScan, Filter, Sort,
-  TopN, Project, CountOnly, HashAggregate) execute directly over the
-  table's column banks: a *batch* is ``(table, slots)``, predicates
-  narrow the slot list columnwise with C-level list comprehensions,
-  aggregates reduce column lists per group, and only the surviving rows
-  are materialised (columnwise) at the output boundary;
-* **row mode** — everything else (index probes, joins, and any operator
-  above them) streams lazy :class:`~repro.db.table.RowView` mappings
-  exactly like the pre-columnar executor streamed dict views; the
-  output boundary copies any view that survives to the result.
+* **batch mode** (the default) — plans whose pipeline is access paths,
+  unary operators and joins over the root table (SeqScan, the index
+  leaves, Filter, Sort, TopN, HashJoin, IndexNestedLoopJoin, Project,
+  CountOnly, HashAggregate) execute directly over the tables' column
+  banks: a *batch* is ``(table, slots)``, predicates narrow the slot
+  list columnwise with C-level list comprehensions, joins narrow
+  parallel slot lists per joined table (:class:`_JoinColumns`) without
+  widening a single row, aggregates reduce column lists per group, and
+  only the surviving rows are materialised (columnwise) at the output
+  boundary;
+* **row mode** — everything else (operators whose laziness is
+  observable, skewed joins, post-aggregate filters) streams lazy
+  :class:`~repro.db.table.RowView` mappings exactly like the
+  pre-columnar executor streamed dict views; the output boundary copies
+  any view that survives to the result.
 
 Both modes produce byte-identical results (the columnar differential
 benchmark and the parity tests pin this down); batch mode just avoids
@@ -38,7 +42,7 @@ from __future__ import annotations
 import heapq
 import operator
 from contextlib import contextmanager
-from itertools import islice
+from itertools import accumulate, islice, repeat
 from typing import TYPE_CHECKING, Any, Iterable, Iterator, Sequence
 
 from collections import Counter
@@ -47,10 +51,12 @@ from repro.db.engine.plan import (
     AggExpr,
     CountOnly,
     Filter,
+    GroupSemiJoin,
     HashAggregate,
     HashJoin,
     IndexAggScan,
     IndexEq,
+    IndexGroupedAggScan,
     IndexInList,
     IndexNestedLoopJoin,
     IndexOrUnion,
@@ -71,7 +77,7 @@ from repro.db.query import (
     TruePredicate,
 )
 from repro.db.table import Row, Table
-from repro.db.types import coerce
+from repro.db.types import DataType, coerce
 from repro.errors import QueryError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -85,6 +91,7 @@ __all__ = [
     "execute_row_ids",
     "execution_mode",
     "build_probe_map",
+    "plan_mode",
 ]
 
 
@@ -196,6 +203,7 @@ def execute_count(database: "Database", plan: CountOnly) -> int:
         _BATCH_MODE
         and plan.limit is not None
         and isinstance(child, Filter)
+        and not _contains_join(child.child)
     ):
         # A capped count stops filtering at the cap, like the row loop
         # (which always pulls through the first match, even for a cap
@@ -207,7 +215,14 @@ def execute_count(database: "Database", plan: CountOnly) -> int:
                 max(plan.limit, 1),
             ))
     if count is None:
-        batch = _batch_node(database, child)
+        # A capped count over a join keeps the row loop's early exit:
+        # eager join evaluation could pay for (and surface errors from)
+        # rows the cap never reaches.
+        batch = (
+            None
+            if plan.limit is not None and _contains_join(child)
+            else _batch_node(database, child)
+        )
         if batch is not None:
             count = len(batch.slots)
         else:
@@ -231,7 +246,7 @@ def execute_row_ids(database: "Database", plan: PlanNode) -> list[int]:
     """
     if isinstance(plan, Filter):
         batch = _batch_node(database, plan)
-        if batch is not None:
+        if batch is not None and isinstance(batch.table, Table):
             return batch.table.ids_for_slots(batch.slots)
         ids = execute_row_ids(database, plan.child)
         table = database.table(_leaf_table(plan))
@@ -294,34 +309,207 @@ def build_probe_map(table, column: str) -> dict[Any, list[int]]:
 # ---------------------------------------------------------------------------
 
 class _Batch:
-    """A columnar intermediate: active ``slots`` of one root ``table``.
+    """A columnar intermediate: active ``slots`` of one ``table``.
 
     ``slots`` is a list (or, for a dense full scan, a ``range``) in the
     pipeline's current row order — row-id order out of a scan, value
-    order after a Sort/TopN.
+    order after a Sort/TopN.  ``table`` is the root :class:`Table` or,
+    above a batched join, a :class:`_JoinColumns` adapter whose
+    positions play the role of slots.
     """
 
     __slots__ = ("table", "slots")
 
-    def __init__(self, table: Table, slots: Sequence[int]) -> None:
+    def __init__(
+        self, table: "Table | _JoinColumns", slots: Sequence[int]
+    ) -> None:
         self.table = table
         self.slots = slots
 
 
+class _JoinColumns:
+    """Virtual columnar table over a join's output rows.
+
+    ``parts`` holds one ``(prefix, table, slots)`` triple per joined
+    table — the root part first (``prefix None``, bare column names),
+    then one part per join in application order (columns keyed
+    ``"table.column"``).  The slot lists are parallel: position ``i`` of
+    every part addresses the same output row, so the batched operators'
+    slot lists double as output-row position lists and keep narrowing
+    columnwise above joins.  Columns materialise lazily (and cache) as
+    full-length value lists — a filter above a join touches only the
+    columns it reads; widening to dicts happens once, at the output
+    boundary.
+
+    Name resolution mirrors the row path's widened dicts exactly: bare
+    names resolve to the root part only, prefixed names to the *last*
+    matching join part, and output keys enumerate root columns first
+    then each part's prefixed columns in join order — repeated names
+    keep the first position and the last value, like repeated ``dict``
+    assignment.
+    """
+
+    __slots__ = ("_parts", "_length", "_cache", "_names")
+
+    def __init__(
+        self,
+        parts: list[tuple[str | None, Table, Sequence[int]]],
+        length: int,
+    ) -> None:
+        self._parts = parts
+        self._length = length
+        self._cache: dict[str, Sequence[Any] | None] = {}
+        self._names: tuple[str, ...] | None = None
+
+    # -- the Table surface the batched operators consume ----------------
+    def bank_map(self) -> "_JoinColumns":
+        return self
+
+    def get(self, name: str, default: Any = None) -> Any:
+        bank = self._column(name)
+        return default if bank is None else bank
+
+    def __getitem__(self, name: str) -> Sequence[Any]:
+        bank = self._column(name)
+        if bank is None:
+            raise KeyError(name)
+        return bank
+
+    def views_for_slots(self, positions: Sequence[int]) -> Iterator[Row]:
+        names = self.output_names()
+        banks = [self._column(n) for n in names]
+        return (
+            dict(zip(names, (bank[p] for bank in banks)))
+            for p in positions
+        )
+
+    def materialise_slots(
+        self, positions: Sequence[int], columns: Sequence[str] | None = None
+    ) -> list[Row]:
+        if not len(positions):
+            # Like Table.materialise_slots: the row path never touches a
+            # column for zero rows, so unknown names stay silent here.
+            return []
+        if columns is None:
+            names = self.output_names()
+            if (
+                positions == range(self._length)
+                and len(set(names)) == len(names)
+            ):
+                # Full unprojected output with no shadowed columns (the
+                # common join drain): gather every part's banks straight
+                # through its hit list — no per-name resolution, and the
+                # row dicts build in one C pipeline.
+                selected: list[Sequence[Any]] = []
+                for __, table, slots in self._parts:
+                    banks_by_name = table.bank_map()
+                    part_banks = [
+                        banks_by_name[c] for c in table.schema.column_names
+                    ]
+                    if len(slots) > 1:
+                        fetch = operator.itemgetter(*slots)
+                        selected.extend(fetch(b) for b in part_banks)
+                    else:
+                        s = slots[0]
+                        selected.extend((b[s],) for b in part_banks)
+                return list(
+                    map(dict, map(zip, repeat(names), zip(*selected)))
+                )
+            banks = [self._column(n) for n in names]
+        else:
+            names = tuple(columns)
+            banks = []
+            for name in names:
+                bank = self._column(name)
+                if bank is None:
+                    # The row path's ``row[name]`` projection KeyError.
+                    raise KeyError(name)
+                banks.append(bank)
+        if type(positions) is range:
+            chosen: Sequence[Sequence[Any]] = banks
+        elif len(positions) > 1:
+            fetch = operator.itemgetter(*positions)
+            chosen = [fetch(bank) for bank in banks]
+        else:
+            chosen = [[bank[p] for p in positions] for bank in banks]
+        return list(map(dict, map(zip, repeat(names), zip(*chosen))))
+
+    # -- resolution ------------------------------------------------------
+    def output_names(self) -> tuple[str, ...]:
+        if self._names is None:
+            names: list[str] = []
+            for prefix, table, __ in self._parts:
+                if prefix is None:
+                    names.extend(table.schema.column_names)
+                else:
+                    names.extend(
+                        f"{prefix}.{c}" for c in table.schema.column_names
+                    )
+            self._names = tuple(names)
+        return self._names
+
+    def column_dtype(self, name: str) -> DataType | None:
+        located = self._locate(name)
+        if located is None:
+            return None
+        table, column, __ = located
+        return table.schema.column(column).dtype
+
+    def _locate(
+        self, name: str
+    ) -> tuple[Table, str, Sequence[int]] | None:
+        if "." in name:
+            prefix, column = name.split(".", 1)
+            for part_prefix, table, slots in reversed(self._parts):
+                if part_prefix == prefix and table.schema.has_column(column):
+                    return table, column, slots
+            return None
+        root_prefix, root, slots = self._parts[0]
+        if root_prefix is None and root.schema.has_column(name):
+            return root, name, slots
+        return None
+
+    def _column(self, name: str) -> Sequence[Any] | None:
+        cache = self._cache
+        if name in cache:
+            return cache[name]
+        located = self._locate(name)
+        if located is None:
+            cache[name] = None
+            return None
+        table, column, slots = located
+        source = table.bank_map()[column]
+        if len(slots) > 1:
+            bank: Sequence[Any] = operator.itemgetter(*slots)(source)
+        else:
+            bank = [source[s] for s in slots]
+        cache[name] = bank
+        return bank
+
+
 def _batch_node(database: "Database", node: PlanNode) -> _Batch | None:
     """Columnar evaluation of ``node``, or ``None`` when the subtree
-    needs the row path (index probes, joins, aggregation roots)."""
+    needs the row path (aggregation roots, laziness-observable limits,
+    skewed joins)."""
     if not _BATCH_MODE:
         return None
     if isinstance(node, SeqScan):
         table = database.table(node.table)
         return _Batch(table, table.scan_slots())
+    if isinstance(node, (IndexEq, IndexInList, IndexOrUnion, IndexRange)):
+        table = database.table(node.table)
+        return _Batch(table, table.slots_for_ids(_access_ids(database, node)))
     if isinstance(node, Filter):
         batch = _batch_node(database, node.child)
         if batch is None:
             return None
         slots = _filter_slots(batch.table, node.predicate, batch.slots)
         return _Batch(batch.table, slots)
+    if isinstance(node, (HashJoin, IndexNestedLoopJoin)):
+        batch = _batch_node(database, node.child)
+        if batch is None:
+            return None
+        return _batch_join(database, node, batch)
     if isinstance(node, Sort):
         batch = _batch_node(database, node.child)
         if batch is None:
@@ -342,6 +530,11 @@ def _batch_node(database: "Database", node: PlanNode) -> _Batch | None:
         if node.column is None:
             # A plain LIMIT: stop filtering once n rows survived, like
             # the row path's islice early exit.
+            if _contains_join(node.child):
+                # Eager join evaluation would pay for (and surface
+                # errors from) rows behind the nth match that the row
+                # path's early exit never reaches.
+                return None
             child = node.child
             if isinstance(child, Filter):
                 inner = _batch_node(database, child.child)
@@ -365,13 +558,141 @@ def _batch_node(database: "Database", node: PlanNode) -> _Batch | None:
     return None
 
 
+_BATCH_LEAVES = (SeqScan, IndexEq, IndexInList, IndexOrUnion, IndexRange)
+
+
 def _batch_leaf_table(database: "Database", node: PlanNode) -> Table | None:
     """The root table of a batchable subtree — without evaluating it."""
-    while isinstance(node, (Filter, Sort, TopN)):
+    while isinstance(
+        node, (Filter, Sort, TopN, HashJoin, IndexNestedLoopJoin)
+    ):
         node = node.child
-    if isinstance(node, SeqScan):
+    if isinstance(node, _BATCH_LEAVES):
         return database.table(node.table)
     return None
+
+
+def _contains_join(node: PlanNode) -> bool:
+    """Does the (unary) subtree under ``node`` contain a join?"""
+    while True:
+        if isinstance(node, (HashJoin, IndexNestedLoopJoin)):
+            return True
+        children = node.children()
+        if not children:
+            return False
+        node = children[0]
+
+
+def _access_ids(database: "Database", node: PlanNode) -> list[int]:
+    """Row ids of an index access path, in the node's output order."""
+    table = database.table(node.table)
+    if isinstance(node, IndexEq):
+        return table.lookup(node.column, node.value)
+    if isinstance(node, IndexInList):
+        return sorted(_in_list_ids(database, node))
+    if isinstance(node, IndexOrUnion):
+        return sorted(_or_union_ids(database, node))
+    return _index_range_ids(database, node)
+
+
+# Vectorized-join guardrails.  A build key covering most of a large
+# inner table (skew), or an output pair count exploding past the cap,
+# would make eager slot widening pay for the whole cross product up
+# front; the row path streams those per-key chains lazily, so the
+# batched join bails out and lets it.
+_JOIN_SKEW_MIN = 4096
+_JOIN_PAIR_FLOOR = 65536
+_JOIN_PAIR_FACTOR = 16
+
+
+def _batch_join(
+    database: "Database",
+    node: "HashJoin | IndexNestedLoopJoin",
+    batch: _Batch,
+) -> _Batch | None:
+    """Columnar join: narrow parallel (outer position, inner slot) pair
+    lists without widening a single row; ``None`` falls back to the row
+    path (skew or pair-cap guard)."""
+    inner = database.table(node.table)
+    target = node.target_column
+    dtype = inner.schema.column(target).dtype
+    positions = batch.slots
+    key_bank = batch.table.bank_map().get(node.column)
+    if key_bank is None:
+        # ``row.get(column)`` is None for every outer row: empty join.
+        return _join_result(batch, node, inner, [], [])
+    keys: Sequence[Any] = _select(key_bank, positions)
+    if _outer_column_dtype(batch.table, node.column) is not dtype:
+        # Cross-type join key: coerce each probe like the row path does.
+        # Stored values of a same-typed column coerce to themselves, so
+        # the common case skips this pass entirely; failures raise in
+        # output order, exactly like the row path's per-row coerce.
+        keys = [None if k is None else coerce(k, dtype) for k in keys]
+    pair_cap = max(
+        _JOIN_PAIR_FLOOR, _JOIN_PAIR_FACTOR * (len(keys) + len(inner))
+    )
+    hits: list[int] = []
+    inner_hits: list[int] = []
+    # Both join flavours probe the memoised slot-space build
+    # (Table.slot_buckets): buckets hold inner slots in scan order, the
+    # exact match sequence the row path produces via index lookups or
+    # its per-query probe map.
+    buckets = inner.slot_buckets(target)
+    if (
+        isinstance(node, HashJoin)
+        and len(inner) >= _JOIN_SKEW_MIN
+        and buckets
+        and max(map(len, buckets.values())) * 2 > len(inner)
+    ):
+        return None  # skew guard: one dominant build key
+    get = buckets.get
+    for p, key in zip(positions, keys):
+        if key is None:
+            continue
+        bucket = get(key)
+        if bucket is None:
+            continue
+        if len(bucket) == 1:
+            hits.append(p)
+            inner_hits.append(bucket[0])
+        else:
+            hits.extend([p] * len(bucket))
+            inner_hits.extend(bucket)
+            if len(hits) > pair_cap:
+                return None
+    return _join_result(batch, node, inner, hits, inner_hits)
+
+
+def _outer_column_dtype(
+    table: "Table | _JoinColumns", column: str
+) -> DataType | None:
+    if isinstance(table, Table):
+        schema = table.schema
+        if not schema.has_column(column):
+            return None
+        return schema.column(column).dtype
+    return table.column_dtype(column)
+
+
+def _join_result(
+    batch: _Batch,
+    node: "HashJoin | IndexNestedLoopJoin",
+    inner: Table,
+    hits: list[int],
+    inner_hits: list[int],
+) -> _Batch:
+    outer = batch.table
+    if isinstance(outer, Table):
+        parts: list[tuple[str | None, Table, Sequence[int]]] = [
+            (None, outer, hits)
+        ]
+    else:
+        parts = [
+            (prefix, table, [slots[p] for p in hits])
+            for prefix, table, slots in outer._parts
+        ]
+    parts.append((node.table, inner, inner_hits))
+    return _Batch(_JoinColumns(parts, len(hits)), range(len(hits)))
 
 
 # Chunk-size cap for limit-aware columnwise filtering.  Chunks grow
@@ -566,6 +887,11 @@ def _iterate(
         return _hash_aggregate(database, node), True
     if isinstance(node, IndexAggScan):
         return _index_agg_scan(database, node), True
+    if isinstance(node, IndexGroupedAggScan):
+        return _index_grouped_agg_scan(database, node), True
+    if isinstance(node, GroupSemiJoin):
+        rows, fresh = _iterate(database, node.child)
+        return _group_semi_join(database, node, rows), fresh
     if isinstance(node, Filter):
         batch = _batch_node(database, node)
         if batch is not None:
@@ -615,20 +941,18 @@ def _iterate(
 # Access paths
 # ---------------------------------------------------------------------------
 
-def _index_range(database: "Database", node: IndexRange) -> Iterator[Row]:
+def _index_range_ids(database: "Database", node: IndexRange) -> list[int]:
+    """Row ids of an index-range access, in the node's output order."""
     table = database.table(node.table)
     index = table.ordered_index(node.column)
     if not node.sorted_output:
         # Pure filter access: re-establish row-id order so downstream
         # results are identical to a sequential scan.
-        ids = sorted(
+        return sorted(
             index.range_ids(
                 node.low, node.high, node.low_inclusive, node.high_inclusive
             )
         )
-        for rid in ids:
-            yield table.row_view(rid)
-        return
     # Value-ordered scan (satisfies ORDER BY).  Index entries exclude
     # NULLs; for an unbounded scan the NULL rows must still appear —
     # last for ascending, first for descending, in row-id order either
@@ -642,19 +966,20 @@ def _index_range(database: "Database", node: IndexRange) -> Iterator[Row]:
             if row[node.column] is None
         ]
     if node.descending:
-        for rid in null_ids:
-            yield table.row_view(rid)
-        for rid in index.descending_range_ids(
+        ranged = index.descending_range_ids(
             node.low, node.high, node.low_inclusive, node.high_inclusive
-        ):
-            yield table.row_view(rid)
-    else:
-        for rid in index.range_ids(
-            node.low, node.high, node.low_inclusive, node.high_inclusive
-        ):
-            yield table.row_view(rid)
-        for rid in null_ids:
-            yield table.row_view(rid)
+        )
+        return null_ids + list(ranged)
+    ranged = index.range_ids(
+        node.low, node.high, node.low_inclusive, node.high_inclusive
+    )
+    return list(ranged) + null_ids
+
+
+def _index_range(database: "Database", node: IndexRange) -> Iterator[Row]:
+    table = database.table(node.table)
+    for rid in _index_range_ids(database, node):
+        yield table.row_view(rid)
 
 
 def _top_n(
@@ -1080,3 +1405,186 @@ def _index_agg_scan(database: "Database", node: IndexAggScan) -> list[Row]:
                 None if rid is None else table.row_view(rid)[agg.column]
             )
     return [out]
+
+
+def _index_grouped_agg_scan(
+    database: "Database", node: IndexGroupedAggScan
+) -> list[Row]:
+    """Whole-table group-by answered from the hash index's buckets.
+
+    The index already partitions the table by group key, so grouping
+    costs nothing: the buckets flatten (once per table generation, see
+    ``Table.grouped_layout``) into a slot list clustered by group, and
+    exact reductions — counts, integer sums and averages — collapse to
+    segment arithmetic over one C-level prefix sum instead of a
+    scattered accumulator-dict pass.  Counts never visit a row at all.
+    Order-sensitive or non-segmentable reductions (floats, min/max,
+    distinct counts) and NULL group keys fall back to the banked
+    scan.  In row mode the node streams the table like
+    ``HashAggregate`` would, keeping the two modes' work (and the
+    benchmark baseline) honest.
+    """
+    table = database.table(node.table)
+    key = node.key
+    exprs = node.aggregates
+    if not _BATCH_MODE:
+        rows = table.iter_views()
+        if len(exprs) == 1:
+            result = _single_key_single_agg(rows, key, exprs[0])
+            if result is not None:
+                return result
+            rows = table.iter_views()
+        return _generic_aggregate(rows, (key,), exprs)
+    layout = table.grouped_layout(key)
+    if layout is not None and all(_segmentable(table, e) for e in exprs):
+        return _segmented_grouped_agg(table, key, exprs, layout)
+    return _banked_aggregate(table, table.scan_slots(), (key,), exprs)
+
+
+def _segmentable(table: Table, expr: AggExpr) -> bool:
+    """Reductions a grouped layout can answer with segment arithmetic.
+
+    Counts read group sizes straight off the layout; sums and averages
+    difference a prefix sum, which is only exact — and only matches the
+    row path's left-to-right fold — for integer (and boolean) values.
+    """
+    if expr.kind == "count":
+        return True
+    if expr.kind not in ("sum", "avg"):
+        return False
+    schema = table.schema
+    return (
+        expr.column is not None
+        and schema.has_column(expr.column)
+        and schema.column(expr.column).dtype
+        in (DataType.INTEGER, DataType.BOOLEAN)
+    )
+
+
+def _segmented_grouped_agg(
+    table: Table,
+    key: str,
+    exprs: tuple[AggExpr, ...],
+    layout: tuple[list, list[int], list[int]],
+) -> list[Row]:
+    """Reduce each layout segment with C-level primitives.
+
+    ``bounds`` frames group ``i`` as ``flat[bounds[i]:bounds[i + 1]]``,
+    and the memoised prefix sums over the clustered values
+    (:meth:`Table.grouped_tallies`) turn every group sum into one
+    subtraction — the whole reduction is ``map`` machinery plus the
+    output-row construction, with no per-row Python frame.
+    """
+    keys, flat, bounds = layout
+    starts = bounds[:-1]
+    ends = bounds[1:]
+    sub = operator.sub
+    if len(exprs) == 1:
+        expr = exprs[0]
+        name = expr.name
+        if expr.kind == "count":
+            return [
+                {key: k, name: n}
+                for k, n in zip(keys, map(sub, ends, starts))
+            ]
+        tg = table.grouped_tallies(key, expr.column)[0].__getitem__
+        if expr.kind == "sum":
+            return [
+                {key: k, name: hi - lo}
+                for k, hi, lo in zip(keys, map(tg, ends), map(tg, starts))
+            ]
+    columns: list[Iterable] = []
+    for expr in exprs:
+        if expr.kind == "count":
+            columns.append(map(sub, ends, starts))
+            continue
+        tallies, counts = table.grouped_tallies(key, expr.column)
+        sums = map(
+            sub, map(tallies.__getitem__, ends),
+            map(tallies.__getitem__, starts),
+        )
+        if expr.kind == "sum":
+            columns.append(sums)
+        elif counts is None:
+            # Average over NOT NULL values: count == group size.
+            columns.append(
+                t / c for t, c in zip(sums, map(sub, ends, starts))
+            )
+        else:
+            nn = map(
+                sub, map(counts.__getitem__, ends),
+                map(counts.__getitem__, starts),
+            )
+            columns.append(
+                t / c if c else None for t, c in zip(sums, nn)
+            )
+    if len(exprs) == 1:
+        name = exprs[0].name
+        return [{key: k, name: v} for k, v in zip(keys, columns[0])]
+    names = (key, *(e.name for e in exprs))
+    return [dict(zip(names, row)) for row in zip(keys, *columns)]
+
+
+def _group_semi_join(
+    database: "Database", node: GroupSemiJoin, rows: Iterable[Row]
+) -> list[Row]:
+    """Keep aggregate-output rows whose group key matches ``table``.
+
+    The residue of a join pushed below the aggregate: the join's only
+    observable effect on the grouped output was dropping groups without
+    a partner (the target is unique, so fanout never exceeds one), and
+    one index probe per *group* reproduces that.  Probing is eager —
+    the join this replaces ran before anything above it, so a probe
+    error (a group key that does not coerce to the target's type) must
+    surface before a HAVING filter evaluates a single group.
+    """
+    inner = database.table(node.table)
+    column = node.column
+    target = node.target_column
+    out: list[Row] = []
+    for row in rows:
+        key = row.get(column)
+        if key is None:
+            continue
+        if inner.lookup(target, key):
+            out.append(row)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Plan-mode introspection (EXPLAIN annotations)
+# ---------------------------------------------------------------------------
+
+def _subtree_batchable(node: PlanNode) -> bool:
+    """Would ``_batch_node`` attempt ``node`` columnwise (ignoring the
+    data-dependent skew/pair-cap fallbacks it can only see at run
+    time)?"""
+    if isinstance(node, _BATCH_LEAVES):
+        return True
+    if isinstance(node, (Filter, Sort, HashJoin, IndexNestedLoopJoin)):
+        return _subtree_batchable(node.child)
+    if isinstance(node, TopN):
+        if node.n > 0 and node.column is None and _contains_join(node.child):
+            return False
+        return _subtree_batchable(node.child)
+    return False
+
+
+def plan_mode(node: PlanNode) -> str:
+    """``"batch"`` or ``"row"``: how the executor would run ``node``."""
+    if not _BATCH_MODE and not isinstance(node, IndexAggScan):
+        return "row"
+    if isinstance(node, (IndexAggScan, IndexGroupedAggScan)):
+        return "batch"
+    if isinstance(node, GroupSemiJoin):
+        return "row"
+    if isinstance(node, (HashAggregate, Project)):
+        return "batch" if _subtree_batchable(node.child) else "row"
+    if isinstance(node, CountOnly):
+        child = node.child
+        if isinstance(child, SeqScan):
+            return "batch"
+        if node.limit is not None and _contains_join(child):
+            return "row"
+        return "batch" if _subtree_batchable(child) else "row"
+    return "batch" if _subtree_batchable(node) else "row"

@@ -2,16 +2,21 @@
 
 The format follows the usual engine convention: one node per line,
 children indented below their parent, with the planner's row/cost
-estimates on every node::
+estimates and the executor's mode (``[batch]`` columnwise over banks,
+``[row]`` streaming row views) on every node::
 
-    Project [title]
-      TopN 5 by year desc
-        Filter (year >= 1990)  (rows~12, cost~28.0)
-          IndexRange on movie using year [1990, +inf)  (rows~12, cost~16.0)
+    Project [title]  (rows~5, cost~40.0)  [batch]
+      TopN 5 by year desc  (rows~5, cost~35.0)  [batch]
+        Filter (year >= 1990)  (rows~12, cost~28.0)  [batch]
+          IndexRange on movie using year [1990, +inf)  (rows~12, cost~16.0)  [batch]
+
+Mixed pipelines show where the batch path hands over — e.g. a HAVING
+filter runs ``[row]`` over the ``[batch]`` aggregate below it.
 """
 
 from __future__ import annotations
 
+from repro.db.engine.executor import plan_mode
 from repro.db.engine.plan import PlanNode
 
 __all__ = ["render_plan"]
@@ -26,6 +31,7 @@ def render_plan(plan: PlanNode) -> str:
 
 def _render(node: PlanNode, depth: int, lines: list[str]) -> None:
     estimate = f"  (rows~{node.estimated_rows:g}, cost~{node.cost:g})"
-    lines.append("  " * depth + node.describe() + estimate)
+    mode = f"  [{plan_mode(node)}]"
+    lines.append("  " * depth + node.describe() + estimate + mode)
     for child in node.children():
         _render(child, depth + 1, lines)

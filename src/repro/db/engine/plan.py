@@ -8,7 +8,11 @@ input (:class:`Filter`,
 :class:`HashAggregate`); join nodes widen root rows with one joined
 table per node (:class:`HashJoin`, :class:`IndexNestedLoopJoin`);
 :class:`IndexAggScan` answers whole-table MIN/MAX/COUNT aggregates
-straight from the indexes without visiting rows.  Every node carries the
+straight from the indexes without visiting rows, and
+:class:`IndexGroupedAggScan` does the same per group by walking a hash
+index's buckets.  :class:`GroupSemiJoin` keeps aggregate output groups
+whose key matches a row of another table — the shape the planner emits
+when it pushes a grouped aggregate *below* a join.  Every node carries the
 planner's row and cost estimates so EXPLAIN can show *why* a plan was
 chosen.
 
@@ -41,12 +45,14 @@ __all__ = [
     "Filter",
     "HashJoin",
     "IndexNestedLoopJoin",
+    "GroupSemiJoin",
     "Sort",
     "TopN",
     "Project",
     "CountOnly",
     "HashAggregate",
     "IndexAggScan",
+    "IndexGroupedAggScan",
 ]
 
 
@@ -369,6 +375,32 @@ class IndexNestedLoopJoin(PlanNode):
         )
 
 
+@dataclass(frozen=True)
+class GroupSemiJoin(PlanNode):
+    """Keep child rows whose ``column`` matches a row of ``table``.
+
+    Emitted above an aggregation root when the planner pushes a grouped
+    aggregate below a join: the join's only effect on the aggregate
+    output was to drop groups without a partner (``target_column`` is
+    unique, so matching groups are never duplicated), which this node
+    replays with one index probe per *group* instead of one per row.
+    """
+
+    child: PlanNode
+    table: str
+    column: str          # group-key column of the child's output rows
+    target_column: str   # unique join key in ``table``
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def describe(self) -> str:
+        return (
+            f"GroupSemiJoin {self.table} on "
+            f"{self.column} = {self.table}.{self.target_column}"
+        )
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 # ---------------------------------------------------------------------------
@@ -388,15 +420,28 @@ class HashAggregate(PlanNode):
     child: PlanNode
     aggregates: tuple[AggExpr, ...]
     group_by: tuple[str, ...] = ()
+    # Joins proven redundant (NOT NULL FK onto a unique key: every row
+    # has exactly one partner) and dropped by the below-join pushdown;
+    # kept for EXPLAIN so the rewrite is visible.
+    elided_joins: tuple[tuple[str, str, str], ...] = field(
+        default=(), kw_only=True
+    )
 
     def children(self) -> tuple[PlanNode, ...]:
         return (self.child,)
 
     def describe(self) -> str:
         aggs = ", ".join(a.describe() for a in self.aggregates)
+        note = "".join(
+            f" [join {table} elided by fk]"
+            for __, table, __t in self.elided_joins
+        )
         if self.group_by:
-            return f"HashAggregate [{aggs}] group by [{', '.join(self.group_by)}]"
-        return f"HashAggregate [{aggs}]"
+            return (
+                f"HashAggregate [{aggs}] "
+                f"group by [{', '.join(self.group_by)}]{note}"
+            )
+        return f"HashAggregate [{aggs}]{note}"
 
 
 @dataclass(frozen=True)
@@ -412,7 +457,48 @@ class IndexAggScan(PlanNode):
 
     table: str
     aggregates: tuple[AggExpr, ...]
+    elided_joins: tuple[tuple[str, str, str], ...] = field(
+        default=(), kw_only=True
+    )
 
     def describe(self) -> str:
         aggs = ", ".join(a.describe() for a in self.aggregates)
-        return f"IndexAggScan on {self.table} [{aggs}]"
+        note = "".join(
+            f" [join {table} elided by fk]"
+            for __, table, __t in self.elided_joins
+        )
+        return f"IndexAggScan on {self.table} [{aggs}]{note}"
+
+
+@dataclass(frozen=True)
+class IndexGroupedAggScan(PlanNode):
+    """Whole-table single-key group-by answered from hash-index buckets.
+
+    The key column's hash index already partitions the table into
+    groups, so the executor walks ``value -> row ids`` buckets instead
+    of re-hashing every row: COUNT(*) per group is the bucket size
+    without visiting a single row, and the other builtin aggregates
+    reduce each bucket's bank values columnwise.  Falls back to the
+    streaming :class:`HashAggregate` behaviour at runtime when the key
+    column holds NULLs (the index skips those rows, but NULL forms a
+    group).  Only eligible for unfiltered, unlimited single-key
+    group-bys — like :class:`IndexAggScan`, anything fancier streams.
+    """
+
+    table: str
+    key: str
+    aggregates: tuple[AggExpr, ...]
+    elided_joins: tuple[tuple[str, str, str], ...] = field(
+        default=(), kw_only=True
+    )
+
+    def describe(self) -> str:
+        aggs = ", ".join(a.describe() for a in self.aggregates)
+        note = "".join(
+            f" [join {table} elided by fk]"
+            for __, table, __t in self.elided_joins
+        )
+        return (
+            f"IndexGroupedAggScan on {self.table} [{aggs}] "
+            f"group by [{self.key}]{note}"
+        )

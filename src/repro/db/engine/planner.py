@@ -53,10 +53,12 @@ from repro.db.engine.plan import (
     AggExpr,
     CountOnly,
     Filter,
+    GroupSemiJoin,
     HashAggregate,
     HashJoin,
     IndexAggScan,
     IndexEq,
+    IndexGroupedAggScan,
     IndexInList,
     IndexNestedLoopJoin,
     IndexOrUnion,
@@ -193,17 +195,54 @@ class Planner:
     # ------------------------------------------------------------------
     def _plan_aggregate(self, spec: QuerySpec) -> PlanNode:
         assert spec.aggregates is not None
+        spec, semis, elided = self._push_aggregate_below_joins(spec)
+        root = self._aggregate_root(spec, elided)
+        for column, join_table, target_column in semis:
+            # One unique-index probe per surviving *group* replaces the
+            # per-row join the pushdown removed.
+            root = GroupSemiJoin(
+                child=root,
+                table=join_table,
+                column=column,
+                target_column=target_column,
+                estimated_rows=max(1.0, root.estimated_rows * 0.9),
+                cost=root.cost + root.estimated_rows * 2.0,
+            )
+        return self._having_filter(spec, root)
+
+    def _aggregate_root(
+        self,
+        spec: QuerySpec,
+        elided: tuple[tuple[str, str, str], ...],
+    ) -> PlanNode:
+        assert spec.aggregates is not None
         if self._index_agg_eligible(spec):
-            return self._having_filter(
-                spec,
-                IndexAggScan(
-                    table=spec.table,
-                    aggregates=spec.aggregates,
-                    estimated_rows=1.0,
-                    # One index read per aggregate; the log term is the
-                    # ordered-index descent the maintenance already paid.
-                    cost=2.0 * len(spec.aggregates),
-                ),
+            return IndexAggScan(
+                table=spec.table,
+                aggregates=spec.aggregates,
+                elided_joins=elided,
+                estimated_rows=1.0,
+                # One index read per aggregate; the log term is the
+                # ordered-index descent the maintenance already paid.
+                cost=2.0 * len(spec.aggregates),
+            )
+        if self._index_grouped_agg_eligible(spec):
+            table = self._database.table(spec.table)
+            est = self._group_count_estimate(spec, float(len(table)))
+            # Bucket iteration skips the group-hash pass; count-only
+            # aggregates never visit a row, value aggregates still read
+            # each group's bank values once.
+            per_group = sum(
+                1.0 if a.kind == "count" else len(table) / est
+                for a in spec.aggregates
+            )
+            return IndexGroupedAggScan(
+                table=spec.table,
+                key=spec.group_by[0],
+                aggregates=spec.aggregates,
+                elided_joins=elided,
+                estimated_rows=est,
+                cost=est * (1.0 + per_group),
             )
         child = self._plan_rows(
             replace(spec, aggregates=None, group_by=(), having=None)
@@ -212,14 +251,104 @@ class Planner:
             est = self._group_count_estimate(spec, child.estimated_rows)
         else:
             est = 1.0
-        root: PlanNode = HashAggregate(
+        return HashAggregate(
             child=child,
             aggregates=spec.aggregates,
             group_by=spec.group_by,
+            elided_joins=elided,
             estimated_rows=est,
             cost=child.cost + child.estimated_rows,
         )
-        return self._having_filter(spec, root)
+
+    def _push_aggregate_below_joins(
+        self, spec: QuerySpec
+    ) -> tuple[
+        QuerySpec,
+        list[tuple[str, str, str]],
+        tuple[tuple[str, str, str], ...],
+    ]:
+        """Drop joins that cannot change the aggregate's output.
+
+        Returns ``(rewritten spec, semi joins, elided joins)``.  The
+        rewrite fires only when the whole aggregate — group keys,
+        aggregate inputs and every predicate part — reads the root
+        table alone, so the joins' sole contribution is row
+        multiplicity and dropping unmatched rows.  Two proofs remove
+        them:
+
+        * **elision** — the join key carries a NOT NULL foreign key
+          onto exactly the joined column (which FK validation requires
+          to be unique): every root row has exactly one partner, so the
+          join neither duplicates nor drops anything;
+        * **semi join** — the join key is itself a group key and the
+          target is unique: matches cannot duplicate rows (fanout ≤ 1)
+          and all rows of a group share the key, so the join's only
+          effect is dropping whole groups — reproduced *after*
+          aggregation with one index probe per group
+          (:class:`GroupSemiJoin`).
+
+        Any join that fits neither proof keeps the original
+        aggregate-over-join plan (no partial rewrite: join order would
+        otherwise change which rows later joins see).
+        """
+        no_push = (spec, [], ())
+        if not spec.joins or spec.aggregates is None:
+            return no_push
+        if (
+            spec.projection is not None
+            or spec.order_by is not None
+            or spec.limit is not None
+            or spec.count_only
+        ):
+            return no_push
+        schema = self._database.table(spec.table).schema
+        root_columns = set(schema.column_names)
+        for part in _and_parts(spec.predicate):
+            if not (part.columns() <= root_columns):
+                return no_push
+        if any(key not in root_columns for key in spec.group_by):
+            return no_push
+        if any(
+            agg.column is not None and "." in agg.column
+            for agg in spec.aggregates
+        ):
+            return no_push
+        semis: list[tuple[str, str, str]] = []
+        elided: list[tuple[str, str, str]] = []
+        for column, join_table, target_column in spec.joins:
+            if column not in root_columns:
+                return no_push
+            fk = schema.foreign_key_for(column)
+            col = schema.column(column)
+            not_null = not col.nullable or column == schema.primary_key
+            if (
+                fk is not None
+                and fk.target_table == join_table
+                and fk.target_column == target_column
+                and not_null
+            ):
+                # Referential integrity (checked on every write) makes
+                # the fanout exactly one: the join is a no-op here.
+                elided.append((column, join_table, target_column))
+                continue
+            if column in spec.group_by and _is_unique_column(
+                self._database.table(join_table), target_column
+            ):
+                semis.append((column, join_table, target_column))
+                continue
+            return no_push
+        return replace(spec, joins=()), semis, tuple(elided)
+
+    def _index_grouped_agg_eligible(self, spec: QuerySpec) -> bool:
+        """True when a whole-table single-key group-by can walk the
+        group key's hash-index buckets instead of scanning."""
+        if len(spec.group_by) != 1 or spec.joins \
+                or spec.limit is not None or spec.order_by is not None \
+                or spec.projection is not None or spec.count_only:
+            return False
+        if _and_parts(spec.predicate):
+            return False
+        return self._database.table(spec.table).has_index(spec.group_by[0])
 
     def _having_filter(self, spec: QuerySpec, root: PlanNode) -> PlanNode:
         """Wrap the aggregation root in the post-aggregate HAVING filter.

@@ -29,6 +29,8 @@ from __future__ import annotations
 import math
 from bisect import bisect_left, bisect_right, insort
 from collections.abc import Mapping
+from itertools import accumulate, repeat
+from operator import itemgetter
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.db.ordering import ordering_key
@@ -243,6 +245,12 @@ class Table:
         self._next_row_id = 1
         self._indexes: dict[str, _HashIndex] = {}
         self._ordered_indexes: dict[str, _OrderedIndex] = {}
+        # Grouped scan layouts derived from the hash indexes, memoised
+        # per mutation generation (see grouped_layout()).
+        self._mutations = 0
+        self._group_layouts: dict[str, tuple[int, Any]] = {}
+        self._group_tallies: dict[tuple[str, str], tuple[int, Any]] = {}
+        self._slot_bucket_cache: dict[str, tuple[int, Any]] = {}
         if schema.primary_key:
             self.create_index(schema.primary_key)
         for column in schema.columns:
@@ -348,6 +356,143 @@ class Table:
         id_at = self._id_at
         return [id_at[s] for s in slots]
 
+    def slots_for_ids(self, row_ids: Sequence[int]) -> list[int]:
+        """Slots of ``row_ids``, preserving the given id order.
+
+        The bridge from index lookups (which speak row ids) back into
+        the batched executor's slot world.
+        """
+        slot_of = self._slot_of
+        return [slot_of[r] for r in row_ids]
+
+    def index_buckets(self, column: str) -> dict[Any, set[int]]:
+        """The hash index's ``value -> row-id set`` buckets for
+        ``column`` (read-only by convention).  NULLs are not indexed, so
+        the buckets cover ``len(table)`` rows only when the column holds
+        no NULL.  Raises ``KeyError`` when the column is unindexed."""
+        return self._indexes[column]._buckets
+
+    def grouped_layout(
+        self, column: str
+    ) -> tuple[list, list[int], list[int]] | None:
+        """``(keys, flat_slots, bounds)``: the table regrouped by the
+        hash index on ``column``.
+
+        ``flat_slots`` lists every active slot, clustered by group;
+        group ``i`` holds key ``keys[i]`` and spans
+        ``flat_slots[bounds[i]:bounds[i + 1]]``.  Groups appear in
+        first-appearance scan order and each group's slots stay in scan
+        order, so walking the layout visits exactly the rows a
+        sequential scan would — just pre-clustered, which lets grouped
+        aggregates reduce each segment with C-level primitives instead
+        of scattering row-at-a-time into an accumulator dict.
+
+        The layout is pure index structure (no cell values), so it is
+        memoised until the next mutation.  Returns ``None`` when the
+        column is unindexed or holds NULLs (NULL keys never enter the
+        index, so the buckets would not cover the table).
+        """
+        index = self._indexes.get(column)
+        if index is None:
+            return None
+        generation = self._mutations
+        cached = self._group_layouts.get(column)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        buckets = index._buckets
+        layout: tuple[list, list[int], list[int]] | None
+        if sum(map(len, buckets.values())) != len(self._slot_of):
+            layout = None
+        else:
+            # First-appearance order == ascending minimum row id; the
+            # minima are distinct across groups, so the tuple sort never
+            # falls through to comparing (possibly mixed-type) keys.
+            groups = []
+            for value, ids in buckets.items():
+                ordered = sorted(ids)
+                groups.append((ordered[0], value, ordered))
+            groups.sort()
+            keys: list = []
+            flat_ids: list[int] = []
+            bounds: list[int] = [0]
+            for __, value, ordered in groups:
+                keys.append(value)
+                flat_ids.extend(ordered)
+                bounds.append(len(flat_ids))
+            layout = (keys, self.slots_for_ids(flat_ids), bounds)
+        self._group_layouts[column] = (generation, layout)
+        return layout
+
+    def slot_buckets(self, column: str) -> dict[Any, list[int]]:
+        """``value -> active slots`` (scan order) for ``column``.
+
+        The build side of a batched hash join, memoised per mutation
+        generation like :meth:`grouped_layout` — a join index in slot
+        space, so repeated probes skip both the per-query build pass
+        and any row-id-to-slot translation.  NULLs never match an
+        equi-join, so they get no bucket.  Works for any column,
+        indexed or not.
+        """
+        generation = self._mutations
+        cached = self._slot_bucket_cache.get(column)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        bank = self._banks[column]
+        buckets: dict[Any, list[int]] = {}
+        get = buckets.get
+        for slot in self.scan_slots():
+            value = bank[slot]
+            if value is None:
+                continue
+            bucket = get(value)
+            if bucket is None:
+                buckets[value] = [slot]
+            else:
+                bucket.append(slot)
+        self._slot_bucket_cache[column] = (generation, buckets)
+        return buckets
+
+    def grouped_tallies(
+        self, column: str, value_column: str
+    ) -> tuple[list, list[int] | None] | None:
+        """``(tallies, counts)``: prefix sums of ``value_column`` over
+        the grouped layout for ``column``.
+
+        ``tallies[i]`` is the sum of the first ``i`` clustered values
+        (NULLs contribute 0), so any group's sum is one subtraction of
+        its layout bounds.  ``counts`` is the matching prefix count of
+        non-NULL values — ``None`` when the segment holds no NULL, in
+        which case group sizes already are the non-NULL counts.
+
+        Like the layout itself this is pure per-generation structure
+        (a materialised segment tally, the hash-index analogue of a
+        count-augmented B-tree): any mutation invalidates it.  Returns
+        ``None`` when there is no layout for ``column``.
+        """
+        layout = self.grouped_layout(column)
+        if layout is None:
+            return None
+        generation = self._mutations
+        memo_key = (column, value_column)
+        cached = self._group_tallies.get(memo_key)
+        if cached is not None and cached[0] == generation:
+            return cached[1]
+        values = list(map(self._banks[value_column].__getitem__, layout[1]))
+        counts: list[int] | None
+        if None in values:
+            tallies = list(accumulate(
+                (0 if v is None else v for v in values), initial=0
+            ))
+            counts = list(accumulate(
+                (v is not None for v in values), initial=0
+            ))
+        else:
+            tallies = list(accumulate(values, initial=0))
+            counts = None
+        result = (tallies, counts)
+        self._group_tallies[memo_key] = (generation, result)
+        return result
+
     def views_for_slots(self, slots: Sequence[int]) -> Iterator[RowView]:
         """Lazy row views over ``slots``, preserving the given order."""
         banks = self._banks
@@ -370,11 +515,18 @@ class Table:
         banks = [self._banks[c] for c in names]
         if type(slots) is range:
             selected = banks
+        elif len(slots) > 1:
+            # One C-level gather per bank instead of a Python loop per
+            # bank — this is what keeps wide projections columnar.
+            fetch = itemgetter(*slots)
+            selected = [fetch(bank) for bank in banks]
         else:
             selected = [[bank[s] for s in slots] for bank in banks]
         if not banks:  # pragma: no cover - schemas always carry columns
             return [{} for __ in slots]
-        return [dict(zip(names, values)) for values in zip(*selected)]
+        # One C pipeline: transpose the selected banks and build every
+        # row dict without a per-row Python frame.
+        return list(map(dict, map(zip, repeat(names), zip(*selected))))
 
     # ------------------------------------------------------------------
     # Index management
@@ -382,6 +534,7 @@ class Table:
     def create_index(self, column: str) -> None:
         """Build (or rebuild) a hash index on ``column``."""
         self.schema.column(column)  # raises UnknownColumnError
+        self._mutations += 1
         index = _HashIndex()
         bank = self._banks[column]
         for row_id, slot in self._slot_of.items():
@@ -439,6 +592,7 @@ class Table:
         self._check_unique(row, exclude_row_id=None)
         row_id = self._next_row_id
         self._next_row_id += 1
+        self._mutations += 1
         slot = self._allocate_slot(row_id)
         self._write_slot(slot, row)
         for column, index in self._indexes.items():
@@ -457,6 +611,7 @@ class Table:
             new[column] = coerce(value, col.dtype)
         self._check_not_null(new)
         self._check_unique(new, exclude_row_id=row_id)
+        self._mutations += 1
         for column, index in self._indexes.items():
             if old[column] != new[column]:
                 index.remove(old[column], row_id)
@@ -475,6 +630,7 @@ class Table:
         """Delete a row; returns a copy of it (for undo logs)."""
         slot = self._slot_of.pop(row_id)
         row = self._row_at(slot)
+        self._mutations += 1
         for column, index in self._indexes.items():
             index.remove(row[column], row_id)
         for column, ordered in self._ordered_indexes.items():
@@ -518,6 +674,7 @@ class Table:
             raise ConstraintViolation(
                 f"table {self.name!r}: cannot restore row {row_id}, id in use"
             )
+        self._mutations += 1
         slot = self._allocate_slot(row_id)
         for column, bank in zip(self._columns, self._bank_list):
             bank[slot] = row.get(column)

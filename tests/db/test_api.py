@@ -272,7 +272,7 @@ class TestPreparedSelect:
         assert api.aggregate("reservation", booked=sum_("no_tickets")) \
             .group_by("screening_id").run(database) == expected
         assert "CountOnly" in select("movie").count().explain(database)
-        assert "HashAggregate" in api.aggregate(
+        assert "IndexGroupedAggScan" in api.aggregate(
             "reservation", booked=sum_("no_tickets")
         ).group_by("screening_id").explain(database)
 
@@ -566,6 +566,20 @@ class TestIndexAdvisor:
 
     def test_contains_predicate_not_advisable(self, conn):
         conn.execute(select("movie").where(contains("title", "the"))).all()
+        assert conn.advisor() == []
+
+    def test_hash_join_on_unindexed_key_suggests_index(self, conn, database):
+        assert not database.table("movie").has_index("title")
+        conn.execute(select("actor").join("name", "movie", "title")).all()
+        title = next(s for s in conn.advisor() if s.column == "title")
+        assert title.table == "movie"
+        assert title.kind == "hash"
+        assert title.rows_scanned == len(database.table("movie"))
+
+    def test_indexed_join_key_records_no_miss(self, conn):
+        conn.execute(
+            select("screening").join("movie_id", "movie", "movie_id")
+        ).all()
         assert conn.advisor() == []
 
     def test_misses_accumulate_and_rank(self, conn, database):

@@ -1,0 +1,369 @@
+"""Differential tests for the vectorized (batched) join pipeline.
+
+The batched executor narrows parallel slot lists through joins without
+widening rows; these tests pin its output — rows, errors, and error
+*order* — to the row-at-a-time path over a 500-query randomised
+workload, plus the corners the fuzzer cannot reliably hit: NULL join
+keys, TypeMismatch coercion semantics on cross-typed keys, empty build
+sides, self-joins, the skew/pair-cap fallbacks, and the
+aggregate-pushdown rewrite (join-below-aggregate must equal
+aggregate-below-join, group for group).
+"""
+
+import random
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    ForeignKey,
+    Query,
+    TableSchema,
+    and_,
+    eq,
+    ge,
+    in_,
+    le,
+    ne,
+    not_,
+    or_,
+)
+from repro.db.aggregation import (
+    aggregate,
+    aggregate_query,
+    avg,
+    count,
+    count_distinct,
+    max_,
+    min_,
+    sum_,
+)
+from repro.db.engine import execution_mode, render_plan
+from repro.errors import DatabaseError
+
+
+@pytest.fixture()
+def db():
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "dim",
+                [
+                    Column("dim_id", DataType.INTEGER),
+                    Column("label", DataType.TEXT),
+                    Column("code", DataType.TEXT, unique=True),
+                ],
+                primary_key="dim_id",
+            ),
+            TableSchema(
+                "void",
+                [Column("void_id", DataType.INTEGER)],
+                primary_key="void_id",
+            ),
+            TableSchema(
+                "fact",
+                [
+                    Column("fact_id", DataType.INTEGER),
+                    Column("dim_req", DataType.INTEGER, nullable=False),
+                    Column("dim_opt", DataType.INTEGER),
+                    Column("word", DataType.TEXT),
+                    Column("val", DataType.FLOAT),
+                    Column("qty", DataType.INTEGER, nullable=False),
+                    Column("grp", DataType.TEXT),
+                ],
+                primary_key="fact_id",
+                foreign_keys=[ForeignKey("dim_req", "dim", "dim_id")],
+            ),
+        ]
+    )
+    database = Database(schema)
+    rng = random.Random(13)
+    # "label" is heavily skewed towards one value (skew-guard food) and
+    # "code" holds integer-looking text so cross-typed joins onto it
+    # sometimes coerce and sometimes mismatch.
+    for i in range(1, 11):
+        database.insert(
+            "dim",
+            {
+                "dim_id": i,
+                "label": "common" if i <= 7 else f"label {i}",
+                "code": str(i),
+            },
+        )
+    words = ("3", "7", "oops", None, "5", "not a number")
+    for i in range(1, 121):
+        database.insert(
+            "fact",
+            {
+                "fact_id": i,
+                "dim_req": 1 + i % 10,
+                "dim_opt": None if i % 7 == 0 else 1 + i % 14,
+                "word": words[i % len(words)],
+                "val": None if i % 11 == 0 else (-0.0 if i % 5 == 0
+                                                 else float(i % 9)),
+                "qty": i % 6,
+                "grp": f"g{i % 4}",
+            },
+        )
+    # Non-dense slots on both sides of the join.
+    for rid in database.table("fact").lookup("fact_id", 60):
+        database.delete("fact", rid)
+    database.create_index("fact", "grp")
+    database.create_index("fact", "dim_opt")
+    return database
+
+
+def _both_modes(fn):
+    """Run ``fn`` in row then batch mode; errors become comparable values.
+
+    Catches :class:`DatabaseError` (not just ``QueryError``): join-key
+    coercion raises ``TypeMismatchError``, a *sibling* of QueryError.
+    ``KeyError`` is included because an ORDER BY on a column the query
+    never joined in raises it raw from the sort key, in both modes.
+    """
+    out = []
+    for mode in ("row", "batch"):
+        with execution_mode(mode):
+            try:
+                out.append(fn())
+            except (DatabaseError, KeyError) as exc:
+                out.append(("error", type(exc).__name__, str(exc)))
+    return out
+
+
+JOINS = (
+    ("dim_opt", "dim", "dim_id"),     # indexed inner key, NULL probes
+    ("dim_req", "dim", "dim_id"),     # NOT NULL FK (pushdown-elidable)
+    ("word", "dim", "code"),          # TEXT = TEXT, unique inner key
+    ("word", "dim", "dim_id"),        # TEXT -> INTEGER: coerce errors
+    ("qty", "dim", "dim_id"),         # unindexed-probe-side hash join
+    ("dim_opt", "void", "void_id"),   # empty build side
+    ("fact_id", "fact", "fact_id"),   # self join
+    ("word", "dim", "label"),         # skewed, unindexed inner key
+)
+
+
+class TestRandomisedJoinDifferential:
+    def test_500_query_differential(self, db):
+        rng = random.Random(29)
+        predicates = [
+            lambda: eq("grp", f"g{rng.randrange(5)}"),
+            lambda: ne("grp", "g1"),
+            lambda: ge("qty", rng.randrange(6)),
+            lambda: le("val", float(rng.randrange(9))),
+            lambda: in_("dim_opt", tuple(
+                rng.randrange(1, 15) for __ in range(rng.randrange(1, 4))
+            )),
+            lambda: or_(eq("grp", "g2"), eq("qty", rng.randrange(6))),
+            lambda: not_(eq("word", "3")),
+            lambda: and_(ge("fact_id", rng.randrange(1, 90)),
+                         le("fact_id", rng.randrange(30, 121))),
+        ]
+        order_columns = ("fact_id", "qty", "val", "grp", "dim.label",
+                         "dim.code")
+        checked = 0
+        for __ in range(500):
+            query = Query("fact")
+            for __p in range(rng.randrange(0, 3)):
+                query.where(rng.choice(predicates)())
+            n_joins = rng.randrange(0, 3)
+            for column, table, target in rng.sample(JOINS, n_joins):
+                query.join(column, table, target)
+            if rng.random() < 0.3:
+                query.order_by(rng.choice(order_columns),
+                               descending=rng.random() < 0.5)
+            if rng.random() < 0.3:
+                query.limit(rng.randrange(0, 15))
+            if rng.random() < 0.15:
+                query.select("fact_id", "grp")
+            roll = rng.random()
+            if roll < 0.2:
+                runner = lambda: query.count(db)  # noqa: B023, E731
+            elif roll < 0.45:
+                aggs = {"n": count(),
+                        "v": rng.choice((sum_, avg, min_, max_,
+                                         count_distinct))("val")}
+                group = rng.choice((None, ["grp"], ["dim_opt"],
+                                    ["grp", "qty"]))
+                runner = lambda: aggregate_query(  # noqa: B023, E731
+                    db, query, aggs, group
+                )
+            else:
+                runner = lambda: query.run(db)  # noqa: B023, E731
+            row_result, batch_result = _both_modes(runner)
+            assert row_result == batch_result
+            checked += 1
+        assert checked == 500
+
+
+class TestJoinCorners:
+    def test_null_probe_keys_never_match(self, db):
+        query = Query("fact").join("dim_opt", "dim", "dim_id")
+        row_result, batch_result = _both_modes(lambda: query.run(db))
+        assert row_result == batch_result
+        assert all(r["dim_opt"] is not None for r in batch_result)
+
+    def test_empty_build_side_yields_no_rows(self, db):
+        query = Query("fact").join("dim_opt", "void", "void_id")
+        row_result, batch_result = _both_modes(lambda: query.run(db))
+        assert row_result == batch_result == []
+
+    def test_cross_type_join_raises_identically(self, db):
+        # "oops" cannot coerce to INTEGER; the error (type and message)
+        # must match the row path's per-probe coercion exactly.
+        query = Query("fact").join("word", "dim", "dim_id")
+        row_result, batch_result = _both_modes(lambda: query.run(db))
+        assert row_result == batch_result
+        assert row_result[0] == "error"
+        assert row_result[1] == "TypeMismatchError"
+
+    def test_coercible_cross_type_join_matches(self, db):
+        # qty (INTEGER) joined against code (TEXT): every probe coerces
+        # ("3" == str(3)), so results must match without errors.
+        query = Query("fact").where(ge("qty", 1)).join("qty", "dim", "code")
+        row_result, batch_result = _both_modes(lambda: query.run(db))
+        assert row_result == batch_result
+        assert len(batch_result) > 0
+        assert all(r["dim.code"] == str(r["qty"]) for r in batch_result)
+
+    def test_self_join_widens_with_prefixed_columns(self, db):
+        query = Query("fact").where(eq("grp", "g2")) \
+            .join("fact_id", "fact", "fact_id")
+        row_result, batch_result = _both_modes(lambda: query.run(db))
+        assert row_result == batch_result
+        assert all(r["fact.fact_id"] == r["fact_id"] for r in batch_result)
+
+    def test_limit_over_join_stays_lazy(self, db):
+        # The first fact row's word ("7") probes cleanly; the second
+        # ("oops") would raise.  The row path's islice stops after one
+        # row and never reaches it — the batch path must not evaluate
+        # the join eagerly and surface it.
+        query = Query("fact").join("word", "dim", "dim_id").limit(1)
+        row_result, batch_result = _both_modes(lambda: query.run(db))
+        assert row_result == batch_result
+        assert row_result != [] and row_result[0] != "error"
+
+    def test_capped_count_over_join_stays_lazy(self, db):
+        query = Query("fact").join("word", "dim", "dim_id").limit(1)
+        row_result, batch_result = _both_modes(lambda: query.count(db))
+        assert row_result == batch_result == 1
+
+    def test_skew_guard_falls_back_to_row_path(self, db):
+        from repro.db.engine import executor
+
+        query = Query("fact").join("word", "dim", "label")
+        expected = _both_modes(lambda: query.run(db))
+        assert expected[0] == expected[1]
+        original = executor._JOIN_SKEW_MIN
+        executor._JOIN_SKEW_MIN = 1  # "common" dominates dim.label
+        try:
+            with execution_mode("batch"):
+                assert query.run(db) == expected[0]
+        finally:
+            executor._JOIN_SKEW_MIN = original
+
+    def test_pair_cap_falls_back_to_row_path(self, db):
+        from repro.db.engine import executor
+
+        query = Query("fact").join("word", "dim", "label")
+        expected = _both_modes(lambda: query.run(db))
+        assert expected[0] == expected[1]
+        saved = executor._JOIN_PAIR_FLOOR, executor._JOIN_PAIR_FACTOR
+        executor._JOIN_PAIR_FLOOR, executor._JOIN_PAIR_FACTOR = 1, 0
+        try:
+            with execution_mode("batch"):
+                assert query.run(db) == expected[0]
+        finally:
+            executor._JOIN_PAIR_FLOOR, executor._JOIN_PAIR_FACTOR = saved
+
+
+class TestAggregatePushdownParity:
+    """Join-below-aggregate (naive) == aggregate-below-join (rewrite)."""
+
+    def _check(self, db, joins, aggs, group):
+        query = Query("fact")
+        baseline_query = Query("fact")
+        for column, table, target in joins:
+            query.join(column, table, target)
+            baseline_query.join(column, table, target)
+        baseline = aggregate(baseline_query.run(db), aggs, group)
+        row_result, batch_result = _both_modes(
+            lambda: aggregate_query(db, query, aggs, group)
+        )
+        assert row_result == batch_result == baseline
+
+    @staticmethod
+    def _agg_plan(db, query, aggs, group):
+        from dataclasses import replace
+
+        from repro.db.aggregation import _engine_exprs
+
+        exprs = _engine_exprs(aggs)
+        assert exprs is not None
+        spec = replace(
+            query.compile(), aggregates=exprs, group_by=tuple(group or ())
+        )
+        return render_plan(db.plan_cache.plan(spec))
+
+    def test_fk_join_elided(self, db):
+        joins = [("dim_req", "dim", "dim_id")]
+        aggs = {"n": count(), "v": sum_("val")}
+        self._check(db, joins, aggs, ["grp"])
+        plan = self._agg_plan(
+            db, Query("fact").join("dim_req", "dim", "dim_id"), aggs, ["grp"]
+        )
+        assert "[join dim elided by fk]" in plan
+        assert "HashJoin" not in plan and "IndexNestedLoopJoin" not in plan
+
+    def test_semi_join_drops_unmatched_groups(self, db):
+        # dim_opt reaches 1..14 but dim only holds 1..10: the join drops
+        # the groups beyond 10 and the NULL group.
+        joins = [("dim_opt", "dim", "dim_id")]
+        self._check(db, joins, {"n": count()}, ["dim_opt"])
+
+    def test_semi_join_against_empty_table_drops_everything(self, db):
+        joins = [("dim_opt", "void", "void_id")]
+        self._check(db, joins, {"n": count(), "v": min_("val")}, ["dim_opt"])
+
+    def test_elision_and_semi_combine(self, db):
+        joins = [("dim_req", "dim", "dim_id"), ("dim_opt", "dim", "dim_id")]
+        self._check(
+            db, joins, {"n": count(), "v": max_("val")}, ["dim_opt"]
+        )
+
+    def test_prefixed_group_key_keeps_the_join(self, db):
+        # Grouping on the joined table's column cannot push down; the
+        # plan keeps the join and the results still agree everywhere.
+        joins = [("dim_req", "dim", "dim_id")]
+        self._check(db, joins, {"n": count()}, ["dim.label"])
+
+    def test_float_aggregates_preserve_reduction_order(self, db):
+        # val holds -0.0s: sum/min are order-sensitive at the sign-of-
+        # zero level, so bucket iteration must reduce in scan order.
+        self._check(db, [], {"s": sum_("val"), "lo": min_("val")}, ["grp"])
+
+    def test_whole_table_group_by_uses_index_buckets(self, db):
+        plan = self._agg_plan(db, Query("fact"), {"n": count()}, ["grp"])
+        assert "IndexGroupedAggScan on fact" in plan
+        assert "group by [grp]" in plan
+        self._check(db, [], {"n": count(), "v": avg("val")}, ["grp"])
+
+    def test_semi_join_explain_shows_group_probe(self, db):
+        plan = self._agg_plan(
+            db, Query("fact").join("dim_opt", "dim", "dim_id"),
+            {"n": count()}, ["dim_opt"],
+        )
+        assert "GroupSemiJoin dim on dim_opt = dim.dim_id" in plan
+        assert "HashJoin" not in plan and "IndexNestedLoopJoin" not in plan
+
+    def test_group_key_with_nulls_falls_back_at_runtime(self, db):
+        # dim_opt is indexed but holds NULLs: the bucket walk cannot see
+        # the NULL group, so execution falls back to the banked scan —
+        # results must still contain the NULL group.
+        result = aggregate_query(db, Query("fact"), {"n": count()},
+                                 ["dim_opt"])
+        assert any(r["dim_opt"] is None for r in result)
+        self._check(db, [], {"n": count()}, ["dim_opt"])

@@ -63,8 +63,63 @@ class TestCli:
         )
         assert status == 0
         out = capsys.readouterr().out
+        # Whole-table single-key group-by walks the hash-index buckets.
+        assert "IndexGroupedAggScan on reservation" in out
+        assert "[booked=sum(no_tickets)]" in out
+        assert "group by [screening_id]" in out
+
+    def test_explain_filtered_grouped_aggregate(self, capsys):
+        status = main(
+            ["explain", "reservation", "--where", "no_tickets>=2",
+             "--agg", "booked=sum:no_tickets",
+             "--group-by", "screening_id"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
         assert "HashAggregate [booked=sum(no_tickets)]" in out
         assert "group by [screening_id]" in out
+
+    def test_explain_aggregate_pushdown_below_join(self, capsys):
+        status = main(
+            ["explain", "reservation",
+             "--join", "screening_id:screening:screening_id",
+             "--agg", "booked=sum:no_tickets",
+             "--group-by", "screening_id"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        # The NOT NULL FK join cannot change the aggregate: elided.
+        assert "IndexGroupedAggScan" in out
+        assert "[join screening elided by fk]" in out
+        assert "HashJoin" not in out and "IndexNestedLoopJoin" not in out
+
+    def test_explain_aggregate_semi_join_pushdown(self, capsys):
+        status = main(
+            ["explain", "movie",
+             "--join", "language_id:language:language_id",
+             "--agg", "n=count", "--group-by", "language_id"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        # Nullable FK: not elidable, but the group-keyed unique join
+        # collapses to one probe per group above the aggregate.
+        assert "GroupSemiJoin language on" in out
+        assert "HashAggregate [n=count(*)] group by [language_id]" in out
+        assert "HashJoin" not in out and "IndexNestedLoopJoin" not in out
+
+    def test_explain_annotates_execution_mode(self, capsys):
+        status = main(
+            ["explain", "reservation", "--where", "no_tickets>=2",
+             "--agg", "booked=sum:no_tickets",
+             "--group-by", "screening_id", "--having", "booked>=10"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        having = next(l for l in lines if "Filter booked >= 10" in l)
+        agg = next(l for l in lines if "HashAggregate" in l)
+        assert having.endswith("[row]")
+        assert agg.endswith("[batch]")
 
     def test_explain_index_agg_scan(self, capsys):
         status = main(
