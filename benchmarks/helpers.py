@@ -7,6 +7,9 @@ so they survive in the pytest-benchmark JSON output.
 
 from __future__ import annotations
 
+import math
+import statistics
+
 from repro.annotation import EntityLookup, SchemaAnnotations, TaskExtractor
 from repro.dataaware import (
     DataAwarePolicy,
@@ -16,6 +19,25 @@ from repro.dataaware import (
 )
 from repro.db import Catalog, Database, StatisticsCatalog
 from repro.eval import PolicyExperiment
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) by nearest rank."""
+    if not samples:
+        raise ValueError("percentile of no samples")
+    ordered = sorted(samples)
+    rank = math.ceil(q / 100.0 * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+def latency_summary(samples: list[float]) -> dict[str, float]:
+    """p50/p95/p99/mean of per-turn latencies, seconds in, ms out."""
+    return {
+        "p50_ms": round(percentile(samples, 50) * 1000.0, 3),
+        "p95_ms": round(percentile(samples, 95) * 1000.0, 3),
+        "p99_ms": round(percentile(samples, 99) * 1000.0, 3),
+        "mean_ms": round(statistics.fmean(samples) * 1000.0, 3),
+    }
 
 
 def screening_lookup(database: Database, annotations: SchemaAnnotations):

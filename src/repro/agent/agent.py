@@ -175,10 +175,11 @@ class ConversationalAgent:
         ``context`` carries all mutable conversation state; when omitted
         the agent's default context is used (single-session API).  Turns
         on distinct contexts are independent and may run on concurrent
-        threads: the whole turn holds the database's shared read lock
-        (so no half-applied transaction is ever observed), which is
-        suspended around the transaction execution at the end of a task
-        while the executor takes the exclusive lock.
+        threads: the whole turn pins one MVCC snapshot generation (so no
+        half-applied transaction is ever observed) while writers commit
+        freely alongside; executing a transaction at the end of a task
+        takes only the narrow commit latch, and its commit moves this
+        turn's pin forward so the reply reflects the booking.
         """
         ctx = self._context if context is None else context
         with self._database.read_locked():
@@ -188,8 +189,8 @@ class ConversationalAgent:
         self, ctx: ConversationContext, text: str
     ) -> AgentReply:
         # Between our turns another session may have committed deletes;
-        # revalidate any candidate snapshot before using it.  Under the
-        # turn's read lock the result stays valid for the whole turn.
+        # revalidate any candidate rows before using them.  Under the
+        # turn's snapshot pin the result stays valid for the whole turn.
         session = ctx.state.identification
         if session is not None and session.prune_stale_candidates():
             if ctx.state.phase is Phase.CHOOSING:
@@ -555,17 +556,11 @@ class ConversationalAgent:
         state = ctx.state
         task = state.task
         assert task is not None
-        # The turn holds the shared read lock; executing the transaction
-        # needs the exclusive lock, and an in-place upgrade would
-        # deadlock two confirming sessions.  Drop our reads for the
-        # write, then re-acquire (the procedure re-validates its
-        # arguments, so the gap is safe).
-        lock = self._database.rw_lock
-        suspended = lock.suspend_reads()
-        try:
-            outcome = self._executor.execute(task, dict(state.collected))
-        finally:
-            lock.resume_reads(suspended)
+        # The turn holds a snapshot pin, not a lock: the transaction
+        # takes the commit latch directly (no upgrade needed), and the
+        # commit refreshes this thread's pin so the rest of the turn
+        # observes what it just booked.
+        outcome = self._executor.execute(task, dict(state.collected))
         if outcome.success and outcome.result is not None:
             state.record("agent", acts.AGENT_SUCCESS)
             replies.append(self._responder.success(task, outcome.result.value))

@@ -4,9 +4,15 @@ from repro.datasets.movies import (
     MovieConfig,
     annotate_movie_schema,
     build_movie_database,
+    restore_movie_database,
 )
 
-__all__ = ["MovieConfig", "annotate_movie_schema", "build_movie_database"]
+__all__ = [
+    "MovieConfig",
+    "annotate_movie_schema",
+    "build_movie_database",
+    "restore_movie_database",
+]
 
 from repro.datasets.atis import (
     ATIS_INTENTS,

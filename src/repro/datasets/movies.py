@@ -35,7 +35,12 @@ from repro.db import (
 )
 from repro.errors import ProcedureError
 
-__all__ = ["MovieConfig", "build_movie_database", "annotate_movie_schema"]
+__all__ = [
+    "MovieConfig",
+    "build_movie_database",
+    "annotate_movie_schema",
+    "restore_movie_database",
+]
 
 # Dimension tables that can be attached to ``movie`` for the join sweeps.
 _DIMENSIONS = [
@@ -499,5 +504,22 @@ def build_movie_database(
     database = Database(_movie_schema(config))
     _populate(database, config)
     _create_secondary_indexes(database)
+    _register_procedures(database)
+    return database, annotate_movie_schema(database)
+
+
+def restore_movie_database(path: str) -> tuple[Database, SchemaAnnotations]:
+    """Rebuild the cinema database from a format-v3 snapshot file.
+
+    The snapshot carries schema, rows and secondary-index DDL; the
+    code-level pieces a replica also needs — stored procedures and the
+    schema annotations — are reattached here.  This is how shard
+    workers materialise their per-worker replica under spawn-style
+    process starts (fork-style workers inherit the parent's database
+    instead).
+    """
+    from repro.db.persistence import load_database
+
+    database = load_database(path)
     _register_procedures(database)
     return database, annotate_movie_schema(database)

@@ -923,16 +923,20 @@ class Connection:
     # Lock / transaction scoping
     # ------------------------------------------------------------------
     def reading(self):
-        """Shared read scope: consume streaming results inside it."""
+        """Pinned snapshot scope: every read inside observes one
+        consistent generation (consume streaming results inside it).
+        Writers commit freely alongside — the scope never blocks them."""
         return self._database.read_locked()
 
     @contextmanager
     def transaction(self):
-        """An atomic multi-statement scope under the exclusive lock.
+        """An atomic multi-statement scope under the commit latch.
 
         Commits on normal exit, rolls back (undoing every mutation) on
         exception.  Nests inside an enclosing transaction without
-        committing it.
+        committing it.  Concurrent readers keep scanning their pinned
+        snapshots throughout; they observe the whole transaction or
+        none of it.
         """
         database = self._database
         with database.write_locked():

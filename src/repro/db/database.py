@@ -9,16 +9,27 @@ over raw :class:`~repro.db.table.Table` storage:
 * change notification so cached statistics can invalidate themselves —
   the mechanism behind the paper's "no retraining is required in case
   data changes".
+
+Concurrency model (MVCC): readers enter :meth:`Database.read_locked`,
+which pins a snapshot generation for the scope instead of taking a
+shared lock — writers never block them.  Writers enter
+:meth:`Database.write_locked`, a narrow reentrant commit latch that
+serialises transactions against each other only.  Commit points advance
+the generation clock, making a whole transaction visible to new
+snapshots atomically, and trigger a vacuum pass bounded by the oldest
+still-pinned generation.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, ContextManager
+from contextlib import contextmanager
+from typing import Any, Callable, ContextManager, Iterator
 
-from repro.db.locks import RWLock
+from repro.db.locks import CommitLatch, LockUpgradeError
 from repro.db.procedures import ProcedureRegistry
 from repro.db.schema import DatabaseSchema, TableSchema
+from repro.db.snapshots import GenerationClock, SnapshotManager
 from repro.db.table import Row, Table
 from repro.db.transactions import TransactionManager
 from repro.errors import ConstraintViolation, UnknownTableError
@@ -37,8 +48,15 @@ class Database:
         }
         self.transactions = TransactionManager(self)
         self.procedures = ProcedureRegistry(self)
-        self.rw_lock = RWLock()
-        self._data_version = 0
+        self.clock = GenerationClock()
+        self.commit_latch = CommitLatch()
+        self.snapshots = SnapshotManager(
+            self.clock, latch=self.commit_latch, on_idle=self._vacuum_all
+        )
+        for table in self._tables.values():
+            table.bind_versioning(
+                self.clock, self.snapshots, self.transactions.in_transaction
+            )
         self._listener_lock = threading.Lock()
         self._change_listeners: list[Callable[[], None]] = []
         self._statistics_lock = threading.Lock()
@@ -68,6 +86,9 @@ class Database:
         self.schema.add_table(schema)
         self.schema.validate()
         table = Table(schema)
+        table.bind_versioning(
+            self.clock, self.snapshots, self.transactions.in_transaction
+        )
         self._tables[schema.name] = table
         return table
 
@@ -185,21 +206,49 @@ class Database:
     # ------------------------------------------------------------------
     # Concurrency
     # ------------------------------------------------------------------
-    def read_locked(self) -> ContextManager[None]:
-        """Shared lock: many readers, excluded while a transaction runs."""
-        return self.rw_lock.read_lock()
+    def read_locked(self, read_only: bool = False) -> ContextManager[Any]:
+        """Pin a snapshot for the scope: every read inside observes one
+        consistent generation while writers commit freely alongside.
 
-    def write_locked(self) -> ContextManager[None]:
-        """Exclusive lock held around every transactional mutation."""
-        return self.rw_lock.write_lock()
+        ``read_only=True`` additionally forbids writes inside the scope
+        (:meth:`write_locked` raises :class:`LockUpgradeError`) — the
+        MVCC replacement for the old read→write upgrade refusal.
+        """
+        return self.snapshots.pinned(read_only=read_only)
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        """The narrow writer commit latch (reentrant; serialises
+        transactions against each other, never against readers)."""
+        if self.snapshots.writes_forbidden():
+            raise LockUpgradeError(
+                "cannot write inside a read-only snapshot scope"
+            )
+        self.commit_latch.acquire()
+        try:
+            yield
+        finally:
+            self.commit_latch.release()
+
+    def snapshot_version(self) -> int:
+        """The generation the calling thread's reads observe right now."""
+        pinned = self.snapshots.active_generation()
+        return self.clock.current if pinned is None else pinned
+
+    def _vacuum_all(self) -> None:
+        """Reclaim versions no pinned snapshot can still see."""
+        bound = self.snapshots.min_pinned()
+        for table in self._tables.values():
+            table.vacuum(bound)
 
     # ------------------------------------------------------------------
     # Change tracking
     # ------------------------------------------------------------------
     @property
     def data_version(self) -> int:
-        """Monotonic counter bumped on every committed (or auto) mutation."""
-        return self._data_version
+        """Monotonic counter bumped on every committed (or auto)
+        mutation — the MVCC generation clock's committed generation."""
+        return self.clock.current
 
     def on_change(self, listener: Callable[[], None]) -> None:
         """Register a callback fired whenever data changes."""
@@ -207,9 +256,14 @@ class Database:
             self._change_listeners.append(listener)
 
     def notify_data_changed(self) -> None:
+        """Commit point: publish pending stamps and fan out to listeners."""
         with self._listener_lock:
-            self._data_version += 1
+            self.clock.advance()
             listeners = tuple(self._change_listeners)
+        # The committing thread's own enclosing pins (a turn that just
+        # booked something) must observe what it published.
+        self.snapshots.refresh_current_thread()
+        self._vacuum_all()
         for listener in listeners:
             listener()
 

@@ -1123,7 +1123,11 @@ def _hash_aggregate(database: "Database", node: HashAggregate) -> list[Row]:
 def _select(bank: list, slots: Sequence[int]) -> Sequence[Any]:
     """The bank values at ``slots`` (the bank itself for a full range)."""
     if type(slots) is range:
-        return bank
+        # A snapshot's range is a prefix: concurrent appends may have
+        # grown the bank past it, so only alias the bank when whole.
+        if len(bank) == slots.stop:
+            return bank
+        return bank[: slots.stop]
     return [bank[s] for s in slots]
 
 

@@ -1,13 +1,19 @@
-"""A readers–writer lock for the concurrent serving runtime.
+"""Locks for the concurrent serving runtime.
 
-The in-memory engine was written single-threaded; the multi-session
-:class:`~repro.serving.runtime.AgentRuntime` shares one database between
-many conversations.  Read-only turn work (NLU parsing, candidate
-scoring, statistics lookups) may proceed concurrently, while transaction
-execution takes the exclusive side of this lock so readers never observe
-a half-applied procedure.
+Two primitives live here:
 
-Semantics:
+* :class:`CommitLatch` — the narrow writer latch of the MVCC design.
+  Whole transactions serialise on it, but readers never touch it: read
+  scopes pin a snapshot (:mod:`repro.db.snapshots`) instead of sharing
+  a lock with writers.  It counts contended acquisitions (``waits``)
+  for the serving tier's ``:stats`` surface.
+* :class:`RWLock` — the database-wide readers–writer lock the serving
+  tier used before snapshot reads.  It no longer sits on the turn
+  critical path (``tools/check_execution_api.py`` lints against
+  reintroducing it outside this module and the snapshot layer), but
+  remains available as a general-purpose primitive.
+
+RWLock semantics:
 
 * many readers OR one writer;
 * writer preference — new readers queue once a writer is waiting, so a
@@ -29,16 +35,74 @@ import threading
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["LockUpgradeError", "RWLock"]
+__all__ = ["CommitLatch", "LockUpgradeError", "RWLock"]
 
 
 class LockUpgradeError(RuntimeError):
-    """A thread holding the read lock attempted to take the write lock.
+    """A read-only scope attempted a write.
 
-    Upgrades deadlock as soon as two readers try simultaneously, so
-    they are refused; use :meth:`RWLock.suspend_reads` /
-    :meth:`RWLock.resume_reads` around the write instead.
+    Raised by :class:`RWLock` on a read→write upgrade attempt (which
+    would deadlock as soon as two readers tried simultaneously) and by
+    the database's write scope when entered inside a read-only snapshot
+    pin — the MVCC replacement for the same refusal.
     """
+
+
+class CommitLatch:
+    """A reentrant mutex serialising writer transactions.
+
+    This is the only lock a transaction holds for its duration under
+    the MVCC design; readers pin snapshots and never queue here.  The
+    latch is reentrant for its owning thread (stored procedures nest
+    write scopes freely) and counts contended acquisitions in
+    ``waits`` — the ``commit_waits`` number the serving stats report,
+    a direct measure of writer-writer interference.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._owner: int | None = None
+        self._depth = 0
+        self.waits = 0
+
+    @property
+    def held_by_current_thread(self) -> bool:
+        return self._owner == threading.get_ident()
+
+    @property
+    def locked(self) -> bool:
+        """Whether any thread currently owns the latch (racy peek)."""
+        return self._owner is not None
+
+    def acquire(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._owner == me:
+                self._depth += 1
+                return
+            if self._owner is not None:
+                self.waits += 1
+                while self._owner is not None:
+                    self._cond.wait()
+            self._owner = me
+            self._depth = 1
+
+    def release(self) -> None:
+        with self._cond:
+            if self._owner != threading.get_ident():
+                raise RuntimeError("release() by a non-owning thread")
+            self._depth -= 1
+            if self._depth == 0:
+                self._owner = None
+                self._cond.notify()
+
+    @contextmanager
+    def held(self) -> Iterator[None]:
+        self.acquire()
+        try:
+            yield
+        finally:
+            self.release()
 
 
 class RWLock:

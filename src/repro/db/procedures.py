@@ -231,12 +231,12 @@ class ProcedureRegistry:
         procedure = self.get(name)
         bound = procedure.bind(arguments)
         if not procedure.writes:
-            with self._database.read_locked():
+            with self._database.read_locked(read_only=True):
                 try:
                     value = procedure.body(self._database, **bound)
                 except LockUpgradeError as exc:
                     # A declared-read-only body that mutates trips the
-                    # lock's upgrade refusal; name the real culprit.
+                    # snapshot pin's write refusal; name the real culprit.
                     raise ProcedureError(
                         f"procedure {name!r} is declared read-only but "
                         f"attempted to write: {exc}"

@@ -1,0 +1,235 @@
+"""MVCC snapshot management: the generation clock and reader pins.
+
+This module is the concurrency heart of the post-RWLock database.  The
+storage layer (:mod:`repro.db.table`) stamps every slot with the
+generation that created it and, eventually, the generation that deleted
+it; this module owns the two pieces that turn those stamps into
+snapshot-isolated reads:
+
+* :class:`GenerationClock` — the database-wide version counter.  A
+  transaction's mutations are stamped with ``current + 1`` (*pending*)
+  and become visible atomically when the commit advances the clock
+  (one integer assignment, no reader coordination).
+* :class:`SnapshotManager` — per-thread pin stacks plus a registry of
+  pinned generations.  ``pinned()`` captures the current generation for
+  the duration of a read scope (a serving turn, a streaming result, a
+  cache rebuild); every Table read issued inside the scope resolves
+  against that generation, so the whole turn observes one consistent
+  database state while writers append freely.
+
+Why this is safe without a readers–writer lock: bank cells of a
+published (visible) slot are never mutated in place — updates append a
+new version slot and tombstone the old one — so a reader holding a
+slot list can dereference cells lock-free.  The only multi-step
+structures (slot maps, index arrays, memo caches) are read and rebuilt
+under each table's short structure latch, held per operation rather
+than per turn.  Writers serialise whole transactions on the database's
+:class:`~repro.db.locks.CommitLatch`.
+
+Pin semantics:
+
+* nested pins on one thread share the outermost pin's generation, so a
+  turn's inner read scopes cannot drift forward mid-turn;
+* a thread holding the commit latch reads *current* state regardless of
+  its pins — a writing transaction sees its own uncommitted changes;
+* committing refreshes the committing thread's own pins to the new
+  generation, so the rest of its turn observes what it just wrote;
+* ``read_only`` pins forbid writes: the database's write scope raises
+  :class:`~repro.db.locks.LockUpgradeError` inside one, preserving the
+  "declared read-only but attempted to write" procedure error.
+
+The manager also answers :meth:`SnapshotManager.min_pinned`, the bound
+below which the vacuum may physically reclaim superseded versions and
+tombstones, and fires ``on_idle`` when the last pin drains so garbage
+does not linger until the next mutation.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+from repro.db.locks import CommitLatch
+
+__all__ = ["GenerationClock", "SnapshotManager", "SnapshotPin"]
+
+
+class GenerationClock:
+    """The database-wide MVCC version counter.
+
+    ``current`` is the newest committed generation; ``pending`` is the
+    stamp in-flight mutations carry (``current + 1``).  ``advance()``
+    runs at commit points only — under the commit latch — so readers
+    need no synchronisation beyond one atomic integer read.
+    """
+
+    __slots__ = ("current",)
+
+    def __init__(self, start: int = 0) -> None:
+        self.current = start
+
+    @property
+    def pending(self) -> int:
+        """The stamp uncommitted mutations carry right now."""
+        return self.current + 1
+
+    def advance(self) -> int:
+        """Publish the pending generation (commit point); returns it."""
+        self.current += 1
+        return self.current
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GenerationClock(current={self.current})"
+
+
+class SnapshotPin:
+    """One pinned read scope on one thread."""
+
+    __slots__ = ("generation", "read_only")
+
+    def __init__(self, generation: int, read_only: bool) -> None:
+        self.generation = generation
+        self.read_only = read_only
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        ro = ", read_only" if self.read_only else ""
+        return f"SnapshotPin(generation={self.generation}{ro})"
+
+
+class SnapshotManager:
+    """Per-thread snapshot pins over one :class:`GenerationClock`."""
+
+    def __init__(
+        self,
+        clock: GenerationClock,
+        latch: CommitLatch | None = None,
+        on_idle: Callable[[], None] | None = None,
+    ) -> None:
+        self._clock = clock
+        self._latch = latch
+        self._on_idle = on_idle
+        self._local = threading.local()
+        self._mutex = threading.Lock()
+        # generation -> number of live pins at it (across all threads).
+        self._pinned: dict[int, int] = {}
+        self.pins_taken = 0
+
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[SnapshotPin]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def pinned(self, read_only: bool = False) -> Iterator[SnapshotPin]:
+        """Pin the current generation for the scope's duration.
+
+        Nested pins inherit the outer pin's generation (one turn, one
+        snapshot).  The pin is registered so the vacuum keeps every
+        version the scope can still see.
+        """
+        stack = self._stack()
+        generation = stack[-1].generation if stack else self._clock.current
+        pin = SnapshotPin(generation, read_only)
+        with self._mutex:
+            self._pinned[generation] = self._pinned.get(generation, 0) + 1
+            self.pins_taken += 1
+        stack.append(pin)
+        try:
+            yield pin
+        finally:
+            stack.pop()
+            with self._mutex:
+                self._unregister_locked(pin.generation)
+                idle = not self._pinned
+            if idle and self._on_idle is not None:
+                # Outside the mutex: the idle hook vacuums, which takes
+                # table latches — never while holding the pin registry.
+                self._on_idle()
+
+    def _unregister_locked(self, generation: int) -> None:
+        count = self._pinned.get(generation, 0) - 1
+        if count > 0:
+            self._pinned[generation] = count
+        else:
+            self._pinned.pop(generation, None)
+
+    # ------------------------------------------------------------------
+    def active_generation(self) -> int | None:
+        """The generation this thread's reads must honour.
+
+        ``None`` means "read current state": the thread holds no pin, or
+        it holds the commit latch (a writing transaction must see its
+        own uncommitted changes).
+        """
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return None
+        latch = self._latch
+        if latch is not None and latch.held_by_current_thread:
+            return None
+        return stack[-1].generation
+
+    def writes_forbidden(self) -> bool:
+        """True when any pin on this thread's stack is read-only."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return False
+        return any(pin.read_only for pin in stack)
+
+    def pin_depth(self) -> int:
+        """This thread's pin nesting depth (observability)."""
+        stack = getattr(self._local, "stack", None)
+        return len(stack) if stack else 0
+
+    # ------------------------------------------------------------------
+    def min_pinned(self) -> int | None:
+        """Oldest generation any live pin still needs (None when idle)."""
+        with self._mutex:
+            return min(self._pinned) if self._pinned else None
+
+    def pin_count(self) -> int:
+        with self._mutex:
+            return sum(self._pinned.values())
+
+    @contextmanager
+    def pins_blocked(self) -> Iterator[bool]:
+        """Hold new pin registration; yields whether no pin is live.
+
+        The storage layer's in-place fast paths (mutating published
+        cells directly, exactly as the pre-MVCC code did) are only
+        sound while no reader is pinned *and* none can pin mid-write;
+        they run inside this scope when it yields ``True``.
+        """
+        with self._mutex:
+            yield not self._pinned
+
+    # ------------------------------------------------------------------
+    def refresh_current_thread(self) -> None:
+        """Move this thread's pins to the current generation.
+
+        Called after a commit advances the clock: the committing
+        thread's enclosing turn pin must observe the state it just
+        published, while other threads' pins stay where they are.
+        """
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return
+        current = self._clock.current
+        with self._mutex:
+            for pin in stack:
+                if pin.generation != current:
+                    self._unregister_locked(pin.generation)
+                    self._pinned[current] = self._pinned.get(current, 0) + 1
+                    pin.generation = current
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        with self._mutex:
+            return (
+                f"SnapshotManager(current={self._clock.current}, "
+                f"pinned={dict(self._pinned)})"
+            )

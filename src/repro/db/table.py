@@ -1,14 +1,34 @@
-"""Columnar row storage for one relation, with hash + ordered indexes.
+"""Columnar MVCC row storage for one relation, with hash + ordered indexes.
 
 Rows are stored column-oriented: one append-only Python list per column
 (a *bank*), parallel by storage *slot*.  A row id — internal and
 monotonically increasing, exactly as before the columnar refactor —
-maps to its slot through ``_slot_of``; deleted slots are recycled
-through a free list, so long-lived tables do not leak bank entries.
-The columnar layout is what the engine's batched execution mode runs
-on: predicates and reductions evaluate directly over the column lists
-with C-level builtins instead of materialising one dict per row (see
-:mod:`repro.db.engine.executor`).
+maps to its current slot through ``_slot_of``; reclaimed slots are
+recycled through a free list, so long-lived tables do not leak bank
+entries.  The columnar layout is what the engine's batched execution
+mode runs on: predicates and reductions evaluate directly over the
+column lists with C-level builtins instead of materialising one dict
+per row (see :mod:`repro.db.engine.executor`).
+
+On top of the banks sits a multi-version store.  Every slot carries two
+stamps from the database's :class:`~repro.db.snapshots.GenerationClock`:
+the generation that created it and (eventually) the generation that
+deleted it.  Writers never mutate a published cell — an update appends
+a fresh version slot for the same row id and tombstones the old one; a
+delete just tombstones — so readers pinned at generation ``g`` (see
+:class:`~repro.db.snapshots.SnapshotManager`) resolve a consistent
+snapshot by filtering slots with ``created <= g < deleted`` and can
+dereference bank cells lock-free.  Physical reclamation is deferred to
+:meth:`Table.vacuum`, gated on the oldest pinned generation.  Two fast
+paths keep the common case at pre-MVCC speed: a pinned read whose
+generation covers every stamp (``_max_stamp <= g``) uses the exact
+current-state structures, and a table not attached to a database (or
+one with no pinned reader) mutates in place exactly as the pre-MVCC
+code did.
+
+Structure reads and mutations synchronise on a short per-table latch
+(``_latch``) held per operation — never for a whole turn; whole writer
+transactions serialise on the database's commit latch above this layer.
 
 Row-oriented access survives as views: :meth:`Table.row_view` returns a
 lazy :class:`RowView` mapping backed by the banks (read-only by
@@ -18,8 +38,11 @@ and unique columns always do, since the constraint check needs the
 index anyway.  Columns can additionally carry an *ordered* secondary
 index (a bisect-maintained sorted array of ``(ordering key, row id)``
 pairs) so the query engine can push range predicates and ``ORDER BY``
-down instead of scanning and sorting.  The :class:`Table` exposes a
-low-level mutation API (``insert``/``update``/``delete``) used by
+down instead of scanning and sorting.  Indexes describe the *current*
+state (writers maintain them eagerly); a pinned reader whose snapshot
+is older falls back to visibility-filtered scans and a memoised
+snapshot-built ordered index.  The :class:`Table` exposes a low-level
+mutation API (``insert``/``update``/``delete``) used by
 :class:`repro.db.database.Database`, which layers transactions and
 foreign-key enforcement on top.
 """
@@ -27,6 +50,7 @@ foreign-key enforcement on top.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_left, bisect_right, insort
 from collections.abc import Mapping
 from itertools import accumulate, repeat
@@ -35,6 +59,7 @@ from typing import Any, Callable, Iterator, Sequence
 
 from repro.db.ordering import ordering_key
 from repro.db.schema import TableSchema
+from repro.db.snapshots import GenerationClock, SnapshotManager
 from repro.db.types import coerce, is_null
 from repro.errors import ConstraintViolation, UnknownColumnError
 
@@ -42,6 +67,12 @@ __all__ = ["Row", "RowView", "Table"]
 
 Row = dict[str, Any]
 """A materialised row: column name -> value."""
+
+# Bounded memo sizes for per-generation snapshot structures.  Stale
+# pins are transient (one serving turn overlapping one commit), so a
+# handful of generations in flight is already a pathological case.
+_VISIBLE_CACHE_CAP = 8
+_ORDERED_CACHE_CAP = 16
 
 
 class RowView(Mapping):
@@ -52,8 +83,9 @@ class RowView(Mapping):
     with the same items (via the :class:`Mapping` protocol) and support
     everything the executor and predicates need: ``row[col]``,
     ``col in row``, ``row.get``, ``row.items()`` and ``dict(row)``.
-    Views are invalidated by any mutation of their row's slot — hold
-    them only within one read-locked operation.
+    Views are valid for as long as their slot's version is visible to
+    the reading snapshot — published cells are never overwritten, and
+    the vacuum only reclaims slots no live snapshot can see.
     """
 
     __slots__ = ("_banks", "_slot")
@@ -224,8 +256,56 @@ class _OrderedIndex:
             i = j
 
 
+class _OrderedIndexHandle:
+    """The ordered index as seen by one reader.
+
+    The executor holds this handle across a scan; every call resolves
+    the right structure under the table latch — the live bisect index
+    for current-state reads, a memoised snapshot-built copy for a
+    pinned reader whose generation predates newer stamps — and extracts
+    what it needs before releasing the latch, so a concurrent writer's
+    ``insort`` can never tear a bisect walk.
+    """
+
+    __slots__ = ("_table", "_column")
+
+    def __init__(self, table: "Table", column: str) -> None:
+        self._table = table
+        self._column = column
+
+    def __len__(self) -> int:
+        table = self._table
+        with table._latch:
+            return len(table._ordered_for_read(self._column))
+
+    def first_id(self) -> int | None:
+        table = self._table
+        with table._latch:
+            return table._ordered_for_read(self._column).first_id()
+
+    def last_id(self) -> int | None:
+        table = self._table
+        with table._latch:
+            return table._ordered_for_read(self._column).last_id()
+
+    def range_ids(self, *args, **kwargs) -> list[int]:
+        table = self._table
+        with table._latch:
+            return table._ordered_for_read(self._column).range_ids(
+                *args, **kwargs
+            )
+
+    def descending_range_ids(self, *args, **kwargs) -> Iterator[int]:
+        # Materialised under the latch: the laziness of the underlying
+        # generator is not worth letting it race writer insorts.
+        table = self._table
+        with table._latch:
+            index = table._ordered_for_read(self._column)
+            return iter(list(index.descending_range_ids(*args, **kwargs)))
+
+
 class Table:
-    """Mutable columnar storage for the rows of one table schema."""
+    """Mutable columnar MVCC storage for the rows of one table schema."""
 
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
@@ -235,6 +315,21 @@ class Table:
         self._slot_of: dict[int, int] = {}
         self._id_at: list[int | None] = []
         self._free: set[int] = set()
+        # MVCC stamps, parallel to the banks by slot: the generation
+        # that created the version and the generation that ended it
+        # (None while live).  ``_dead`` holds ended-but-unreclaimed
+        # slots (tombstones and superseded versions) until vacuum.
+        self._created: list[int] = []
+        self._deleted: list[int | None] = []
+        self._dead: set[int] = set()
+        self._max_stamp = 0
+        # Standalone tables own a private clock and advance it per
+        # mutation (single-threaded semantics, immediate reclamation);
+        # Database rebinds both to its shared clock/snapshot manager.
+        self._clock = GenerationClock()
+        self._snapshots: SnapshotManager | None = None
+        self._in_transaction: Callable[[], bool] | None = None
+        self._latch = threading.RLock()
         # _dense: slots, walked front to back, are exactly the rows in
         # ascending row-id order with no holes — the common append-only
         # case, where a scan is the banks themselves.  _id_ordered:
@@ -251,11 +346,132 @@ class Table:
         self._group_layouts: dict[str, tuple[int, Any]] = {}
         self._group_tallies: dict[tuple[str, str], tuple[int, Any]] = {}
         self._slot_bucket_cache: dict[str, tuple[int, Any]] = {}
+        # Per-generation snapshot structures for stale pinned readers:
+        # generation -> (epoch, visible slots ascending by rid, rid map)
+        # and (column, generation) -> (epoch, snapshot ordered index).
+        self._visible_cache: dict[
+            int, tuple[int, list[int], dict[int, int]]
+        ] = {}
+        self._ordered_cache: dict[
+            tuple[str, int], tuple[int, _OrderedIndex]
+        ] = {}
         if schema.primary_key:
             self.create_index(schema.primary_key)
         for column in schema.columns:
             if column.unique:
                 self.create_index(column.name)
+
+    # ------------------------------------------------------------------
+    # MVCC wiring
+    # ------------------------------------------------------------------
+    def bind_versioning(
+        self,
+        clock: GenerationClock,
+        snapshots: SnapshotManager,
+        in_transaction: Callable[[], bool] | None = None,
+    ) -> None:
+        """Attach the database's shared clock and snapshot manager.
+
+        Called by :class:`~repro.db.database.Database` on (empty)
+        tables it owns; from then on commit points advance the shared
+        clock and reclamation is gated on pinned snapshots.
+        ``in_transaction`` reports an open multi-statement transaction —
+        while one is open, updates must version-append even with no
+        reader pinned, because a reader pinning *before the commit*
+        must not see any of the transaction's writes.
+        """
+        self._clock = clock
+        self._snapshots = snapshots
+        self._in_transaction = in_transaction
+
+    def _pin_generation(self) -> int | None:
+        """The calling thread's pinned generation, or None for current."""
+        snapshots = self._snapshots
+        if snapshots is None:
+            return None
+        return snapshots.active_generation()
+
+    def _stale(self, generation: int | None) -> bool:
+        """Latch-held: must this read take the visibility-filtered path?"""
+        return generation is not None and self._max_stamp > generation
+
+    def _autocommit(self) -> None:
+        """Standalone-table mode: each mutation is its own commit."""
+        if self._snapshots is None:
+            self._clock.advance()
+            if self._dead:
+                self.vacuum()
+
+    # ------------------------------------------------------------------
+    # Snapshot structures (built and memoised under the latch)
+    # ------------------------------------------------------------------
+    def _visible(
+        self, generation: int
+    ) -> tuple[list[int], dict[int, int]]:
+        """Latch-held: (slots ascending by rid, rid -> slot) at ``generation``."""
+        entry = self._visible_cache.get(generation)
+        if entry is not None and entry[0] == self._mutations:
+            return entry[1], entry[2]
+        created = self._created
+        deleted = self._deleted
+        pairs: list[tuple[int, int]] = []
+        for slot, rid in enumerate(self._id_at):
+            if rid is None or created[slot] > generation:
+                continue
+            ended = deleted[slot]
+            if ended is not None and ended <= generation:
+                continue
+            pairs.append((rid, slot))
+        # At most one version of a row id is visible at any generation
+        # (an update ends the old version at the exact generation that
+        # creates the new one), so the pairs sort to unique rids.
+        pairs.sort()
+        slots = [slot for __, slot in pairs]
+        rid_map = dict(pairs)
+        if len(self._visible_cache) >= _VISIBLE_CACHE_CAP:
+            self._visible_cache.pop(next(iter(self._visible_cache)))
+        self._visible_cache[generation] = (self._mutations, slots, rid_map)
+        return slots, rid_map
+
+    def _visible_map(self) -> dict[int, int]:
+        """rid -> slot for the calling thread's read (pin-aware)."""
+        generation = self._pin_generation()
+        if generation is None:
+            return self._slot_of
+        with self._latch:
+            if not self._stale(generation):
+                return self._slot_of
+            return self._visible(generation)[1]
+
+    def _snapshot_ordered(
+        self, column: str, generation: int
+    ) -> _OrderedIndex:
+        """Latch-held: ordered index over the rows visible at ``generation``."""
+        key = (column, generation)
+        entry = self._ordered_cache.get(key)
+        if entry is not None and entry[0] == self._mutations:
+            return entry[1]
+        slots, __ = self._visible(generation)
+        bank = self._banks[column]
+        id_at = self._id_at
+        index = _OrderedIndex()
+        entries = index._entries
+        for slot in slots:
+            value = bank[slot]
+            if not is_null(value):
+                entries.append((ordering_key(value), id_at[slot]))
+        entries.sort()
+        if len(self._ordered_cache) >= _ORDERED_CACHE_CAP:
+            self._ordered_cache.pop(next(iter(self._ordered_cache)))
+        self._ordered_cache[key] = (self._mutations, index)
+        return index
+
+    def _ordered_for_read(self, column: str) -> _OrderedIndex:
+        """Latch-held: the right ordered index for the calling reader."""
+        generation = self._pin_generation()
+        if self._stale(generation):
+            return self._snapshot_ordered(column, generation)
+        return self._ordered_indexes[column]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -265,7 +481,13 @@ class Table:
         return self.schema.name
 
     def __len__(self) -> int:
-        return len(self._slot_of)
+        generation = self._pin_generation()
+        if generation is None:
+            return len(self._slot_of)
+        with self._latch:
+            if not self._stale(generation):
+                return len(self._slot_of)
+            return len(self._visible(generation)[0])
 
     def __iter__(self) -> Iterator[Row]:
         """Iterate over copies of all rows (stable order by row id).
@@ -277,10 +499,15 @@ class Table:
         return iter(self.materialise_slots(self.scan_slots()))
 
     def row_ids(self) -> list[int]:
-        return sorted(self._slot_of)
+        generation = self._pin_generation()
+        with self._latch:
+            if self._stale(generation):
+                # The visible map iterates in ascending-rid order.
+                return list(self._visible(generation)[1])
+            return sorted(self._slot_of)
 
     def has_row(self, row_id: int) -> bool:
-        return row_id in self._slot_of
+        return row_id in self._visible_map()
 
     def _row_at(self, slot: int) -> Row:
         """Fresh dict of the row at ``slot`` (bank layout's single exit)."""
@@ -290,7 +517,7 @@ class Table:
 
     def get(self, row_id: int) -> Row:
         """Return a fresh dict copy of the row with internal id ``row_id``."""
-        return self._row_at(self._slot_of[row_id])
+        return self._row_at(self._visible_map()[row_id])
 
     def row_view(self, row_id: int) -> RowView:
         """A lazy bank-backed view of one row — read-only by convention.
@@ -299,7 +526,7 @@ class Table:
         dict copy per visited row; anything handed back to callers is
         copied (or rebuilt) at the output boundary.
         """
-        return RowView(self._banks, self._slot_of[row_id])
+        return RowView(self._banks, self._visible_map()[row_id])
 
     def iter_view_items(self) -> Iterator[tuple[int, RowView]]:
         """``(row_id, row view)`` pairs in row-id order (read-only)."""
@@ -319,8 +546,10 @@ class Table:
     def has_ordered_index(self, column: str) -> bool:
         return column in self._ordered_indexes
 
-    def ordered_index(self, column: str) -> _OrderedIndex:
-        return self._ordered_indexes[column]
+    def ordered_index(self, column: str) -> _OrderedIndexHandle:
+        if column not in self._ordered_indexes:
+            raise KeyError(column)
+        return _OrderedIndexHandle(self, column)
 
     def hash_index_columns(self) -> list[str]:
         """Columns carrying a hash index (sorted; includes pk/unique)."""
@@ -340,16 +569,22 @@ class Table:
         return self._banks
 
     def scan_slots(self) -> "range | list[int]":
-        """Active slots in ascending row-id order.
+        """Slots visible to the calling reader, in ascending row-id order.
 
         Returns a :class:`range` covering the banks whole when the table
         is dense (no holes, slots already in id order) so batched
-        operators can run directly over the full column lists.
+        operators can run directly over the full column lists.  A
+        pinned reader whose generation predates newer stamps gets the
+        visibility-filtered slot list instead.
         """
-        if self._dense:
-            return range(len(self._id_at))
-        slot_of = self._slot_of
-        return [slot_of[rid] for rid in sorted(slot_of)]
+        generation = self._pin_generation()
+        with self._latch:
+            if self._stale(generation):
+                return self._visible(generation)[0]
+            if self._dense:
+                return range(len(self._id_at))
+            slot_of = self._slot_of
+            return [slot_of[rid] for rid in sorted(slot_of)]
 
     def ids_for_slots(self, slots: Sequence[int]) -> list[int]:
         """Row ids of ``slots``, preserving the given slot order."""
@@ -362,14 +597,16 @@ class Table:
         The bridge from index lookups (which speak row ids) back into
         the batched executor's slot world.
         """
-        slot_of = self._slot_of
+        slot_of = self._visible_map()
         return [slot_of[r] for r in row_ids]
 
     def index_buckets(self, column: str) -> dict[Any, set[int]]:
         """The hash index's ``value -> row-id set`` buckets for
-        ``column`` (read-only by convention).  NULLs are not indexed, so
-        the buckets cover ``len(table)`` rows only when the column holds
-        no NULL.  Raises ``KeyError`` when the column is unindexed."""
+        ``column`` (read-only by convention; current state — pinned
+        readers resolve through the visibility-aware surfaces instead).
+        NULLs are not indexed, so the buckets cover ``len(table)`` rows
+        only when the column holds no NULL.  Raises ``KeyError`` when
+        the column is unindexed."""
         return self._indexes[column]._buckets
 
     def grouped_layout(
@@ -390,57 +627,79 @@ class Table:
         The layout is pure index structure (no cell values), so it is
         memoised until the next mutation.  Returns ``None`` when the
         column is unindexed or holds NULLs (NULL keys never enter the
-        index, so the buckets would not cover the table).
+        index, so the buckets would not cover the table), and for a
+        pinned reader whose snapshot predates newer stamps — the index
+        describes current state, so the executor falls back to its
+        scan-based grouping for that turn.
         """
         index = self._indexes.get(column)
         if index is None:
             return None
-        generation = self._mutations
-        cached = self._group_layouts.get(column)
-        if cached is not None and cached[0] == generation:
-            return cached[1]
-        buckets = index._buckets
-        layout: tuple[list, list[int], list[int]] | None
-        if sum(map(len, buckets.values())) != len(self._slot_of):
-            layout = None
-        else:
-            # First-appearance order == ascending minimum row id; the
-            # minima are distinct across groups, so the tuple sort never
-            # falls through to comparing (possibly mixed-type) keys.
-            groups = []
-            for value, ids in buckets.items():
-                ordered = sorted(ids)
-                groups.append((ordered[0], value, ordered))
-            groups.sort()
-            keys: list = []
-            flat_ids: list[int] = []
-            bounds: list[int] = [0]
-            for __, value, ordered in groups:
-                keys.append(value)
-                flat_ids.extend(ordered)
-                bounds.append(len(flat_ids))
-            layout = (keys, self.slots_for_ids(flat_ids), bounds)
-        self._group_layouts[column] = (generation, layout)
-        return layout
+        with self._latch:
+            if self._stale(self._pin_generation()):
+                return None
+            generation = self._mutations
+            cached = self._group_layouts.get(column)
+            if cached is not None and cached[0] == generation:
+                return cached[1]
+            buckets = index._buckets
+            layout: tuple[list, list[int], list[int]] | None
+            if sum(map(len, buckets.values())) != len(self._slot_of):
+                layout = None
+            else:
+                # First-appearance order == ascending minimum row id;
+                # the minima are distinct across groups, so the tuple
+                # sort never falls through to comparing (possibly
+                # mixed-type) keys.
+                groups = []
+                for value, ids in buckets.items():
+                    ordered = sorted(ids)
+                    groups.append((ordered[0], value, ordered))
+                groups.sort()
+                keys: list = []
+                flat_ids: list[int] = []
+                bounds: list[int] = [0]
+                for __, value, ordered in groups:
+                    keys.append(value)
+                    flat_ids.extend(ordered)
+                    bounds.append(len(flat_ids))
+                slot_of = self._slot_of
+                layout = (keys, [slot_of[r] for r in flat_ids], bounds)
+            self._group_layouts[column] = (generation, layout)
+            return layout
 
     def slot_buckets(self, column: str) -> dict[Any, list[int]]:
-        """``value -> active slots`` (scan order) for ``column``.
+        """``value -> visible slots`` (scan order) for ``column``.
 
         The build side of a batched hash join, memoised per mutation
         generation like :meth:`grouped_layout` — a join index in slot
         space, so repeated probes skip both the per-query build pass
         and any row-id-to-slot translation.  NULLs never match an
         equi-join, so they get no bucket.  Works for any column,
-        indexed or not.
+        indexed or not.  A stale pinned reader gets a fresh (unmemoised)
+        build over its visible slots.
         """
-        generation = self._mutations
-        cached = self._slot_bucket_cache.get(column)
-        if cached is not None and cached[0] == generation:
-            return cached[1]
+        generation = self._pin_generation()
+        with self._latch:
+            if self._stale(generation):
+                return self._bucket_build(
+                    column, self._visible(generation)[0]
+                )
+            epoch = self._mutations
+            cached = self._slot_bucket_cache.get(column)
+            if cached is not None and cached[0] == epoch:
+                return cached[1]
+            buckets = self._bucket_build(column, self.scan_slots())
+            self._slot_bucket_cache[column] = (epoch, buckets)
+            return buckets
+
+    def _bucket_build(
+        self, column: str, slots: Sequence[int]
+    ) -> dict[Any, list[int]]:
         bank = self._banks[column]
         buckets: dict[Any, list[int]] = {}
         get = buckets.get
-        for slot in self.scan_slots():
+        for slot in slots:
             value = bank[slot]
             if value is None:
                 continue
@@ -449,7 +708,6 @@ class Table:
                 buckets[value] = [slot]
             else:
                 bucket.append(slot)
-        self._slot_bucket_cache[column] = (generation, buckets)
         return buckets
 
     def grouped_tallies(
@@ -469,29 +727,32 @@ class Table:
         count-augmented B-tree): any mutation invalidates it.  Returns
         ``None`` when there is no layout for ``column``.
         """
-        layout = self.grouped_layout(column)
-        if layout is None:
-            return None
-        generation = self._mutations
-        memo_key = (column, value_column)
-        cached = self._group_tallies.get(memo_key)
-        if cached is not None and cached[0] == generation:
-            return cached[1]
-        values = list(map(self._banks[value_column].__getitem__, layout[1]))
-        counts: list[int] | None
-        if None in values:
-            tallies = list(accumulate(
-                (0 if v is None else v for v in values), initial=0
-            ))
-            counts = list(accumulate(
-                (v is not None for v in values), initial=0
-            ))
-        else:
-            tallies = list(accumulate(values, initial=0))
-            counts = None
-        result = (tallies, counts)
-        self._group_tallies[memo_key] = (generation, result)
-        return result
+        with self._latch:
+            layout = self.grouped_layout(column)
+            if layout is None:
+                return None
+            generation = self._mutations
+            memo_key = (column, value_column)
+            cached = self._group_tallies.get(memo_key)
+            if cached is not None and cached[0] == generation:
+                return cached[1]
+            values = list(
+                map(self._banks[value_column].__getitem__, layout[1])
+            )
+            counts: list[int] | None
+            if None in values:
+                tallies = list(accumulate(
+                    (0 if v is None else v for v in values), initial=0
+                ))
+                counts = list(accumulate(
+                    (v is not None for v in values), initial=0
+                ))
+            else:
+                tallies = list(accumulate(values, initial=0))
+                counts = None
+            result = (tallies, counts)
+            self._group_tallies[memo_key] = (generation, result)
+            return result
 
     def views_for_slots(self, slots: Sequence[int]) -> Iterator[RowView]:
         """Lazy row views over ``slots``, preserving the given order."""
@@ -514,7 +775,15 @@ class Table:
         names = self._columns if columns is None else tuple(columns)
         banks = [self._banks[c] for c in names]
         if type(slots) is range:
-            selected = banks
+            # A pinned reader's range is a *prefix*: writers may have
+            # appended past it since the snapshot was taken, so only
+            # treat the banks as whole when the lengths still agree.
+            if banks and len(banks[0]) != slots.stop:
+                selected: Sequence[Sequence[Any]] = [
+                    bank[: slots.stop] for bank in banks
+                ]
+            else:
+                selected = banks
         elif len(slots) > 1:
             # One C-level gather per bank instead of a Python loop per
             # bank — this is what keeps wide projections columnar.
@@ -534,42 +803,49 @@ class Table:
     def create_index(self, column: str) -> None:
         """Build (or rebuild) a hash index on ``column``."""
         self.schema.column(column)  # raises UnknownColumnError
-        self._mutations += 1
-        index = _HashIndex()
-        bank = self._banks[column]
-        for row_id, slot in self._slot_of.items():
-            index.add(bank[slot], row_id)
-        self._indexes[column] = index
+        with self._latch:
+            self._mutations += 1
+            index = _HashIndex()
+            bank = self._banks[column]
+            for row_id, slot in self._slot_of.items():
+                index.add(bank[slot], row_id)
+            self._indexes[column] = index
 
     def create_ordered_index(self, column: str) -> None:
         """Build (or rebuild) an ordered secondary index on ``column``."""
         self.schema.column(column)  # raises UnknownColumnError
-        index = _OrderedIndex()
-        bank = self._banks[column]
-        for row_id, slot in self._slot_of.items():
-            index.add(bank[slot], row_id)
-        self._ordered_indexes[column] = index
+        with self._latch:
+            index = _OrderedIndex()
+            bank = self._banks[column]
+            for row_id, slot in self._slot_of.items():
+                index.add(bank[slot], row_id)
+            self._ordered_indexes[column] = index
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def _allocate_slot(self, row_id: int) -> int:
+    def _allocate_slot(self, row_id: int, stamp: int) -> int:
         """Claim a slot for ``row_id``: reuse a freed one or append."""
         if self._free:
             # A recycled slot sits in front of newer ids: the id order
             # of the slot walk is broken until the table fully empties.
             slot = self._free.pop()
             self._id_at[slot] = row_id
+            self._created[slot] = stamp
+            self._deleted[slot] = None
             self._id_ordered = False
         else:
             slot = len(self._id_at)
             self._id_at.append(row_id)
+            self._created.append(stamp)
+            self._deleted.append(None)
             for bank in self._bank_list:
                 bank.append(None)
             if slot > 0:
                 previous = self._id_at[slot - 1]
                 if previous is not None and previous > row_id:
-                    # An out-of-order restore at the tail.
+                    # An out-of-order restore (or version append) at
+                    # the tail.
                     self._dense = False
                     self._id_ordered = False
         self._slot_of[row_id] = slot
@@ -579,30 +855,51 @@ class Table:
         for column, bank in zip(self._columns, self._bank_list):
             bank[slot] = row[column]
 
+    def _stamp(self) -> int:
+        """The pending generation, recorded as this table's newest stamp."""
+        stamp = self._clock.pending
+        if stamp > self._max_stamp:
+            self._max_stamp = stamp
+        return stamp
+
     def insert(self, values: dict[str, Any]) -> int:
         """Insert one row; returns the internal row id.
 
         Values are coerced to the declared column types; missing columns
         default to NULL.  Raises :class:`ConstraintViolation` on NOT NULL,
         primary-key or unique violations, and
-        :class:`UnknownColumnError` for unexpected keys.
+        :class:`UnknownColumnError` for unexpected keys.  The new
+        version is stamped with the pending generation: invisible to
+        pinned snapshots until the owning commit advances the clock.
         """
         row = self._normalise(values)
         self._check_not_null(row)
         self._check_unique(row, exclude_row_id=None)
-        row_id = self._next_row_id
-        self._next_row_id += 1
-        self._mutations += 1
-        slot = self._allocate_slot(row_id)
-        self._write_slot(slot, row)
-        for column, index in self._indexes.items():
-            index.add(row[column], row_id)
-        for column, ordered in self._ordered_indexes.items():
-            ordered.add(row[column], row_id)
+        with self._latch:
+            self._mutations += 1
+            stamp = self._stamp()
+            row_id = self._next_row_id
+            self._next_row_id += 1
+            slot = self._allocate_slot(row_id, stamp)
+            self._write_slot(slot, row)
+            for column, index in self._indexes.items():
+                index.add(row[column], row_id)
+            for column, ordered in self._ordered_indexes.items():
+                ordered.add(row[column], row_id)
+        self._autocommit()
         return row_id
 
     def update(self, row_id: int, changes: dict[str, Any]) -> Row:
-        """Apply ``changes`` to an existing row; returns a copy of the old row."""
+        """Apply ``changes`` to an existing row; returns a copy of the old row.
+
+        Version semantics: while any reader is pinned, the update
+        appends a fresh version slot and tombstones the old one, so the
+        pinned snapshot keeps reading the old cells.  With no pins live
+        (and registration blocked for the duration), or when the slot
+        was created by the still-uncommitted pending generation (its
+        cells are invisible to every snapshot), the update writes in
+        place — the pre-MVCC fast path, which also preserves density.
+        """
         slot = self._slot_of[row_id]
         old = self._row_at(slot)
         new = dict(old)
@@ -611,6 +908,29 @@ class Table:
             new[column] = coerce(value, col.dtype)
         self._check_not_null(new)
         self._check_unique(new, exclude_row_id=row_id)
+        snapshots = self._snapshots
+        with self._latch:
+            if snapshots is None or self._created[slot] == self._clock.pending:
+                self._update_in_place(row_id, slot, old, new)
+            elif self._in_transaction is not None and self._in_transaction():
+                # Mid-transaction, "no pins right now" is not enough: a
+                # reader pinning before the commit must see none of the
+                # transaction's writes, so the committed slot must
+                # survive untouched until then.
+                self._append_version(row_id, slot, old, new)
+            else:
+                with snapshots.pins_blocked() as unpinned:
+                    if unpinned:
+                        self._update_in_place(row_id, slot, old, new)
+                    else:
+                        self._append_version(row_id, slot, old, new)
+        self._autocommit()
+        return old
+
+    def _update_in_place(
+        self, row_id: int, slot: int, old: Row, new: Row
+    ) -> None:
+        """Latch-held: overwrite the slot's cells (no visible snapshot)."""
         self._mutations += 1
         for column, index in self._indexes.items():
             if old[column] != new[column]:
@@ -624,48 +944,50 @@ class Table:
         for column, value in new.items():
             if old[column] is not value:
                 banks[column][slot] = value
-        return old
+
+    def _append_version(
+        self, row_id: int, slot: int, old: Row, new: Row
+    ) -> None:
+        """Latch-held: publish ``new`` as a fresh version of ``row_id``."""
+        self._mutations += 1
+        stamp = self._stamp()
+        self._deleted[slot] = stamp
+        self._dead.add(slot)
+        new_slot = self._allocate_slot(row_id, stamp)
+        self._write_slot(new_slot, new)
+        # The superseded slot stays occupied until vacuum: the layout
+        # has a non-live resident, so the dense fast path is off.
+        self._dense = False
+        for column, index in self._indexes.items():
+            if old[column] != new[column]:
+                index.remove(old[column], row_id)
+                index.add(new[column], row_id)
+        for column, ordered in self._ordered_indexes.items():
+            if old[column] != new[column]:
+                ordered.remove(old[column], row_id)
+                ordered.add(new[column], row_id)
 
     def delete(self, row_id: int) -> Row:
-        """Delete a row; returns a copy of it (for undo logs)."""
-        slot = self._slot_of.pop(row_id)
-        row = self._row_at(slot)
-        self._mutations += 1
-        for column, index in self._indexes.items():
-            index.remove(row[column], row_id)
-        for column, ordered in self._ordered_indexes.items():
-            ordered.remove(row[column], row_id)
-        if not self._slot_of:
-            # Table emptied: reset the banks wholesale so a refill is
-            # append-only (dense) again.
-            self._id_at.clear()
-            self._free.clear()
-            for bank in self._bank_list:
-                bank.clear()
-            self._dense = True
-            self._id_ordered = True
-        elif slot == len(self._id_at) - 1:
-            # Popping the tail keeps the layout hole-free; also shed any
-            # freed slots that become trailing.
-            self._id_at.pop()
-            for bank in self._bank_list:
-                bank.pop()
-            while self._id_at and self._id_at[-1] is None:
-                tail = len(self._id_at) - 1
-                self._id_at.pop()
-                for bank in self._bank_list:
-                    bank.pop()
-                self._free.discard(tail)
-            if self._id_ordered and not self._free:
-                # Hole-free and id-ordered again: the scan fast path is
-                # back (density recovers once the free set drains).
-                self._dense = True
-        else:
-            self._id_at[slot] = None
-            for bank in self._bank_list:
-                bank[slot] = None
-            self._free.add(slot)
+        """Delete a row; returns a copy of it (for undo logs).
+
+        The slot is tombstoned (stamped dead at the pending generation),
+        not cleared: pinned snapshots older than the delete keep reading
+        it until :meth:`vacuum` reclaims it.  Standalone tables vacuum
+        immediately, reproducing the pre-MVCC physical layout exactly.
+        """
+        with self._latch:
+            slot = self._slot_of.pop(row_id)
+            row = self._row_at(slot)
+            self._mutations += 1
+            stamp = self._stamp()
+            self._deleted[slot] = stamp
+            self._dead.add(slot)
             self._dense = False
+            for column, index in self._indexes.items():
+                index.remove(row[column], row_id)
+            for column, ordered in self._ordered_indexes.items():
+                ordered.remove(row[column], row_id)
+        self._autocommit()
         return row
 
     def restore(self, row_id: int, row: Row) -> None:
@@ -674,15 +996,132 @@ class Table:
             raise ConstraintViolation(
                 f"table {self.name!r}: cannot restore row {row_id}, id in use"
             )
-        self._mutations += 1
-        slot = self._allocate_slot(row_id)
-        for column, bank in zip(self._columns, self._bank_list):
-            bank[slot] = row.get(column)
-        self._next_row_id = max(self._next_row_id, row_id + 1)
-        for column, index in self._indexes.items():
-            index.add(row.get(column), row_id)
-        for column, ordered in self._ordered_indexes.items():
-            ordered.add(row.get(column), row_id)
+        with self._latch:
+            self._mutations += 1
+            stamp = self._stamp()
+            slot = self._allocate_slot(row_id, stamp)
+            for column, bank in zip(self._columns, self._bank_list):
+                bank[slot] = row.get(column)
+            self._next_row_id = max(self._next_row_id, row_id + 1)
+            for column, index in self._indexes.items():
+                index.add(row.get(column), row_id)
+            for column, ordered in self._ordered_indexes.items():
+                ordered.add(row.get(column), row_id)
+        self._autocommit()
+
+    # ------------------------------------------------------------------
+    # Vacuum (physical reclamation)
+    # ------------------------------------------------------------------
+    def vacuum(self, min_pinned: int | None = None) -> int:
+        """Reclaim dead versions no snapshot can see; returns the count.
+
+        A slot is reclaimable when its delete stamp is at or below the
+        oldest pinned generation (every live and future pin reads past
+        it) or when it was created and deleted at the same generation
+        (a rolled-back birth: visible at no generation at all).  The
+        pass also restores the dense-scan invariants the pre-MVCC
+        delete maintained inline: trailing holes are shed, a fully
+        emptied table resets its banks wholesale, and density returns
+        once no hole or dead slot remains.
+        """
+        with self._latch:
+            if not self._dead:
+                return 0
+            pending = self._clock.pending
+            if self._in_transaction is None or not self._in_transaction():
+                # Aborted version-appends: the rollback restored the old
+                # image into a pending-created duplicate while the
+                # original sits tombstoned at the same (never-committed)
+                # pending stamp.  Revert physically — un-tombstone the
+                # original, retire the duplicate — so aborts leave no
+                # residue behind.  Safe under live pins: the original
+                # was visible to them either way, the duplicate never
+                # was.
+                for slot in list(self._dead):
+                    if self._deleted[slot] != pending:
+                        continue
+                    rid = self._id_at[slot]
+                    dup = self._slot_of.get(rid) if rid is not None else None
+                    if dup is None or self._created[dup] != pending:
+                        continue
+                    if any(
+                        bank[slot] != bank[dup] for bank in self._bank_list
+                    ):
+                        # Not a rollback residue: the duplicate carries a
+                        # different image (e.g. a manual delete+restore
+                        # awaiting its commit).  Leave both versions be.
+                        continue
+                    self._mutations += 1
+                    self._deleted[slot] = None
+                    self._slot_of[rid] = slot
+                    self._deleted[dup] = self._created[dup]
+                    self._dead.discard(slot)
+                    self._dead.add(dup)
+                if not self._dead:
+                    return 0
+            bound = self._clock.current
+            if min_pinned is not None and min_pinned < bound:
+                bound = min_pinned
+            created = self._created
+            deleted = self._deleted
+            freed = [
+                slot
+                for slot in self._dead
+                if deleted[slot] <= bound or created[slot] == deleted[slot]
+            ]
+            if not freed:
+                return 0
+            self._mutations += 1
+            for slot in freed:
+                self._dead.discard(slot)
+                self._id_at[slot] = None
+                self._created[slot] = 0
+                self._deleted[slot] = None
+                for bank in self._bank_list:
+                    bank[slot] = None
+                self._free.add(slot)
+            if not self._slot_of and not self._dead:
+                # Table emptied: reset the banks wholesale so a refill
+                # is append-only (dense) again.
+                self._id_at.clear()
+                self._free.clear()
+                self._created.clear()
+                self._deleted.clear()
+                for bank in self._bank_list:
+                    bank.clear()
+                self._dense = True
+                self._id_ordered = True
+            else:
+                # Shed trailing holes so tail-heavy delete patterns keep
+                # the layout hole-free, exactly as the in-delete
+                # compaction used to.
+                while self._id_at and self._id_at[-1] is None:
+                    tail = len(self._id_at) - 1
+                    self._id_at.pop()
+                    self._created.pop()
+                    self._deleted.pop()
+                    for bank in self._bank_list:
+                        bank.pop()
+                    self._free.discard(tail)
+                self._dense = (
+                    self._id_ordered and not self._free and not self._dead
+                )
+            # Recompute the newest stamp still resident: once the clock
+            # has advanced past every remaining stamp, pinned readers
+            # get their exact fast paths back.
+            stamp = 0
+            created = self._created
+            deleted = self._deleted
+            for slot, rid in enumerate(self._id_at):
+                if rid is None:
+                    continue
+                if created[slot] > stamp:
+                    stamp = created[slot]
+                ended = deleted[slot]
+                if ended is not None and ended > stamp:
+                    stamp = ended
+            self._max_stamp = stamp
+            return len(freed)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -693,16 +1132,25 @@ class Table:
         needle = coerce(value, col.dtype)
         if needle is None:
             return []
-        index = self._indexes.get(column)
-        if index is not None:
-            return sorted(index.lookup(needle))
-        bank = self._banks[column]
-        id_at = self._id_at
-        return [
-            id_at[slot]
-            for slot in self.scan_slots()
-            if bank[slot] == needle
-        ]
+        generation = self._pin_generation()
+        with self._latch:
+            if self._stale(generation):
+                # The index describes current state; filter the
+                # snapshot's visible slots instead (rid-sorted already).
+                slots, __ = self._visible(generation)
+                bank = self._banks[column]
+                id_at = self._id_at
+                return [id_at[s] for s in slots if bank[s] == needle]
+            index = self._indexes.get(column)
+            if index is not None:
+                return sorted(index.lookup(needle))
+            bank = self._banks[column]
+            id_at = self._id_at
+            return [
+                id_at[slot]
+                for slot in self.scan_slots()
+                if bank[slot] == needle
+            ]
 
     def scan(self, predicate: Callable[[Row], bool] | None = None) -> list[int]:
         """Row ids of rows matching ``predicate`` (all rows when ``None``)."""
@@ -727,9 +1175,10 @@ class Table:
         if row_ids is None:
             slots = self.scan_slots()
             if type(slots) is range:
-                return bank[:]
+                # Slice to the snapshot prefix: the bank may have grown.
+                return bank[: slots.stop]
             return [bank[s] for s in slots]
-        slot_of = self._slot_of
+        slot_of = self._visible_map()
         return [bank[slot_of[rid]] for rid in row_ids]
 
     def column_arrays(self) -> dict[str, list]:
@@ -742,7 +1191,7 @@ class Table:
         slots = self.scan_slots()
         if type(slots) is range:
             return {
-                column: bank[:]
+                column: bank[: slots.stop]
                 for column, bank in zip(self._columns, self._bank_list)
             }
         return {
@@ -752,16 +1201,24 @@ class Table:
 
     def distinct_count(self, column: str) -> int:
         """Number of distinct non-NULL values in ``column``."""
-        index = self._indexes.get(column)
-        if index is not None:
-            return len(index)
-        bank = self._banks[column]
-        values = {
-            bank[slot]
-            for slot in self.scan_slots()
-            if not is_null(bank[slot])
-        }
-        return len(values)
+        generation = self._pin_generation()
+        with self._latch:
+            if self._stale(generation):
+                slots, __ = self._visible(generation)
+                bank = self._banks[column]
+                return len({
+                    bank[s] for s in slots if not is_null(bank[s])
+                })
+            index = self._indexes.get(column)
+            if index is not None:
+                return len(index)
+            bank = self._banks[column]
+            values = {
+                bank[slot]
+                for slot in self.scan_slots()
+                if not is_null(bank[slot])
+            }
+            return len(values)
 
     # ------------------------------------------------------------------
     # Internals

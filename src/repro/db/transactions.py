@@ -1,11 +1,15 @@
 """Transaction support: undo logging, savepoints, commit/rollback.
 
-Transactions execute under the database's exclusive write lock (see
-:mod:`repro.db.locks`), so at most one is active at a time and isolation
-reduces to that serialisation; what the paper's agent needs on top is
-*atomicity* — a ticket-reservation procedure that fails halfway through
-must leave the database unchanged.  We implement this with an undo log of
-inverse physical operations, replayed in reverse on rollback.
+Transactions execute under the database's commit latch (see
+:class:`~repro.db.locks.CommitLatch`), so at most one is active at a
+time and writer-writer isolation reduces to that serialisation; readers
+run concurrently against pinned snapshots and never observe an
+uncommitted stamp.  What the paper's agent needs on top is *atomicity*
+— a ticket-reservation procedure that fails halfway through must leave
+the database unchanged.  We implement this with an undo log of inverse
+physical operations, replayed in reverse on rollback; under MVCC the
+undone versions carry never-committed stamps and are reclaimed by the
+post-rollback vacuum.
 """
 
 from __future__ import annotations
@@ -104,6 +108,10 @@ class TransactionManager:
         txn.state = TransactionState.ABORTED
         self._active = None
         self.aborted_count += 1
+        # The clock never advanced: every slot stamped by this
+        # transaction is dead-on-arrival (created == deleted or a
+        # never-committed pending stamp) — reclaim it now.
+        self._database._vacuum_all()
 
     # ------------------------------------------------------------------
     def savepoint(self, name: str) -> None:
@@ -118,6 +126,7 @@ class TransactionManager:
         tail = txn.undo_log[mark:]
         self._undo(tail)
         del txn.undo_log[mark:]
+        self._database._vacuum_all()
 
     # ------------------------------------------------------------------
     def log_insert(self, table: str, row_id: int) -> None:

@@ -7,9 +7,9 @@ one subtle concurrency protocol, kept in exactly one place here:
 1. fast path — check the stamped entry under the cache mutex; a hit
    requires the stamp to equal the current data version;
 2. miss — *release* the mutex (so a slow rebuild of one key never
-   blocks hits on others), recompute under the database's shared read
-   lock, capturing the version inside that lock (writers are excluded,
-   so the stamp is consistent with the data read);
+   blocks hits on others), recompute under a pinned snapshot, stamping
+   with the generation the pin observes (the snapshot is immutable, so
+   the stamp is consistent with the data read);
 3. store — re-take the mutex and replace the entry only when the
    stored stamp is not newer, so two racing rebuilds converge on the
    freshest value.
@@ -52,8 +52,8 @@ class VersionStampedCache:
     def lookup(self, key: Hashable, compute: Callable[[], Any]) -> Any:
         """The cached value for ``key``, recomputing if stale or absent.
 
-        ``compute`` is invoked under the database's read lock and must
-        derive the value purely from the current database contents.
+        ``compute`` is invoked under a pinned snapshot and must derive
+        the value purely from the database contents it observes.
         """
         bounded = self._max_entries is not None
         with self._lock:
@@ -65,8 +65,17 @@ class VersionStampedCache:
                 return entry[1]
             self.misses += 1
         with self._database.read_locked():
-            version = self._database.data_version
+            version = self._database.snapshot_version()
             value = compute()
+            dirty = (
+                self._database.commit_latch.held_by_current_thread
+                and self._database.transactions.in_transaction()
+            )
+        if dirty:
+            # Computed over uncommitted writes: correct for the caller,
+            # poison for the cache (a rollback would leave it stamped
+            # with a version that never carries these values).
+            return value
         with self._lock:
             current = self._entries.get(key)
             if current is None or current[0] <= version:

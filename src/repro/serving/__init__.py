@@ -6,15 +6,25 @@ shared database) can back any number of simultaneous conversations.
 This package provides the runtime for that:
 
 * :class:`~repro.serving.sessions.SessionStore` — named sessions with
-  idle-TTL expiry and LRU capacity eviction,
+  idle-TTL expiry and LRU capacity eviction (never of a mid-turn
+  session),
 * :class:`~repro.serving.runtime.AgentRuntime` — the thread-safe entry
-  point: ``runtime.respond(session_id, text)``; read-only turn work runs
-  concurrently, transactions serialise through the database's write
-  lock.
+  point: ``runtime.respond(session_id, text)``; every turn pins one
+  MVCC snapshot, so read work runs concurrently and transactions take
+  only the narrow commit latch,
+* :class:`~repro.serving.shard.ShardRouter` — session-affinity sharding
+  across N worker processes, each hosting its own runtime over a
+  database replica (``python -m repro serve --workers N``).
 """
 
 from repro.serving.runtime import AgentRuntime, RuntimeStats, SessionStats
 from repro.serving.sessions import Session, SessionStore
+from repro.serving.shard import (
+    ShardReply,
+    ShardRouter,
+    ShardStats,
+    WorkerStats,
+)
 
 __all__ = [
     "AgentRuntime",
@@ -22,4 +32,8 @@ __all__ = [
     "Session",
     "SessionStats",
     "SessionStore",
+    "ShardReply",
+    "ShardRouter",
+    "ShardStats",
+    "WorkerStats",
 ]

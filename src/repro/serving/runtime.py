@@ -7,16 +7,19 @@ and serves any number of named conversations against them::
     sid = runtime.create_session()
     reply = runtime.respond(sid, "i want to buy 2 tickets")
 
-Concurrency model:
+Concurrency model (MVCC):
 
-* turns on *different* sessions run in parallel — read-only work (NLU
-  parsing, candidate scoring, statistics lookups) takes only the
-  database's shared read lock and the caches' internal mutexes;
+* turns on *different* sessions run in parallel — each turn pins one
+  snapshot generation at its start and every read inside (NLU parsing,
+  candidate scoring, statistics lookups) resolves against it, so no
+  turn ever observes a half-applied change and no turn ever waits for
+  a writer;
 * turns on the *same* session serialise on the session's turn lock, so
   a client double-submitting cannot corrupt its own dialogue state;
-* transactions (the execute step at the end of a task) go through the
-  database's exclusive write lock via the stored-procedure registry, so
-  writers serialise and readers never observe a half-applied change.
+* transactions (the execute step at the end of a task) take only the
+  database's narrow commit latch via the stored-procedure registry —
+  writers serialise against each other, never against readers; the
+  ``commit_waits`` stat counts that writer-writer contention.
 
 Sessions expire after ``session_ttl`` seconds idle and the store evicts
 least-recently-used sessions beyond ``max_sessions`` — both are what a
@@ -55,6 +58,10 @@ class RuntimeStats:
     plan_cache_misses: int
     plan_cache_bypasses: int
     plan_cache_evictions: int
+    # MVCC observability: the committed generation new turns pin, and
+    # how often a committing transaction waited behind another writer.
+    snapshot_version: int = 0
+    commit_waits: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,6 +84,8 @@ class SessionStats:
     # connections and are attributed via the plan-cache counters).
     executions: int = 0
     statements_prepared: int = 0
+    # The MVCC generation the session's latest turn pinned.
+    snapshot_version: int = 0
 
     @property
     def plan_cache_hit_rate(self) -> float:
@@ -164,6 +173,8 @@ class AgentRuntime:
             # counter delta is exactly this turn's plan-cache traffic —
             # charged to the session's connection.
             hits_before, misses_before = plan_cache.local_counters()
+            # The generation this turn's snapshot pin will capture.
+            session.last_snapshot_version = self.database.data_version
             started = time.perf_counter()
             reply = self._agent.respond(text, context=session.context)
             elapsed = time.perf_counter() - started
@@ -209,6 +220,8 @@ class AgentRuntime:
             plan_cache_misses=plan_cache.misses,
             plan_cache_bypasses=plan_cache.bypasses,
             plan_cache_evictions=plan_cache.evictions,
+            snapshot_version=self.database.data_version,
+            commit_waits=self.database.commit_latch.waits,
         )
 
     def session_stats(self, session_id: str) -> SessionStats:
@@ -227,6 +240,7 @@ class AgentRuntime:
             last_turn_ms=session.last_turn_seconds * 1000.0,
             executions=conn_stats.executions,
             statements_prepared=conn_stats.statements_prepared,
+            snapshot_version=session.last_snapshot_version,
         )
 
     def session_connection(self, session_id: str) -> Connection:

@@ -13,6 +13,12 @@ model).  Two policies bound memory under heavy traffic:
 All operations are safe under concurrent callers; the per-session
 ``turn_lock`` additionally lets the runtime serialise turns *within*
 one session while different sessions proceed in parallel.
+
+Neither policy ever reclaims a session whose ``turn_lock`` is held: a
+turn in flight would otherwise keep mutating a context the store no
+longer owns (and a recreated id would split the dialogue state).  Busy
+sessions are skipped and re-aged — they re-enter the TTL window when
+their turn finishes.
 """
 
 from __future__ import annotations
@@ -53,6 +59,9 @@ class Session:
     # under the turn lock.
     turn_seconds: float = 0.0
     last_turn_seconds: float = 0.0
+    # The MVCC generation the session's latest turn pinned (set by
+    # AgentRuntime.respond(); surfaced in the serve REPL's :stats).
+    last_snapshot_version: int = 0
     # TranscriptTurn entries when the runtime records transcripts; kept
     # on the session so TTL/LRU reclamation frees them too.
     transcript: list = field(default_factory=list)
@@ -101,7 +110,16 @@ class SessionStore:
             elif session_id in self._sessions:
                 raise ServingError(f"session {session_id!r} already exists")
             while len(self._sessions) >= self._max_sessions:
-                evicted_id, __ = self._sessions.popitem(last=False)
+                victim_id = None
+                for sid, candidate in self._sessions.items():
+                    if not candidate.turn_lock.locked():
+                        victim_id = sid
+                        break
+                if victim_id is None:
+                    # Every resident session is mid-turn: admit over
+                    # capacity rather than tear a live turn down.
+                    break
+                del self._sessions[victim_id]
                 self.evicted_count += 1
             now = self._clock()
             session = Session(
@@ -134,12 +152,18 @@ class SessionStore:
                 raise UnknownSessionError(f"no session {session_id!r}")
             now = self._clock()
             if self._ttl is not None and session.idle_for(now) > self._ttl:
-                del self._sessions[session_id]
-                self.expired_count += 1
-                raise SessionExpiredError(
-                    f"session {session_id!r} expired after "
-                    f"{session.idle_for(now):.0f}s idle"
-                )
+                if session.turn_lock.locked():
+                    # A turn is in flight: the session only *looks* idle
+                    # because respond() touches the clock before taking
+                    # the turn lock.  Re-age instead of expiring.
+                    session.last_used_at = now
+                else:
+                    del self._sessions[session_id]
+                    self.expired_count += 1
+                    raise SessionExpiredError(
+                        f"session {session_id!r} expired after "
+                        f"{session.idle_for(now):.0f}s idle"
+                    )
             if touch:
                 session.last_used_at = now
                 self._sessions.move_to_end(session_id)
@@ -175,11 +199,16 @@ class SessionStore:
         if self._ttl is None:
             return []
         now = self._clock()
-        expired = [
-            sid
-            for sid, session in self._sessions.items()
-            if session.idle_for(now) > self._ttl
-        ]
+        expired = []
+        for sid, session in list(self._sessions.items()):
+            if session.idle_for(now) <= self._ttl:
+                continue
+            if session.turn_lock.locked():
+                # Mid-turn: re-age so the TTL window restarts when the
+                # turn's touch is long past (e.g. a slow transaction).
+                session.last_used_at = now
+                continue
+            expired.append(sid)
         for sid in expired:
             del self._sessions[sid]
             self.expired_count += 1

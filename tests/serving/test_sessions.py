@@ -166,6 +166,54 @@ class TestLRU:
             make_store(clock, max_sessions=0)
 
 
+class TestBusySessionsNotReclaimed:
+    """Reclamation must never race a turn in flight (held turn_lock)."""
+
+    def test_lru_eviction_skips_mid_turn_session(self, clock):
+        store = make_store(clock, max_sessions=2)
+        busy = store.create("busy")
+        clock.advance(1.0)
+        store.create("idle")
+        with busy.turn_lock:
+            # "busy" is the LRU victim but mid-turn: evict "idle".
+            store.create("new")
+        assert sorted(store.ids()) == ["busy", "new"]
+        assert store.evicted_count == 1
+
+    def test_admits_over_capacity_when_every_session_is_busy(self, clock):
+        store = make_store(clock, max_sessions=2)
+        a = store.create("a")
+        b = store.create("b")
+        with a.turn_lock, b.turn_lock:
+            store.create("c")
+            assert len(store) == 3
+        assert store.evicted_count == 0
+
+    def test_ttl_lookup_reages_mid_turn_session(self, clock):
+        store = make_store(clock, ttl=60.0)
+        session = store.create("alice")
+        clock.advance(61.0)
+        with session.turn_lock:
+            # peek never touches, so only the re-age path keeps it.
+            assert store.peek("alice") is session
+        clock.advance(59.0)
+        assert store.peek("alice") is session
+        assert store.expired_count == 0
+
+    def test_reap_skips_and_reages_mid_turn_session(self, clock):
+        store = make_store(clock, ttl=60.0)
+        busy = store.create("busy")
+        store.create("idle")
+        clock.advance(61.0)
+        with busy.turn_lock:
+            assert store.expire() == ["idle"]
+        assert "busy" in store
+        clock.advance(59.0)  # re-aged at the reap: still inside TTL
+        assert store.expire() == []
+        clock.advance(2.0)  # turn long done, now genuinely idle
+        assert store.expire() == ["busy"]
+
+
 class TestConcurrency:
     def test_parallel_creates_stay_within_capacity(self, clock):
         store = make_store(clock, max_sessions=8)

@@ -8,6 +8,13 @@ go through ``database.connect()`` / ``Connection.prepare`` /
 ``Connection.execute`` so per-connection stats, the index advisor and
 prepared-statement amortisation actually see the traffic.
 
+A second rule guards the MVCC concurrency model: reader/writer
+coordination goes through ``Database.read_locked`` (snapshot pins) and
+``Database.write_locked`` (the commit latch).  Direct ``RWLock``
+construction or acquisition outside ``repro/db/locks.py`` and the
+snapshot layer would reintroduce the serialised read path the MVCC
+store exists to remove.
+
 Run from the repository root (CI does)::
 
     python tools/check_execution_api.py
@@ -36,23 +43,49 @@ FORBIDDEN = (
     re.compile(r"\baggregate_query\("),
 )
 
+# Files allowed to construct or drive reader/writer locks directly: the
+# lock primitives themselves and the snapshot layer built on them.
+LOCK_ALLOWED = {
+    SRC / "db" / "locks.py",
+    SRC / "db" / "snapshots.py",
+}
+
+# Direct RWLock usage: construction, method-level acquisition and the
+# old suspend/resume dance.  (The bare re-export in repro/db/__init__.py
+# carries no call and stays lint-clean.)
+LOCK_FORBIDDEN = (
+    re.compile(r"\bRWLock\s*\("),
+    re.compile(
+        r"\.(acquire_read|acquire_write|read_lock|write_lock"
+        r"|suspend_reads|resume_reads)\s*\("
+    ),
+    re.compile(r"\brw_lock\b"),
+)
+
 
 def main() -> int:
     violations: list[str] = []
+    lock_violations: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
-        if path in ALLOWED:
-            continue
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
         ):
             stripped = line.strip()
             if stripped.startswith("#"):
                 continue
-            for pattern in FORBIDDEN:
-                if pattern.search(line):
-                    rel = path.relative_to(SRC.parent.parent)
-                    violations.append(f"{rel}:{lineno}: {stripped}")
-                    break
+            rel = path.relative_to(SRC.parent.parent)
+            if path not in ALLOWED:
+                for pattern in FORBIDDEN:
+                    if pattern.search(line):
+                        violations.append(f"{rel}:{lineno}: {stripped}")
+                        break
+            if path not in LOCK_ALLOWED:
+                for pattern in LOCK_FORBIDDEN:
+                    if pattern.search(line):
+                        lock_violations.append(
+                            f"{rel}:{lineno}: {stripped}"
+                        )
+                        break
     if violations:
         print(
             "direct legacy-surface executions found in src/repro "
@@ -61,6 +94,15 @@ def main() -> int:
         )
         for violation in violations:
             print(f"  {violation}", file=sys.stderr)
+    if lock_violations:
+        print(
+            "direct RWLock usage found in src/repro (coordinate through "
+            "Database.read_locked / Database.write_locked instead):",
+            file=sys.stderr,
+        )
+        for violation in lock_violations:
+            print(f"  {violation}", file=sys.stderr)
+    if violations or lock_violations:
         return 1
     print(f"execution-API lint ok ({SRC})")
     return 0
