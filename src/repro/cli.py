@@ -82,8 +82,9 @@ session has its own dialogue state and awareness model.
   :use <id>     switch the active session
   :sessions     list live sessions
   :close <id>   end a session
-  :stats        runtime + per-session connection counters
+  :stats        runtime + storage + per-session connection counters
   :advisor      ranked CREATE INDEX suggestions from observed scans
+  :compact      fold every table's delta into a fresh sealed segment
   :help         this text
   :quit         leave
 Anything else is sent to the active session."""
@@ -97,7 +98,8 @@ all land on its worker).
   :use <id>     switch the active session
   :sessions     list live sessions (all workers)
   :close <id>   end a session
-  :stats        per-worker turn counts, snapshot versions, commit waits
+  :stats        per-worker turn counts, storage, commit waits
+  :compact      reseal every worker replica's delta rows
   :help         this text
   :quit         leave
 Anything else is sent to the active session."""
@@ -108,7 +110,8 @@ def _shard_worker_runtime(snapshot_path: str):
 
     Fork-style workers never call this — they inherit the parent's
     already-synthesized agent; spawn-style workers rebuild from the
-    format-v3 snapshot the parent wrote.
+    incremental snapshot directory (sealed base + delta log) the
+    parent wrote, restoring without a full re-synthesis pass.
     """
     from repro import CAT
     from repro.datasets import movie_templates, restore_movie_database
@@ -136,16 +139,17 @@ def _cmd_serve_sharded(session_ttl: float | None, workers: int) -> int:
 
         router = ShardRouter(workers, bootstrap, start_method="fork")
     else:  # pragma: no cover - non-fork platforms
-        path = tempfile.NamedTemporaryFile(
-            suffix=".json", delete=False
-        ).name
-        from repro.db import dump_database
+        # Incremental (v4) snapshot directory: workers restore the
+        # sealed base image and replay the delta log instead of
+        # re-synthesizing, so spawn start stays fast.
+        directory = tempfile.mkdtemp(prefix="repro-shard-")
+        from repro.db import dump_incremental
 
-        dump_database(agent._database, path)
+        dump_incremental(agent._database, directory)
         router = ShardRouter(
             workers,
             "repro.cli:_shard_worker_runtime",
-            bootstrap_arg=path,
+            bootstrap_arg=directory,
             start_method="spawn",
         )
 
@@ -211,6 +215,21 @@ def _cmd_serve_sharded(session_ttl: float | None, workers: int) -> int:
                             f"txns={w.transactions_committed}"
                             f"/{w.transactions_aborted} aborted"
                         )
+                    for index, tables in sorted(
+                        router.storage_stats().items()
+                    ):
+                        print(f"  storage (worker {index}):")
+                        for name, s in sorted(tables.items()):
+                            print(
+                                f"    {name:16s} "
+                                f"sealed={s['sealed_rows']}  "
+                                f"delta={s['delta_rows']}  "
+                                f"retired={s['retired_rows']}  "
+                                f"compactions={s['compactions']}"
+                            )
+                elif text == ":compact":
+                    for index, count in sorted(router.compact().items()):
+                        print(f"  worker {index}: {count} tables resealed")
                 elif text.startswith(":"):
                     print(f"unknown command {text!r} (:help for help)")
                 else:
@@ -276,6 +295,18 @@ def _cmd_serve(session_ttl: float | None) -> int:
                 stats = runtime.stats()
                 for key, value in vars(stats).items():
                     print(f"  {key:24s} {value}")
+                print("  per-table storage (sealed segment + delta):")
+                for name, s in sorted(runtime.storage_stats().items()):
+                    line = (
+                        f"    {name:16s} sealed={s.sealed_rows}  "
+                        f"delta={s.delta_rows}  retired={s.retired_rows}  "
+                        f"compactions={s.compactions}"
+                    )
+                    if s.compactions:
+                        line += (
+                            f"  last={s.last_compaction_seconds * 1000.0:.2f}ms"
+                        )
+                    print(line)
                 session_ids = runtime.session_ids()
                 if session_ids:
                     print("  per-session (connection stats + turn latency):")
@@ -291,6 +322,8 @@ def _cmd_serve(session_ttl: float | None) -> int:
                         f"last_turn={s.last_turn_ms:.2f}ms  "
                         f"snapshot=v{s.snapshot_version}"
                     )
+            elif text == ":compact":
+                print(f"  {runtime.compact()} tables resealed")
             elif text == ":advisor":
                 suggestions = runtime.advisor()
                 if not suggestions:
@@ -592,13 +625,17 @@ def _make_explain_parser(parser):
     return parser
 
 
-def _cmd_snapshot(path: str) -> int:
+def _cmd_snapshot(path: str, incremental: bool = False) -> int:
     from repro.datasets import build_movie_database
-    from repro.db import dump_database
+    from repro.db import dump_database, dump_incremental
 
     database, __ = build_movie_database()
-    dump_database(database, path)
-    print(f"wrote {path}")
+    if incremental:
+        dump_incremental(database, path)
+        print(f"wrote {path}/ (sealed base + delta log)")
+    else:
+        dump_database(database, path)
+        print(f"wrote {path}")
     return 0
 
 
@@ -632,7 +669,14 @@ def main(argv: list[str] | None = None) -> int:
     sub.add_parser("report", help="print the synthesis report")
     sub.add_parser("policies", help="compare slot-selection policies")
     snapshot = sub.add_parser("snapshot", help="dump the cinema database")
-    snapshot.add_argument("path", help="output JSON file")
+    snapshot.add_argument("path", help="output JSON file (or directory "
+                          "with --incremental)")
+    snapshot.add_argument(
+        "--incremental",
+        action="store_true",
+        help="write a format-v4 snapshot directory (sealed base image "
+        "+ append-only delta log) instead of one JSON file",
+    )
     _make_explain_parser(
         sub.add_parser(
             "explain",
@@ -654,7 +698,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "policies":
         return _cmd_policies()
     if args.command == "snapshot":
-        return _cmd_snapshot(args.path)
+        return _cmd_snapshot(args.path, incremental=args.incremental)
     if args.command == "explain":
         return _cmd_explain(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -509,17 +509,24 @@ def build_movie_database(
 
 
 def restore_movie_database(path: str) -> tuple[Database, SchemaAnnotations]:
-    """Rebuild the cinema database from a format-v3 snapshot file.
+    """Rebuild the cinema database from a snapshot.
 
-    The snapshot carries schema, rows and secondary-index DDL; the
-    code-level pieces a replica also needs — stored procedures and the
-    schema annotations — are reattached here.  This is how shard
-    workers materialise their per-worker replica under spawn-style
-    process starts (fork-style workers inherit the parent's database
-    instead).
+    ``path`` is either a snapshot *file* (format v1–v4) or an
+    incremental snapshot *directory* (v4 base image + delta log, see
+    :func:`repro.db.persistence.load_incremental`) — the directory
+    form restores by replaying only the commits since the base was
+    written, which is how ``serve --workers N`` brings spawn-style
+    workers up in seconds.  The code-level pieces a replica also needs
+    — stored procedures and the schema annotations — are reattached
+    here (fork-style workers inherit the parent's database instead).
     """
-    from repro.db.persistence import load_database
+    import os
 
-    database = load_database(path)
+    from repro.db.persistence import load_database, load_incremental
+
+    if os.path.isdir(path):
+        database = load_incremental(path)
+    else:
+        database = load_database(path)
     _register_procedures(database)
     return database, annotate_movie_schema(database)

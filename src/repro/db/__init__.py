@@ -77,15 +77,19 @@ __all__ = [
 
 from repro.db.persistence import (
     dump_database,
+    dump_incremental,
     dumps_database,
     load_database,
+    load_incremental,
     loads_database,
 )
 
 __all__ += [
     "dump_database",
+    "dump_incremental",
     "dumps_database",
     "load_database",
+    "load_incremental",
     "loads_database",
 ]
 

@@ -108,6 +108,13 @@ class TransactionManager:
         txn.state = TransactionState.ABORTED
         self._active = None
         self.aborted_count += 1
+        log = self._database.delta_log
+        if log is not None:
+            # The undo replay above went through the tables directly,
+            # so the log's pending buffer holds exactly this
+            # transaction's forward ops — drop them; only committed
+            # state is ever persisted.
+            log.discard()
         # The clock never advanced: every slot stamped by this
         # transaction is dead-on-arrival (created == deleted or a
         # never-committed pending stamp) — reclaim it now.
@@ -117,6 +124,9 @@ class TransactionManager:
     def savepoint(self, name: str) -> None:
         txn = self._require_active()
         txn.savepoints[name] = len(txn.undo_log)
+        log = self._database.delta_log
+        if log is not None:
+            log.savepoint(name)
 
     def rollback_to_savepoint(self, name: str) -> None:
         txn = self._require_active()
@@ -126,6 +136,12 @@ class TransactionManager:
         tail = txn.undo_log[mark:]
         self._undo(tail)
         del txn.undo_log[mark:]
+        log = self._database.delta_log
+        if log is not None:
+            # Truncate the pending forward ops exactly like the undo
+            # log truncated its tail (the undo replay bypassed the
+            # database hooks, so nothing else touched the buffer).
+            log.rollback_to(name)
         self._database._vacuum_all()
 
     # ------------------------------------------------------------------

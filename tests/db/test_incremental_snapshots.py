@@ -1,0 +1,275 @@
+"""Tests for snapshot format v4 and incremental (base + delta log)
+persistence: exact row-id restores, commit-only logging, crash-torn
+log recovery and compatibility with the older snapshot formats."""
+
+import json
+import os
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    TableSchema,
+    dump_incremental,
+    dumps_database,
+    load_incremental,
+    loads_database,
+)
+from repro.db.persistence import BASE_SNAPSHOT_NAME, DELTA_LOG_NAME
+from repro.db.segments import _record_crc
+from repro.errors import DatabaseError
+
+
+def _make_db() -> Database:
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "item",
+                [
+                    Column("item_id", DataType.INTEGER),
+                    Column("bucket", DataType.TEXT),
+                    Column("qty", DataType.INTEGER),
+                ],
+                primary_key="item_id",
+            )
+        ]
+    )
+    database = Database(schema)
+    database.create_index("item", "bucket")
+    for i in range(1, 11):
+        database.insert(
+            "item", {"item_id": i, "bucket": "b%d" % (i % 3), "qty": i}
+        )
+    return database
+
+
+def _rows(database: Database) -> dict:
+    return {name: database.rows(name) for name in database.table_names}
+
+
+class TestV4Format:
+    def test_default_dump_stays_v3(self, movie_db):
+        database, __ = movie_db
+        body = json.loads(dumps_database(database))
+        assert body["format_version"] == 3
+        assert "row_ids" not in body
+
+    def test_v4_dump_carries_row_ids_and_counter(self, movie_db):
+        database, __ = movie_db
+        body = json.loads(dumps_database(database, version=4))
+        assert body["format_version"] == 4
+        assert "generation" in body
+        for name in database.table_names:
+            assert body["row_ids"][name] == database.table(name).row_ids()
+        assert body["next_row_id"]["screening"] == (
+            database.table("screening").next_row_id
+        )
+
+    def test_v4_roundtrip_preserves_exact_row_ids(self, movie_db):
+        database, __ = movie_db
+        # Punch holes so ids and positions diverge.
+        for rid in database.table("reservation").row_ids()[2:5]:
+            database.delete("reservation", rid)
+        restored = loads_database(dumps_database(database, version=4))
+        for name in database.table_names:
+            assert restored.table(name).row_ids() == (
+                database.table(name).row_ids()
+            )
+            assert restored.rows(name) == database.rows(name)
+        # The id counter survives: the next insert allocates the same
+        # internal row id on both sides.
+        values = {
+            "reservation_id": 90001,
+            "customer_id": 1,
+            "screening_id": 1,
+            "no_tickets": 2,
+        }
+        assert restored.insert("reservation", dict(values)) == (
+            database.insert("reservation", dict(values))
+        )
+
+    def test_unknown_dump_version_rejected(self, movie_db):
+        database, __ = movie_db
+        with pytest.raises(DatabaseError):
+            dumps_database(database, version=9)
+
+
+class TestIncrementalRoundtrip:
+    def test_base_plus_log_matches_live(self, tmp_path):
+        database = _make_db()
+        directory = str(tmp_path / "snap")
+        dump_incremental(database, directory)
+        assert os.path.exists(os.path.join(directory, BASE_SNAPSHOT_NAME))
+        assert os.path.exists(os.path.join(directory, DELTA_LOG_NAME))
+        database.insert(
+            "item", {"item_id": 11, "bucket": "b1", "qty": 4}
+        )
+        row_id = database.table("item").lookup("item_id", 3)[0]
+        database.update("item", row_id, {"qty": 99})
+        database.delete(
+            "item", database.table("item").lookup("item_id", 7)[0]
+        )
+        restored = load_incremental(directory)
+        assert _rows(restored) == _rows(database)
+        assert restored.table("item").row_ids() == (
+            database.table("item").row_ids()
+        )
+        # The restore compacts: analytic memos are epoch-stable from
+        # the first turn.
+        assert restored.table("item").is_sealed
+
+    def test_only_committed_state_reaches_the_log(self, tmp_path):
+        database = _make_db()
+        directory = str(tmp_path / "snap")
+        dump_incremental(database, directory)
+        # Partial rollback: the post-savepoint tail must not replay.
+        database.transactions.begin()
+        database.insert("item", {"item_id": 20, "bucket": "b0", "qty": 1})
+        database.transactions.savepoint("sp")
+        database.insert("item", {"item_id": 21, "bucket": "b0", "qty": 1})
+        database.transactions.rollback_to_savepoint("sp")
+        database.transactions.commit()
+        # A fully rolled-back transaction leaves no trace at all.
+        database.transactions.begin()
+        database.insert("item", {"item_id": 22, "bucket": "b2", "qty": 5})
+        database.transactions.rollback()
+        restored = load_incremental(directory)
+        assert _rows(restored) == _rows(database)
+        ids = [row["item_id"] for row in restored.rows("item")]
+        assert 20 in ids and 21 not in ids and 22 not in ids
+
+    def test_empty_log_restores_the_base(self, tmp_path):
+        database = _make_db()
+        directory = str(tmp_path / "snap")
+        dump_incremental(database, directory)
+        restored = load_incremental(directory)
+        assert _rows(restored) == _rows(database)
+
+    def test_restore_movie_database_accepts_directories(
+        self, movie_db, tmp_path
+    ):
+        from repro.datasets import restore_movie_database
+
+        database, __ = movie_db
+        directory = str(tmp_path / "snap")
+        dump_incremental(database, directory)
+        database.insert(
+            "reservation",
+            {
+                "reservation_id": 90002,
+                "customer_id": 1,
+                "screening_id": 1,
+                "no_tickets": 1,
+            },
+        )
+        restored, annotations = restore_movie_database(directory)
+        assert restored.count("reservation") == database.count("reservation")
+        assert annotations is not None
+        # The registered procedures came back with the database.
+        assert "ticket_reservation" in restored.procedures.names()
+
+
+class TestCrashRecovery:
+    def _states(self, tmp_path):
+        """Dump a base, apply N commits, record the state after each."""
+        database = _make_db()
+        directory = str(tmp_path / "snap")
+        dump_incremental(database, directory)
+        states = [_rows(database)]
+        for step in range(6):
+            if step % 3 == 2:
+                database.delete(
+                    "item",
+                    database.table("item").lookup("item_id", step)[0],
+                )
+            else:
+                database.insert(
+                    "item",
+                    {"item_id": 30 + step, "bucket": "b1", "qty": step},
+                )
+            states.append(_rows(database))
+        return directory, states
+
+    def test_truncation_at_any_offset_recovers_a_prefix(self, tmp_path):
+        directory, states = self._states(tmp_path)
+        log_path = os.path.join(directory, DELTA_LOG_NAME)
+        with open(log_path, "rb") as handle:
+            payload = handle.read()
+        for cut in (len(payload) - 1, len(payload) // 2,
+                    len(payload) // 3, 3, 0):
+            with open(log_path, "wb") as handle:
+                handle.write(payload[:cut])
+            restored = load_incremental(directory)
+            assert _rows(restored) in states
+        # The intact log restores the final committed state exactly.
+        with open(log_path, "wb") as handle:
+            handle.write(payload)
+        assert _rows(load_incremental(directory)) == states[-1]
+
+    def test_corrupt_record_cuts_the_tail(self, tmp_path):
+        directory, states = self._states(tmp_path)
+        log_path = os.path.join(directory, DELTA_LOG_NAME)
+        with open(log_path) as handle:
+            lines = handle.readlines()
+        # Corrupt the third record's content without touching its CRC.
+        lines[2] = lines[2].replace('"ops"', '"opz"', 1)
+        with open(log_path, "w") as handle:
+            handle.writelines(lines)
+        restored = load_incremental(directory)
+        assert _rows(restored) == states[2]
+
+    def test_non_monotonic_generation_cuts_the_tail(self, tmp_path):
+        directory, states = self._states(tmp_path)
+        log_path = os.path.join(directory, DELTA_LOG_NAME)
+        with open(log_path) as handle:
+            lines = handle.readlines()
+        lines.insert(2, lines[1])  # replayed generation
+        with open(log_path, "w") as handle:
+            handle.writelines(lines)
+        restored = load_incremental(directory)
+        assert _rows(restored) == states[2]
+
+    def test_mismatched_log_rejected(self, tmp_path):
+        """A log whose insert ids disagree with the base is an error,
+        not silent corruption."""
+        database = _make_db()
+        directory = str(tmp_path / "snap")
+        dump_incremental(database, directory)
+        ops = [["insert", "item", 999,
+                {"item_id": 50, "bucket": "b0", "qty": 1}]]
+        record = {"generation": 10_000, "ops": ops,
+                  "crc": _record_crc(10_000, ops)}
+        with open(os.path.join(directory, DELTA_LOG_NAME), "a") as handle:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        with pytest.raises(DatabaseError):
+            load_incremental(directory)
+
+    def test_missing_base_rejected(self, tmp_path):
+        with pytest.raises(DatabaseError):
+            load_incremental(str(tmp_path / "nowhere"))
+
+
+class TestOldFormatsStillLoad:
+    """v1/v2/v3 snapshots stay loadable next to v4 (full matrix in
+    test_persistence; this is the incremental feature's guard)."""
+
+    @pytest.mark.parametrize("version", [1, 2, 3])
+    def test_downlevel_bodies_load(self, movie_db, version):
+        database, __ = movie_db
+        body = json.loads(dumps_database(database))
+        if version < 3:
+            body["format_version"] = version
+            body["rows"] = {
+                name: [
+                    dict(zip(banks, values))
+                    for values in zip(*banks.values())
+                ]
+                for name, banks in body.pop("columns").items()
+            }
+            if version == 1:
+                del body["indexes"]
+        restored = loads_database(json.dumps(body))
+        assert restored.count("movie") == database.count("movie")

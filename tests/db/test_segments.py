@@ -1,0 +1,462 @@
+"""Tests for sealed-segment storage: delta banks, compaction, memos.
+
+Covers the table-level seal/delta lifecycle, the two-part grouped
+reduce and its parity with a flat rebuild, cache retention across
+writes, the vacuum memo-invalidation regression, plan-stamp stability
+in sealed mode, statistics merging and the idle-hook autocompaction.
+"""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    Query,
+    TableSchema,
+    eq,
+)
+from repro.db.aggregation import aggregate_query, avg, count, sum_
+from repro.errors import TransactionError
+
+BUCKETS = ("red", "green", "blue", "amber")
+
+
+def _make_db() -> Database:
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "item",
+                [
+                    Column("item_id", DataType.INTEGER),
+                    Column("bucket", DataType.TEXT),
+                    Column("qty", DataType.INTEGER),
+                ],
+                primary_key="item_id",
+            )
+        ]
+    )
+    database = Database(schema)
+    database.create_index("item", "bucket")
+    return database
+
+
+def _fill(database: Database, n: int = 40) -> None:
+    for i in range(1, n + 1):
+        database.insert(
+            "item",
+            {
+                "item_id": i,
+                "bucket": BUCKETS[i % len(BUCKETS)],
+                "qty": i % 7,
+            },
+        )
+
+
+def _row_id_of(database: Database, item_id: int) -> int:
+    return database.table("item").lookup("item_id", item_id)[0]
+
+
+class TestSealLifecycle:
+    def test_fresh_table_is_unsealed(self):
+        database = _make_db()
+        _fill(database)
+        table = database.table("item")
+        assert not table.is_sealed
+        assert table.sealed_epoch == 0
+        assert table.sealed_rows == 0
+        assert table.delta_rows == len(table)
+
+    def test_compact_seals_every_table(self):
+        database = _make_db()
+        _fill(database)
+        assert database.compact() == 1
+        table = database.table("item")
+        assert table.is_sealed
+        assert table.sealed_rows == 40
+        assert table.delta_rows == 0
+        assert table.compactions == 1
+        assert table.last_compaction_seconds >= 0.0
+
+    def test_writes_land_in_the_delta(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        table = database.table("item")
+        database.insert(
+            "item", {"item_id": 41, "bucket": "red", "qty": 1}
+        )
+        assert table.sealed_rows == 40
+        assert table.delta_rows == 1
+        # Deleting a sealed row retires its slot instead of freeing it.
+        database.delete("item", _row_id_of(database, 5))
+        stats = table.storage_stats()
+        assert stats.retired_rows == 1
+        assert stats.sealed_rows == 40  # retired slots stay counted
+        # Updating a sealed row appends the new version to the delta
+        # and retires the sealed slot.
+        database.update("item", _row_id_of(database, 6), {"qty": 99})
+        stats = table.storage_stats()
+        assert stats.retired_rows == 2
+        assert stats.delta_rows == 2
+
+    def test_recompaction_folds_the_delta(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        database.insert("item", {"item_id": 41, "bucket": "red", "qty": 1})
+        database.delete("item", _row_id_of(database, 5))
+        table = database.table("item")
+        epoch = table.sealed_epoch
+        assert database.compact() == 1
+        assert table.sealed_epoch > epoch
+        assert table.delta_rows == 0
+        assert table.storage_stats().retired_rows == 0
+        assert table.sealed_rows == 40  # 40 - 1 deleted + 1 inserted
+        assert sorted(r["item_id"] for r in database.rows("item")) == (
+            [i for i in range(1, 42) if i != 5]
+        )
+
+    def test_fully_sealed_compact_is_a_noop(self):
+        database = _make_db()
+        _fill(database)
+        assert database.compact() == 1
+        assert database.compact() == 0
+
+    def test_compact_refused_under_a_pin(self):
+        database = _make_db()
+        _fill(database)
+        with database.snapshots.pinned():
+            assert database.compact() == 0
+        assert database.compact() == 1
+
+    def test_compact_refused_inside_a_transaction(self):
+        database = _make_db()
+        _fill(database)
+        database.transactions.begin()
+        try:
+            with pytest.raises(TransactionError):
+                database.compact()
+        finally:
+            database.transactions.rollback()
+
+    def test_storage_stats_keyed_by_table(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        stats = database.storage_stats()
+        assert set(stats) == {"item"}
+        assert stats["item"].table == "item"
+        assert stats["item"].sealed_epoch == 1
+
+
+class TestGroupedReduce:
+    def test_requires_seal_and_index(self):
+        database = _make_db()
+        _fill(database)
+        table = database.table("item")
+        assert table.grouped_reduce("bucket") is None  # not sealed
+        database.compact()
+        assert table.grouped_reduce("bucket") is not None
+        assert table.grouped_reduce("qty") is None  # no index
+
+    def _expected(self, database):
+        """Group keys/sizes/sums in first-appearance (row id) order."""
+        keys, sizes, sums, nonnull = [], {}, {}, {}
+        table = database.table("item")
+        for row_id in table.row_ids():
+            row = table.get(row_id)
+            key = row["bucket"]
+            if key is None:
+                continue
+            if key not in sizes:
+                keys.append(key)
+                sizes[key] = 0
+                sums[key] = 0
+                nonnull[key] = 0
+            sizes[key] += 1
+            if row["qty"] is not None:
+                sums[key] += row["qty"]
+                nonnull[key] += 1
+        return keys, sizes, sums, nonnull
+
+    def _check_parity(self, database):
+        reduce = database.table("item").grouped_reduce("bucket")
+        assert reduce is not None
+        keys, sizes, sums, nonnull = self._expected(database)
+        assert reduce.keys == keys
+        assert reduce.sizes == [sizes[k] for k in keys]
+        got_sums, got_nn = reduce.sums("qty")
+        assert got_sums == [sums[k] for k in keys]
+        assert got_nn == [nonnull[k] for k in keys]
+
+    def test_parity_after_mixed_writes(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        self._check_parity(database)
+        # New group appearing only in the delta.
+        database.insert(
+            "item", {"item_id": 50, "bucket": "violet", "qty": 3}
+        )
+        # NULL value cell: counted in the group, excluded from sums.
+        database.insert("item", {"item_id": 52, "bucket": "red", "qty": None})
+        # Retire sealed cells: one update, one delete.
+        database.update("item", _row_id_of(database, 4), {"qty": 6})
+        database.delete("item", _row_id_of(database, 8))
+        self._check_parity(database)
+
+    def test_null_group_keys_disable_the_reduce(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        database.insert("item", {"item_id": 51, "bucket": None, "qty": 9})
+        table = database.table("item")
+        assert table.grouped_reduce("bucket") is None
+        # The executor falls back; the aggregate stays correct (the
+        # accumulator path groups NULL keys as their own group).
+        result = aggregate_query(
+            database, Query("item"), {"n": count()}, ["bucket"]
+        )
+        expected = Counter(row["bucket"] for row in database.rows("item"))
+        assert {r["bucket"]: r["n"] for r in result} == dict(expected)
+
+    def test_group_emptied_by_deletes_disappears(self):
+        database = _make_db()
+        _fill(database, n=8)
+        database.compact()
+        for item_id in (4, 8):  # the whole "red" group (i % 4 == 0)
+            database.delete("item", _row_id_of(database, item_id))
+        reduce = database.table("item").grouped_reduce("bucket")
+        assert "red" not in reduce.keys
+        self._check_parity(database)
+
+    def test_first_appearance_order_tracks_min_row_id(self):
+        database = _make_db()
+        _fill(database, n=8)
+        database.compact()
+        # Delete every sealed "green" row (ids 1 and 5), then re-add
+        # one in the delta: green must now sort *after* the groups
+        # whose minimum row id is smaller.
+        for item_id in (1, 5):
+            database.delete("item", _row_id_of(database, item_id))
+        database.insert(
+            "item", {"item_id": 60, "bucket": "green", "qty": 2}
+        )
+        self._check_parity(database)
+        assert database.table("item").grouped_reduce("bucket").keys[-1] == (
+            "green"
+        )
+
+    def test_memo_survives_foreign_table_queries(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        table = database.table("item")
+        first = table.grouped_reduce("bucket")
+        assert table.grouped_reduce("bucket") is first  # same generation
+        database.insert("item", {"item_id": 70, "bucket": "red", "qty": 1})
+        assert table.grouped_reduce("bucket") is not first
+
+
+class TestCacheRetention:
+    def test_sealed_bucket_lists_are_reused_across_writes(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        table = database.table("item")
+        before = table.slot_buckets("bucket")
+        database.insert(
+            "item", {"item_id": 41, "bucket": "red", "qty": 2}
+        )
+        after = table.slot_buckets("bucket")
+        # The written key re-merges; untouched keys keep the very same
+        # sealed list objects — the retention the seal exists for.
+        assert after is not before
+        assert after["green"] is before["green"]
+        assert after["blue"] is before["blue"]
+        assert len(after["red"]) == len(before["red"]) + 1
+
+    def test_flat_table_still_rebuilds(self):
+        database = _make_db()
+        _fill(database)
+        table = database.table("item")
+        before = table.slot_buckets("bucket")
+        database.insert(
+            "item", {"item_id": 41, "bucket": "red", "qty": 2}
+        )
+        after = table.slot_buckets("bucket")
+        assert after["green"] is not before["green"]
+
+    def test_plan_stamp_stable_across_sealed_commits(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        stamp = database.plan_stamp
+        database.insert("item", {"item_id": 41, "bucket": "red", "qty": 2})
+        database.update("item", _row_id_of(database, 3), {"qty": 5})
+        assert database.plan_stamp == stamp
+        # DDL still invalidates plans, sealed or not.
+        database.create_index("item", "qty")
+        assert database.plan_stamp > stamp
+
+    def test_plan_stamp_churns_when_flat(self):
+        database = _make_db()
+        _fill(database)
+        stamp = database.plan_stamp
+        database.insert("item", {"item_id": 41, "bucket": "red", "qty": 2})
+        assert database.plan_stamp > stamp
+
+
+class TestVacuumMemoInvalidation:
+    """Regression: vacuum's wholesale reset used to leave memoised
+    layouts keyed to pre-vacuum slot ids."""
+
+    def _bucket_rids(self, table, column):
+        return {
+            key: sorted(table.ids_for_slots(slots))
+            for key, slots in table.slot_buckets(column).items()
+        }
+
+    def test_slot_buckets_valid_after_vacuum_reset(self):
+        database = _make_db()
+        _fill(database)
+        table = database.table("item")
+        table.slot_buckets("bucket")  # prime the memo
+        # Delete most rows so vacuum takes its wholesale-reset path.
+        for item_id in range(1, 31):
+            database.delete("item", _row_id_of(database, item_id))
+        table.vacuum(None)
+        expected = {}
+        for row_id in table.row_ids():
+            row = table.get(row_id)
+            expected.setdefault(row["bucket"], []).append(row_id)
+        assert self._bucket_rids(table, "bucket") == {
+            key: sorted(rids) for key, rids in expected.items()
+        }
+
+    def test_join_parity_after_vacuum(self):
+        database = _make_db()
+        _fill(database)
+        table = database.table("item")
+        table.grouped_layout("bucket")
+        table.slot_buckets("bucket")
+        for item_id in range(1, 31):
+            database.delete("item", _row_id_of(database, item_id))
+        table.vacuum(None)
+        result = aggregate_query(
+            database, Query("item"), {"n": count()}, ["bucket"]
+        )
+        expected = Counter(
+            row["bucket"] for row in database.rows("item")
+        )
+        assert {r["bucket"]: r["n"] for r in result} == dict(expected)
+
+
+class TestStatisticsMerge:
+    def test_column_counts_match_a_rescan(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        database.insert("item", {"item_id": 41, "bucket": None, "qty": 2})
+        database.update("item", _row_id_of(database, 2), {"bucket": "red"})
+        database.delete("item", _row_id_of(database, 12))
+        table = database.table("item")
+        counts, nulls = table.column_counts("bucket")
+        values = [row["bucket"] for row in database.rows("item")]
+        assert counts == Counter(v for v in values if v is not None)
+        assert nulls == sum(1 for v in values if v is None)
+
+    def test_unsealed_column_counts_unavailable(self):
+        database = _make_db()
+        _fill(database)
+        assert database.table("item").column_counts("bucket") is None
+
+
+class TestAutocompaction:
+    def test_idle_hook_recompacts_past_threshold(self):
+        database = _make_db()
+        _fill(database)
+        database.compact()
+        database.autocompact_delta = 4
+        for item_id in range(41, 47):
+            database.insert(
+                "item", {"item_id": item_id, "bucket": "red", "qty": 1}
+            )
+        table = database.table("item")
+        assert table.delta_rows == 6
+        # Draining the last snapshot pin fires the idle hook.
+        with database.snapshots.pinned(read_only=True):
+            pass
+        assert table.delta_rows == 0
+        assert table.compactions == 2
+
+    def test_no_autocompaction_in_flat_mode(self):
+        database = _make_db()
+        _fill(database)
+        database.autocompact_delta = 4
+        with database.snapshots.pinned(read_only=True):
+            pass
+        assert not database.table("item").is_sealed
+
+
+class TestRandomizedParity:
+    def test_sealed_tracks_flat_replica(self):
+        sealed_db = _make_db()
+        flat_db = _make_db()
+        for database in (sealed_db, flat_db):
+            _fill(database)
+        sealed_db.compact()
+        rng = random.Random(31)
+        next_id = 41
+        live = set(range(1, 41))
+        for step in range(300):
+            roll = rng.random()
+            if roll < 0.45:
+                values = {
+                    "item_id": next_id,
+                    "bucket": rng.choice(BUCKETS + (None, "violet")),
+                    "qty": rng.choice((None, 0, 1, 2, 5)),
+                }
+                live.add(next_id)
+                next_id += 1
+                for database in (sealed_db, flat_db):
+                    database.insert("item", dict(values))
+            elif roll < 0.7 and live:
+                target = rng.choice(sorted(live))
+                changes = {"qty": rng.randint(0, 9)}
+                if rng.random() < 0.3:
+                    changes["bucket"] = rng.choice(BUCKETS)
+                for database in (sealed_db, flat_db):
+                    database.update(
+                        "item", _row_id_of(database, target), dict(changes)
+                    )
+            elif roll < 0.85 and live:
+                target = rng.choice(sorted(live))
+                live.discard(target)
+                for database in (sealed_db, flat_db):
+                    database.delete("item", _row_id_of(database, target))
+            else:
+                sealed_db.compact()
+            if step % 20 == 0 or step == 299:
+                assert sealed_db.rows("item") == flat_db.rows("item")
+                grouped = [
+                    aggregate_query(
+                        database,
+                        Query("item"),
+                        {"n": count(), "total": sum_("qty"),
+                         "mean": avg("qty")},
+                        ["bucket"],
+                    )
+                    for database in (sealed_db, flat_db)
+                ]
+                assert grouped[0] == grouped[1]
+                probe = [
+                    Query("item").where(eq("bucket", "red")).run(database)
+                    for database in (sealed_db, flat_db)
+                ]
+                assert probe[0] == probe[1]

@@ -62,10 +62,31 @@ LOCK_FORBIDDEN = (
     re.compile(r"\brw_lock\b"),
 )
 
+# Files allowed to touch sealed-segment/delta storage internals: the
+# bank store itself and the segment support module.  Everyone else
+# reads through the public Table surface (scan_slots, slot_buckets,
+# grouped_reduce, storage_stats, ...), which keeps the sealed/delta
+# split an implementation detail the storage layer can evolve.
+# (``database.delta_log`` carries no leading underscore and stays
+# lint-clean — it is the public persistence attachment point.)
+STORAGE_ALLOWED = {
+    SRC / "db" / "table.py",
+    SRC / "db" / "segments.py",
+}
+
+# ``self.`` receivers stay clean: an object's own ``_sealed_mode``-style
+# attribute is its own state, not a reach into a table's banks.
+STORAGE_FORBIDDEN = (
+    re.compile(r"(?<!self)\._sealed\w*"),
+    re.compile(r"(?<!self)\._delta\w*"),
+    re.compile(r"(?<!self)\.(_created|_deleted|_max_stamp)\b"),
+)
+
 
 def main() -> int:
     violations: list[str] = []
     lock_violations: list[str] = []
+    storage_violations: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
@@ -86,6 +107,13 @@ def main() -> int:
                             f"{rel}:{lineno}: {stripped}"
                         )
                         break
+            if path not in STORAGE_ALLOWED:
+                for pattern in STORAGE_FORBIDDEN:
+                    if pattern.search(line):
+                        storage_violations.append(
+                            f"{rel}:{lineno}: {stripped}"
+                        )
+                        break
     if violations:
         print(
             "direct legacy-surface executions found in src/repro "
@@ -102,7 +130,17 @@ def main() -> int:
         )
         for violation in lock_violations:
             print(f"  {violation}", file=sys.stderr)
-    if violations or lock_violations:
+    if storage_violations:
+        print(
+            "sealed/delta storage internals touched outside "
+            "repro/db/table.py and repro/db/segments.py (use the public "
+            "Table surface — scan_slots, slot_buckets, grouped_reduce, "
+            "column_counts, storage_stats, compact — instead):",
+            file=sys.stderr,
+        )
+        for violation in storage_violations:
+            print(f"  {violation}", file=sys.stderr)
+    if violations or lock_violations or storage_violations:
         return 1
     print(f"execution-API lint ok ({SRC})")
     return 0
