@@ -84,6 +84,7 @@ session has its own dialogue state and awareness model.
   :close <id>   end a session
   :stats        runtime + storage + per-session connection counters
   :advisor      ranked CREATE INDEX suggestions from observed scans
+  :autotune     self-driving policy: applied/retired indexes + budget
   :compact      fold every table's delta into a fresh sealed segment
   :help         this text
   :quit         leave
@@ -99,10 +100,48 @@ all land on its worker).
   :sessions     list live sessions (all workers)
   :close <id>   end a session
   :stats        per-worker turn counts, storage, commit waits
+  :autotune     per-worker self-driving policy status
   :compact      reseal every worker replica's delta rows
   :help         this text
   :quit         leave
 Anything else is sent to the active session."""
+
+
+def _print_autotune(status: dict, indent: str = "  ") -> None:
+    """Render one runtime's self-driving status (the ``:autotune`` view)."""
+    state = "on" if status["enabled"] else "off"
+    budget = status["budget"]
+    print(
+        f"{indent}policy {state}  tick={status['tick']}  "
+        f"applied={status['applied']}  retired={status['retired']}"
+    )
+    print(
+        f"{indent}budget: {budget['rows_used']}"
+        f"/{budget['memory_budget_rows']} indexed rows"
+    )
+    if status["indexes"]:
+        print(f"{indent}auto-managed indexes:")
+        for entry in status["indexes"]:
+            print(
+                f"{indent}  {entry['table']}.{entry['column']} "
+                f"({entry['kind']})  hits={entry['hits']:.1f}  "
+                f"hit_rows={entry['hit_rows']:.0f}  "
+                f"maintenance={entry['maintenance']:.0f}"
+            )
+    for action in status["actions"]:
+        print(
+            f"{indent}{action['action']:6s} {action['table']}."
+            f"{action['column']} ({action['kind']}) at tick "
+            f"{action['tick']}"
+        )
+    respec = status.get("respec")
+    if respec:
+        print(
+            f"{indent}respecialisation: "
+            f"divergences={respec['divergences']}  "
+            f"replans={respec['replans']}  forks={respec['forks']}  "
+            f"fork_binds={respec['fork_binds']}"
+        )
 
 
 def _shard_worker_runtime(snapshot_path: str):
@@ -230,6 +269,11 @@ def _cmd_serve_sharded(session_ttl: float | None, workers: int) -> int:
                 elif text == ":compact":
                     for index, count in sorted(router.compact().items()):
                         print(f"  worker {index}: {count} tables resealed")
+                elif text == ":autotune":
+                    statuses = router.autotune_status()
+                    for index, status in sorted(statuses.items()):
+                        print(f"  worker {index}:")
+                        _print_autotune(status, indent="    ")
                 elif text.startswith(":"):
                     print(f"unknown command {text!r} (:help for help)")
                 else:
@@ -333,6 +377,8 @@ def _cmd_serve(session_ttl: float | None) -> int:
                         f"  {s.statement}  "
                         f"[{s.misses} scans, ~{s.rows_scanned} rows walked]"
                     )
+            elif text == ":autotune":
+                _print_autotune(runtime.autotune_status())
             elif text.startswith(":"):
                 print(f"unknown command {text!r} (:help for help)")
             else:

@@ -1,0 +1,416 @@
+"""The self-driving policy: budgeted auto-indexing + index retirement.
+
+PR 5's :class:`~repro.db.api.IndexAdvisor` ranks ``CREATE INDEX``
+candidates but leaves the DDL to an operator.  This module closes that
+loop the way the self-tuning literature (the Cambridge Report's
+"autonomous operation" challenge, PAPERS.md) frames it: a feedback
+controller that observes the workload and acts on the database without
+anyone in the loop.
+
+The controller is deliberately boring — three decayed counters and two
+threshold rules:
+
+* **Create**: the database-wide advisor's miss stream (exponentially
+  decayed, see ``IndexAdvisor.half_life``) ranks missing indexes by the
+  scan work they would have saved.  The top suggestion is applied when
+  its decayed miss volume clears the policy floors, the estimated index
+  footprint (non-null cardinality from the
+  :class:`~repro.db.statistics.StatisticsCatalog`) fits the remaining
+  memory budget, and the table's observed write rate (mutation
+  generation counter deltas per tick) does not drown the expected
+  benefit.
+* **Retire**: every auto-created index carries decayed hit counters
+  (``hit_rows`` — scan rows the probes avoided, attributed per
+  execution by the connection layer's plan walk) and a decayed
+  maintenance counter (charged per DML touching the indexed column).
+  Once an index is old enough, ``maintenance_weight * maintenance >
+  hit_rows`` drops it — which covers both a write-hot table and plain
+  disuse after a workload shift, since the hit side decays to zero.
+  Retired candidates enter a cooldown so the (also decayed, but maybe
+  not yet drained) miss history cannot immediately re-create them.
+
+Both actions run off :meth:`Database._on_idle` — the same pin-drain
+hook that drives vacuum and compaction — and take the commit latch for
+the DDL itself, so readers never block and writers only wait for the
+index build proper.  The tick is reentrancy-guarded: evaluating
+statistics pins a snapshot whose drain re-enters ``_on_idle``, and the
+non-blocking tick lock turns that recursion into a no-op.
+
+Everything is observable through :meth:`Autotuner.status`, surfaced as
+``Connection.autotune()`` and the serving REPL's ``:autotune`` command.
+Disable the whole loop with ``Database(schema, autotune=False)`` or at
+runtime via ``database.autotuner.enabled = False``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.errors import ConstraintViolation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = ["Autotuner"]
+
+#: (table, column, kind) — kind is "hash" or "ordered", as everywhere.
+_Key = tuple[str, str, str]
+
+
+class _IndexUsage:
+    """Decayed usage counters of one auto-created index."""
+
+    __slots__ = ("hits", "hit_rows", "maintenance", "created_tick")
+
+    def __init__(self, created_tick: int) -> None:
+        self.hits = 0.0        # executions that probed this index
+        self.hit_rows = 0.0    # scan rows those probes avoided
+        self.maintenance = 0.0  # DML events that had to update it
+        self.created_tick = created_tick
+
+
+class Autotuner:
+    """Feedback-driven index management for one :class:`Database`.
+
+    Created eagerly by ``Database.__init__`` (the DML charge and hit
+    attribution hooks need a stable target), but inert until the
+    workload produces advisor misses that clear the policy floors.  The
+    floors default high enough that unit-test-sized tables never
+    trigger; benchmarks and deployments tune them via the public
+    attributes or :meth:`configure`.
+    """
+
+    def __init__(
+        self,
+        database: "Database",
+        enabled: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._database = database
+        self._clock = clock
+        self.enabled = enabled
+        # ---- policy knobs (documented in README "Self-driving") ----
+        #: total estimated entries across auto-created indexes
+        self.memory_budget_rows = 1_000_000
+        #: decayed advisor misses an index candidate needs
+        self.min_misses = 32.0
+        #: decayed scan rows an index candidate must have cost
+        self.min_rows_scanned = 32_768.0
+        #: tables smaller than this never get auto indexes
+        self.min_table_rows = 512
+        #: half-life (seconds) of every decayed counter
+        self.decay_half_life = 300.0
+        #: scanned-rows-equivalent cost of one index maintenance event
+        self.maintenance_weight = 64.0
+        #: ticks an auto index must age before retirement is considered
+        self.retire_after_ticks = 8
+        #: ticks a retired candidate stays ineligible for re-creation
+        self.cooldown_ticks = 16
+        # ---- state ----
+        self._lock = threading.Lock()
+        self._tick_lock = threading.Lock()
+        self._tick = 0
+        self._decayed_at = clock()
+        self._usage: dict[_Key, _IndexUsage] = {}
+        self._by_table: dict[str, tuple[_Key, ...]] = {}
+        self._cooldown: dict[_Key, int] = {}
+        self._write_marks: dict[str, int] = {}
+        self._write_window: dict[str, float] = {}
+        self._applied = 0
+        self._retired = 0
+        self._actions: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Hot-path hooks (called by Database.insert/update/delete and the
+    # connection layer's execution accounting; must stay near-free when
+    # no auto index exists)
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """Whether hit attribution is worth the plan walk right now."""
+        return self.enabled and bool(self._usage)
+
+    def charge_dml(
+        self, table: str, changes: Mapping[str, Any] | None
+    ) -> None:
+        """One DML against ``table`` (``changes`` is the updated-column
+        mapping for updates, ``None`` for insert/delete, which touch
+        every index on the table)."""
+        if not self.enabled:
+            return
+        keys = self._by_table.get(table)
+        if not keys:
+            return
+        with self._lock:
+            for key in keys:
+                if changes is not None and key[1] not in changes:
+                    continue
+                entry = self._usage.get(key)
+                if entry is not None:
+                    entry.maintenance += 1.0
+
+    def record_hits(self, hits: Iterable[_Key]) -> None:
+        """Index probes one plan execution performed (plan-walk
+        attribution — (table, column, kind) triples)."""
+        if not self.enabled or not self._usage:
+            return
+        database = self._database
+        with self._lock:
+            for key in hits:
+                entry = self._usage.get(key)
+                if entry is not None:
+                    entry.hits += 1.0
+                    entry.hit_rows += len(database.table(key[0]))
+
+    # ------------------------------------------------------------------
+    # The idle tick
+    # ------------------------------------------------------------------
+    def on_idle(self) -> None:
+        """One policy tick, fired when the last snapshot pin drains.
+
+        Skips (rather than waits) whenever acting now could interfere:
+        another tick is already running (including the reentrant case —
+        reading statistics pins a snapshot whose drain re-enters here),
+        a transaction is open, a writer holds the latch, or the calling
+        thread is inside a read-only scope.
+        """
+        if not self.enabled:
+            return
+        if not self._tick_lock.acquire(blocking=False):
+            return
+        try:
+            database = self._database
+            if (
+                database.transactions.in_transaction()
+                or database.commit_latch.locked
+                or database.snapshots.writes_forbidden()
+            ):
+                return
+            self._tick += 1
+            self._decay()
+            self._observe_writes()
+            advisor = database.index_advisor
+            if advisor.half_life is None:
+                # The database-wide advisor adopts the policy's decay so
+                # rankings follow the workload; per-connection advisors
+                # keep their exact accumulate-forever tallies.
+                advisor.half_life = self.decay_half_life
+            self._maybe_create()
+            self._maybe_retire()
+        finally:
+            self._tick_lock.release()
+
+    def _decay(self) -> None:
+        now = self._clock()
+        half_life = self.decay_half_life
+        with self._lock:
+            elapsed = now - self._decayed_at
+            self._decayed_at = now
+            if half_life <= 0 or elapsed <= 0:
+                return
+            factor = 0.5 ** (elapsed / half_life)
+            for entry in self._usage.values():
+                entry.hits *= factor
+                entry.hit_rows *= factor
+                entry.maintenance *= factor
+            for table in self._write_window:
+                self._write_window[table] *= factor
+
+    def _observe_writes(self) -> None:
+        """Fold mutation-generation deltas into the decayed write window."""
+        database = self._database
+        for name in database.table_names:
+            current = database.table(name).mutation_count
+            last = self._write_marks.get(name)
+            self._write_marks[name] = current
+            if last is None:
+                continue
+            delta = current - last
+            if delta > 0:
+                self._write_window[name] = (
+                    self._write_window.get(name, 0.0) + delta
+                )
+
+    # ------------------------------------------------------------------
+    # Create side
+    # ------------------------------------------------------------------
+    def _maybe_create(self) -> None:
+        database = self._database
+        budget_used = self._auto_rows_used()
+        for suggestion in database.index_advisor.suggestions(database):
+            if suggestion.rows_scanned < self.min_rows_scanned:
+                break  # ranked by rows_scanned: nothing below clears it
+            if suggestion.misses < self.min_misses:
+                continue
+            key = (suggestion.table, suggestion.column, suggestion.kind)
+            if self._cooldown.get(key, 0) > self._tick:
+                continue
+            try:
+                stats = database.statistics.column(
+                    suggestion.table, suggestion.column
+                )
+            except KeyError:  # pragma: no cover - racing DDL
+                continue
+            entries = stats.row_count - stats.null_count
+            if stats.row_count < self.min_table_rows or entries <= 0:
+                continue
+            if budget_used + entries > self.memory_budget_rows:
+                continue
+            writes = self._write_window.get(suggestion.table, 0.0)
+            if self.maintenance_weight * writes > suggestion.rows_scanned:
+                # Write-hot table: projected upkeep outweighs the scans
+                # the index would save.
+                continue
+            if not suggestion.apply(database):
+                continue  # raced an equivalent index; nothing to track
+            with self._lock:
+                self._usage[key] = _IndexUsage(self._tick)
+                self._rebuild_by_table()
+                self._applied += 1
+                self._log_action("create", key, rows=int(entries))
+            database.index_advisor.forget(*key)
+            return  # at most one build per tick keeps pauses bounded
+
+    def _auto_rows_used(self) -> int:
+        database = self._database
+        return sum(
+            len(database.table(table))
+            for table, __, __kind in self._usage
+            if table in database
+        )
+
+    # ------------------------------------------------------------------
+    # Retire side
+    # ------------------------------------------------------------------
+    def _maybe_retire(self) -> None:
+        database = self._database
+        with self._lock:
+            candidates = [
+                (key, entry)
+                for key, entry in self._usage.items()
+                if self._tick - entry.created_tick >= self.retire_after_ticks
+            ]
+        for key, entry in candidates:
+            cost = self.maintenance_weight * entry.maintenance
+            if cost <= entry.hit_rows or cost <= 0.0:
+                continue
+            table, column, kind = key
+            try:
+                if kind == "ordered":
+                    database.drop_ordered_index(table, column)
+                else:
+                    database.drop_index(table, column)
+            except (KeyError, ConstraintViolation):
+                # Already dropped externally, or adopted a constraint
+                # backing index: stop tracking it, count no action.
+                with self._lock:
+                    self._usage.pop(key, None)
+                    self._rebuild_by_table()
+                continue
+            with self._lock:
+                self._usage.pop(key, None)
+                self._rebuild_by_table()
+                self._retired += 1
+                self._cooldown[key] = self._tick + self.cooldown_ticks
+                self._log_action(
+                    "retire",
+                    key,
+                    hit_rows=round(entry.hit_rows, 1),
+                    maintenance=round(entry.maintenance, 1),
+                )
+            database.index_advisor.forget(*key)
+            return  # one drop per tick, symmetric with the create side
+
+    # ------------------------------------------------------------------
+    # Bookkeeping / surface
+    # ------------------------------------------------------------------
+    def _rebuild_by_table(self) -> None:
+        by_table: dict[str, list[_Key]] = {}
+        for key in self._usage:
+            by_table.setdefault(key[0], []).append(key)
+        self._by_table = {
+            table: tuple(keys) for table, keys in by_table.items()
+        }
+
+    def _log_action(self, action: str, key: _Key, **detail: Any) -> None:
+        self._actions.append(
+            {
+                "action": action,
+                "table": key[0],
+                "column": key[1],
+                "kind": key[2],
+                "tick": self._tick,
+                **detail,
+            }
+        )
+        del self._actions[:-64]  # bounded history
+
+    def track(self, table: str, column: str, kind: str) -> None:
+        """Adopt an existing index into the managed (retirable) set —
+        test/benchmark hook; production entries come from creates."""
+        with self._lock:
+            self._usage[(table, column, kind)] = _IndexUsage(self._tick)
+            self._rebuild_by_table()
+
+    def configure(self, **knobs: Any) -> None:
+        """Set policy knobs by name (unknown names raise); the
+        divergence knobs forward to the plan cache's respecialisation
+        policy so one surface configures the whole loop."""
+        forwarded = {"divergence_ratio", "fork_threshold", "respec_min_rows"}
+        for name, value in knobs.items():
+            if name in forwarded:
+                setattr(self._database.plan_cache, name, value)
+            elif hasattr(self, name) and not name.startswith("_"):
+                setattr(self, name, value)
+            else:
+                raise AttributeError(f"unknown autotune knob {name!r}")
+        if "decay_half_life" in knobs:
+            self._database.index_advisor.half_life = self.decay_half_life
+
+    def status(self) -> dict[str, Any]:
+        """The ``:autotune`` payload: knobs, per-index usage, actions,
+        budget and the plan cache's respecialisation counters."""
+        database = self._database
+        self._decay()
+        with self._lock:
+            indexes = [
+                {
+                    "table": key[0],
+                    "column": key[1],
+                    "kind": key[2],
+                    "hits": round(entry.hits, 1),
+                    "hit_rows": round(entry.hit_rows, 1),
+                    "maintenance": round(entry.maintenance, 1),
+                    "age_ticks": self._tick - entry.created_tick,
+                }
+                for key, entry in self._usage.items()
+            ]
+            actions = list(self._actions)
+            applied, retired, tick = self._applied, self._retired, self._tick
+        cache = database._plan_cache
+        return {
+            "enabled": self.enabled,
+            "tick": tick,
+            "applied": applied,
+            "retired": retired,
+            "budget": {
+                "memory_budget_rows": self.memory_budget_rows,
+                "rows_used": self._auto_rows_used(),
+            },
+            "knobs": {
+                "min_misses": self.min_misses,
+                "min_rows_scanned": self.min_rows_scanned,
+                "min_table_rows": self.min_table_rows,
+                "decay_half_life": self.decay_half_life,
+                "maintenance_weight": self.maintenance_weight,
+                "retire_after_ticks": self.retire_after_ticks,
+                "cooldown_ticks": self.cooldown_ticks,
+            },
+            "indexes": indexes,
+            "actions": actions,
+            "respec": (
+                cache.respec_counters() if cache is not None else None
+            ),
+        }

@@ -104,27 +104,57 @@ class ColumnStatistics:
         total_sq = sum(count * count for __, count in self.most_common)
         counted = sum(count for __, count in self.most_common)
         # Values beyond the retained most-common list are approximated as
-        # uniform over the remaining distinct values.
-        remaining_rows = self.row_count - self.null_count - counted
+        # uniform over the remaining distinct values.  Clamp at zero:
+        # externally supplied histograms can disagree with row_count.
+        remaining_rows = max(0, self.row_count - self.null_count - counted)
         remaining_distinct = self.distinct_count - len(self.most_common)
         if remaining_rows > 0 and remaining_distinct > 0:
             per_value = remaining_rows / remaining_distinct
             total_sq += remaining_distinct * per_value * per_value
-        return total_sq / (self.row_count * self.row_count)
+        return min(1.0, total_sq / (self.row_count * self.row_count))
 
     def selectivity(self, value: Any) -> float:
-        """Estimated fraction of rows where ``column == value``."""
+        """Estimated fraction of rows where ``column == value``.
+
+        Degenerate inputs are guarded: an empty table and an all-NULL
+        column estimate 0.0 (an equality can match nothing); a value
+        outside a *fully enumerated* most-common list (``distinct_count
+        == len(most_common)``) floors at half a row rather than 0.0, so
+        cost models and divergence ratios never see a hard zero for a
+        value that may have been inserted since statistics were cut.
+        """
         if self.row_count == 0:
             return 0.0
         for known, count in self.most_common:
             if known == value:
-                return count / self.row_count
+                return min(1.0, count / self.row_count)
+        if self.distinct_count == 0:
+            # All-NULL column: no non-null value can match.
+            return 0.0
         counted = sum(count for __, count in self.most_common)
-        remaining_rows = self.row_count - self.null_count - counted
+        remaining_rows = max(0, self.row_count - self.null_count - counted)
         remaining_distinct = self.distinct_count - len(self.most_common)
         if remaining_rows <= 0 or remaining_distinct <= 0:
-            return 0.0
-        return (remaining_rows / remaining_distinct) / self.row_count
+            return 0.5 / self.row_count
+        return min(
+            1.0, (remaining_rows / remaining_distinct) / self.row_count
+        )
+
+    def bucket_selectivity(self, value: Any) -> tuple[float, Any]:
+        """``(estimate, bucket)`` for an equality against ``value``.
+
+        The bucket identifies which MCV stratum priced the estimate: the
+        matched most-common value itself, or ``None`` for the uniform
+        tail.  Plan re-specialisation keys forked templates by bucket —
+        every constant in one bucket shares one selectivity estimate, so
+        one specialised template per bucket is exactly enough.
+        """
+        if self.row_count == 0:
+            return 0.0, None
+        for known, count in self.most_common:
+            if known == value:
+                return min(1.0, count / self.row_count), known
+        return self.selectivity(value), None
 
     @property
     def is_key_like(self) -> bool:
@@ -141,7 +171,7 @@ class ColumnStatistics:
         ignored — the estimate is for planning, not for results.
         """
         non_null = self.row_count - self.null_count
-        if self.row_count == 0 or non_null == 0:
+        if self.row_count == 0 or non_null <= 0:
             return 0.0
         default = (1 / 3) ** ((low is not None) + (high is not None))
         span = _numeric_span(self.min_value, self.max_value)

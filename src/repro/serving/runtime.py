@@ -281,3 +281,9 @@ class AgentRuntime:
         existing index already satisfies are elided.
         """
         return self.database.index_advisor.suggestions(self.database)
+
+    def autotune_status(self) -> dict[str, Any]:
+        """The self-driving policy's status payload (the ``:autotune``
+        surface): enabled flag, applied/retired actions, per-index
+        usage counters, budget and respecialisation counters."""
+        return self.database.autotuner.status()

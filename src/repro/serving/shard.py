@@ -165,6 +165,10 @@ def _serve_request(runtime: Any, op: str, payload: Any) -> Any:
         }
     if op == "compact":
         return runtime.compact()
+    if op == "autotune":
+        # The status dict is already pipe-safe (plain scalars and
+        # lists; column values in MCV buckets are schema types).
+        return runtime.autotune_status()
     raise ServingError(f"unknown shard op {op!r}")
 
 
@@ -350,6 +354,18 @@ class ShardRouter:
         """Compact every worker's replica; tables resealed per worker."""
         return {
             worker.index: worker.request("compact", None)
+            for worker in self._workers
+        }
+
+    def autotune_status(self) -> dict[int, dict[str, Any]]:
+        """Per-worker self-driving policy status.
+
+        Replicas tune independently — each worker's policy follows the
+        sessions hashed to it, so the applied index sets can legitimately
+        differ across workers under skewed session traffic.
+        """
+        return {
+            worker.index: worker.request("autotune", None)
             for worker in self._workers
         }
 

@@ -1,0 +1,352 @@
+"""Tests for the self-driving policy: auto-create, retirement, knobs."""
+
+import warnings
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    TableSchema,
+    eq,
+    ge,
+    select,
+)
+from repro.db.api import IndexAdvisor, IndexSuggestion
+from repro.db.autotune import Autotuner
+from repro.errors import ConstraintViolation
+
+
+def make_db(n_rows: int = 1500, autotune: bool = True) -> Database:
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "t",
+                [
+                    Column("id", DataType.INTEGER),
+                    Column("grp", DataType.INTEGER, nullable=False),
+                    Column("val", DataType.FLOAT, nullable=False),
+                ],
+                primary_key="id",
+            )
+        ]
+    )
+    database = Database(schema, autotune=autotune)
+    for i in range(1, n_rows + 1):
+        database.insert(
+            "t", {"id": i, "grp": i % 30, "val": float(i % 100)}
+        )
+    return database
+
+
+def loosen(database: Database) -> None:
+    """Drop the policy floors to unit-test scale."""
+    database.autotuner.configure(
+        min_misses=4.0,
+        min_rows_scanned=1000.0,
+        min_table_rows=100,
+    )
+
+
+def run_scans(database: Database, n: int = 8) -> None:
+    """Equality scans on the unindexed grp column + one policy tick per
+    scan (the pin drain at the end of each read scope fires on_idle)."""
+    connection = database.connect(name="scans")
+    for i in range(n):
+        with connection.reading():
+            connection.execute(select("t").where(eq("grp", i % 30))).all()
+
+
+class TestAutoCreate:
+    def test_creates_index_from_miss_stream(self):
+        db = make_db()
+        loosen(db)
+        assert not db.table("t").has_index("grp")
+        run_scans(db)
+        assert db.table("t").has_index("grp")
+        status = db.autotuner.status()
+        assert status["applied"] == 1
+        assert any(
+            a["action"] == "create" and a["column"] == "grp"
+            for a in status["actions"]
+        )
+        # The applied candidate's miss history is cleared.
+        assert not any(
+            s.column == "grp" for s in db.index_advisor.suggestions(db)
+        )
+
+    def test_default_floors_keep_small_databases_inert(self):
+        db = make_db(n_rows=300)  # stock knobs: nothing should trigger
+        run_scans(db, n=12)
+        assert not db.table("t").has_index("grp")
+        assert db.autotuner.status()["applied"] == 0
+
+    def test_disabled_via_constructor(self):
+        db = make_db(autotune=False)
+        loosen(db)
+        run_scans(db)
+        assert not db.table("t").has_index("grp")
+        assert db.autotuner.status()["enabled"] is False
+
+    def test_memory_budget_blocks_create(self):
+        db = make_db()
+        loosen(db)
+        db.autotuner.memory_budget_rows = 10  # far below 1500 entries
+        run_scans(db)
+        assert not db.table("t").has_index("grp")
+
+    def test_min_table_rows_blocks_create(self):
+        db = make_db(n_rows=1500)
+        loosen(db)
+        db.autotuner.min_table_rows = 100_000
+        run_scans(db)
+        assert not db.table("t").has_index("grp")
+
+    def test_write_hot_table_blocks_create(self):
+        db = make_db()
+        loosen(db)
+        # A decayed write window that drowns the scan savings.
+        db.autotuner._write_window["t"] = 1e9
+        run_scans(db)
+        assert not db.table("t").has_index("grp")
+
+    def test_range_misses_create_ordered_index(self):
+        db = make_db()
+        loosen(db)
+        connection = db.connect(name="ranges")
+        for i in range(8):
+            with connection.reading():
+                connection.execute(
+                    select("t").where(ge("val", 90.0 + i % 5))
+                ).all()
+        assert db.table("t").has_ordered_index("val")
+
+
+class TestRetirement:
+    def _tuned(self, half_life=None):
+        db = make_db()
+        clock = [0.0]
+        tuner = Autotuner(db, clock=lambda: clock[0])
+        db.autotuner = tuner
+        tuner.retire_after_ticks = 2
+        tuner.cooldown_ticks = 1000
+        if half_life is not None:
+            tuner.decay_half_life = half_life
+        return db, tuner, clock
+
+    def test_maintenance_dominating_hits_retires(self):
+        db, tuner, clock = self._tuned()
+        db.create_index("t", "grp")
+        tuner.track("t", "grp", "hash")
+        # Writes charge maintenance; no probes ever hit the index.
+        for i in range(10):
+            db.insert(
+                "t", {"id": 10_000 + i, "grp": 1, "val": 1.0}
+            )
+        for _ in range(tuner.retire_after_ticks + 1):
+            tuner.on_idle()
+        assert not db.table("t").has_index("grp")
+        status = tuner.status()
+        assert status["retired"] == 1
+        assert any(a["action"] == "retire" for a in status["actions"])
+
+    def test_hits_keep_index_alive(self):
+        db, tuner, clock = self._tuned()
+        db.create_index("t", "grp")
+        tuner.track("t", "grp", "hash")
+        db.insert("t", {"id": 10_001, "grp": 1, "val": 1.0})
+        tuner.record_hits([("t", "grp", "hash")])  # hit_rows ~ 1501
+        for _ in range(tuner.retire_after_ticks + 2):
+            tuner.on_idle()
+        assert db.table("t").has_index("grp")
+        assert tuner.status()["retired"] == 0
+
+    def test_decay_erodes_hits_until_retirement(self):
+        db, tuner, clock = self._tuned(half_life=1.0)
+        db.create_index("t", "grp")
+        tuner.track("t", "grp", "hash")
+        tuner.record_hits([("t", "grp", "hash")])
+        db.insert("t", {"id": 10_002, "grp": 1, "val": 1.0})
+        for _ in range(3):
+            tuner.on_idle()
+        assert db.table("t").has_index("grp")  # hits still dominate
+        clock[0] += 60.0  # sixty half-lives: hit mass is gone
+        tuner.on_idle()  # applies the decay to the old counters
+        db.insert("t", {"id": 10_003, "grp": 1, "val": 1.0})
+        for _ in range(3):
+            tuner.on_idle()
+        assert not db.table("t").has_index("grp")
+
+    def test_cooldown_blocks_recreation(self):
+        db, tuner, clock = self._tuned()
+        loosen(db)
+        db.create_index("t", "grp")
+        tuner.track("t", "grp", "hash")
+        for i in range(10):
+            db.insert("t", {"id": 11_000 + i, "grp": 2, "val": 2.0})
+        for _ in range(tuner.retire_after_ticks + 1):
+            tuner.on_idle()
+        assert not db.table("t").has_index("grp")
+        run_scans(db)  # fresh misses, but the candidate is cooling down
+        assert not db.table("t").has_index("grp")
+
+    def test_constraint_backed_index_is_untracked_not_dropped(self):
+        db, tuner, clock = self._tuned()
+        tuner.track("t", "id", "hash")  # the pk-backing index
+        for i in range(10):
+            db.insert("t", {"id": 12_000 + i, "grp": 3, "val": 3.0})
+        for _ in range(tuner.retire_after_ticks + 1):
+            tuner.on_idle()
+        assert db.table("t").has_index("id")  # refused, still present
+        status = tuner.status()
+        assert status["retired"] == 0
+        assert status["indexes"] == []  # but no longer tracked
+
+
+class TestDmlCharging:
+    def _tracked(self):
+        db = make_db()
+        db.create_index("t", "grp")
+        db.autotuner.track("t", "grp", "hash")
+        return db
+
+    def _maintenance(self, db):
+        (entry,) = db.autotuner.status()["indexes"]
+        return entry["maintenance"]
+
+    def test_insert_charges(self):
+        db = self._tracked()
+        db.insert("t", {"id": 20_001, "grp": 1, "val": 1.0})
+        assert self._maintenance(db) == 1.0
+
+    def test_update_charges_only_touched_columns(self):
+        db = self._tracked()
+        db.update("t", 1, {"val": 9.0})
+        assert self._maintenance(db) == 0.0
+        db.update("t", 1, {"grp": 9})
+        assert self._maintenance(db) == 1.0
+
+    def test_delete_charges(self):
+        db = self._tracked()
+        db.delete("t", 1)
+        assert self._maintenance(db) == 1.0
+
+
+class TestApplyIdempotent:
+    def test_apply_creates_then_noops_with_warning(self):
+        db = make_db()
+        suggestion = IndexSuggestion("t", "grp", "hash", 10, 10_000)
+        assert suggestion.apply(db) is True
+        assert db.table("t").has_index("grp")
+        with pytest.warns(UserWarning, match="already exists"):
+            assert suggestion.apply(db) is False
+
+    def test_apply_ordered_idempotent(self):
+        db = make_db()
+        suggestion = IndexSuggestion("t", "val", "ordered", 10, 10_000)
+        assert suggestion.apply(db) is True
+        with pytest.warns(UserWarning, match="already exists"):
+            assert suggestion.apply(db) is False
+
+    def test_apply_safe_under_commit_latch(self):
+        # The latch is reentrant: an operator applying inside an open
+        # write scope (or the policy during DDL) must not deadlock.
+        db = make_db()
+        suggestion = IndexSuggestion("t", "grp", "hash", 10, 10_000)
+        with db.write_locked():
+            assert suggestion.apply(db) is True
+        assert db.table("t").has_index("grp")
+
+    def test_existing_constraint_index_noops(self):
+        db = make_db()
+        suggestion = IndexSuggestion("t", "id", "hash", 10, 10_000)
+        with pytest.warns(UserWarning):
+            assert suggestion.apply(db) is False
+
+
+class TestAdvisorDecay:
+    def test_half_life_halves_tallies(self):
+        clock = [0.0]
+        advisor = IndexAdvisor(half_life=10.0, clock=lambda: clock[0])
+        for _ in range(8):
+            advisor.record("t", "grp", "hash", 100)
+        assert advisor.total_misses == 8
+        clock[0] += 10.0
+        assert advisor.total_misses == 4
+
+    def test_decayed_entries_are_pruned(self):
+        clock = [0.0]
+        advisor = IndexAdvisor(half_life=1.0, clock=lambda: clock[0])
+        advisor.record("t", "grp", "hash", 100)
+        clock[0] += 30.0  # far below the half-a-miss floor
+        assert advisor.total_misses == 0
+
+    def test_none_half_life_accumulates_forever(self):
+        clock = [0.0]
+        advisor = IndexAdvisor(clock=lambda: clock[0])
+        advisor.record("t", "grp", "hash", 100)
+        clock[0] += 1e6
+        assert advisor.total_misses == 1
+
+    def test_forget_clears_candidate(self):
+        advisor = IndexAdvisor()
+        advisor.record("t", "grp", "hash", 100)
+        advisor.forget("t", "grp", "hash")
+        assert advisor.total_misses == 0
+
+
+class TestDropIndexDdl:
+    def test_drop_index_round_trip(self):
+        db = make_db()
+        db.create_index("t", "grp")
+        assert db.table("t").has_index("grp")
+        db.drop_index("t", "grp")
+        assert not db.table("t").has_index("grp")
+
+    def test_drop_missing_raises(self):
+        db = make_db()
+        with pytest.raises(KeyError):
+            db.drop_index("t", "grp")
+        with pytest.raises(KeyError):
+            db.drop_ordered_index("t", "val")
+
+    def test_drop_constraint_backed_refused(self):
+        db = make_db()
+        with pytest.raises(ConstraintViolation):
+            db.drop_index("t", "id")
+
+    def test_drop_bumps_plan_stamp(self):
+        db = make_db()
+        db.create_index("t", "grp")
+        before = db.plan_stamp
+        db.drop_index("t", "grp")
+        assert db.plan_stamp != before
+
+    def test_drop_ordered_round_trip(self):
+        db = make_db()
+        db.create_ordered_index("t", "val")
+        assert db.table("t").has_ordered_index("val")
+        db.drop_ordered_index("t", "val")
+        assert not db.table("t").has_ordered_index("val")
+
+
+class TestSurface:
+    def test_configure_unknown_knob_raises(self):
+        db = make_db()
+        with pytest.raises(AttributeError, match="unknown autotune knob"):
+            db.autotuner.configure(warp_factor=9)
+
+    def test_configure_forwards_respec_knobs(self):
+        db = make_db()
+        db.autotuner.configure(divergence_ratio=5.0, fork_threshold=7)
+        assert db.plan_cache.divergence_ratio == 5.0
+        assert db.plan_cache.fork_threshold == 7
+
+    def test_connection_autotune_surface(self):
+        db = make_db()
+        payload = db.connect(name="c").autotune()
+        assert payload["enabled"] is True
+        assert "budget" in payload and "knobs" in payload
+        assert payload["respec"] is not None or db._plan_cache is None

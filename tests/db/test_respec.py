@@ -1,0 +1,243 @@
+"""Tests for MCV-aware plan re-specialisation in the plan cache."""
+
+import random
+import threading
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    Param,
+    TableSchema,
+    and_,
+    eq,
+    ge,
+    select,
+)
+
+HOT = "HOT"
+RARE = [f"rare{i:02d}" for i in range(20)]
+
+
+@pytest.fixture()
+def db():
+    """A 500-row skewed table: 90% of rows share ``hub == 'HOT'``.
+
+    With a hash index on ``hub`` and an ordered index on ``price``, the
+    eq probe is near-worthless under the hot constant (the template
+    planned there picks the price range) but wins by orders of
+    magnitude under any rare constant — the shape respecialisation
+    exists for.
+    """
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "item",
+                [
+                    Column("item_id", DataType.INTEGER),
+                    Column("hub", DataType.TEXT, nullable=False),
+                    Column("price", DataType.FLOAT, nullable=False),
+                ],
+                primary_key="item_id",
+            )
+        ]
+    )
+    database = Database(schema)
+    rng = random.Random(5)
+    rows = []
+    for item_id in range(1, 501):
+        row = {
+            "item_id": item_id,
+            "hub": HOT if rng.random() < 0.9 else rng.choice(RARE),
+            "price": round(rng.uniform(0.0, 100.0), 2),
+        }
+        rows.append(row)
+        database.insert("item", dict(row))
+    database.create_index("item", "hub")
+    database.create_ordered_index("item", "price")
+    database.test_oracle_rows = rows  # independent result oracle
+    return database
+
+
+def prepare(database):
+    return database.connect(name="respec").prepare(
+        select("item")
+        .where(and_(eq("hub", Param("h")), ge("price", Param("p"))))
+        .order_by("item_id")
+    )
+
+
+def expected(database, hub, price):
+    return [
+        row
+        for row in database.test_oracle_rows  # already in item_id order
+        if row["hub"] == hub and row["price"] >= price
+    ]
+
+
+def warm_hot(prepared, n=4):
+    """Establish the template under the hot constant's statistics."""
+    for _ in range(n):
+        prepared.execute(h=HOT, p=50.0).all()
+
+
+class TestDivergenceDetection:
+    def test_hot_bindings_never_diverge(self, db):
+        prepared = prepare(db)
+        warm_hot(prepared, n=10)
+        assert db.plan_cache.respec_counters()["divergences"] == 0
+
+    def test_rare_binding_replans_until_fork_threshold(self, db):
+        cache = db.plan_cache
+        prepared = prepare(db)
+        warm_hot(prepared)
+        k = cache.fork_threshold
+        for i in range(k - 1):
+            rows = prepared.execute(h=RARE[0], p=10.0).all()
+            assert rows == expected(db, RARE[0], 10.0)
+        counters = cache.respec_counters()
+        assert counters["divergences"] == k - 1
+        assert counters["replans"] == k - 1
+        assert counters["forks"] == 0
+        rows = prepared.execute(h=RARE[0], p=10.0).all()
+        assert rows == expected(db, RARE[0], 10.0)
+        counters = cache.respec_counters()
+        assert counters["forks"] == 1
+        assert counters["fork_binds"] == 1
+
+    def test_forked_template_serves_whole_bucket(self, db):
+        # Constants absent from the MCV list all price in the uniform
+        # tail — one bucket, so one forked template serves them all
+        # after the threshold (rare-but-MCV-listed constants would each
+        # get their own bucket instead).
+        ghosts = [f"ghost{i:02d}" for i in range(10)]
+        cache = db.plan_cache
+        prepared = prepare(db)
+        warm_hot(prepared)
+        for i in range(cache.fork_threshold):
+            assert prepared.execute(h=ghosts[i], p=10.0).all() == []
+        forks_after_threshold = cache.respec_counters()["forks"]
+        assert forks_after_threshold == 1
+        for hub in ghosts:
+            assert prepared.execute(h=hub, p=10.0).all() == []
+        counters = cache.respec_counters()
+        assert counters["forks"] == 1  # no further compiles
+        assert counters["fork_binds"] >= len(ghosts)
+
+    def test_divergence_ratio_boundary(self, db):
+        # Hot sel ~0.9 vs rare tail estimate: the observed ratio sits in
+        # the hundreds.  A threshold above it must never trigger; one
+        # below it must.
+        cache = db.plan_cache
+        cache.divergence_ratio = 1e6
+        prepared = prepare(db)
+        warm_hot(prepared)
+        for _ in range(5):
+            prepared.execute(h=RARE[1], p=10.0).all()
+        assert cache.respec_counters()["divergences"] == 0
+        cache.divergence_ratio = 8.0
+        prepared.execute(h=RARE[1], p=10.0).all()
+        assert cache.respec_counters()["divergences"] == 1
+
+    def test_respec_disabled_keeps_template(self, db):
+        cache = db.plan_cache
+        cache.respec_enabled = False
+        prepared = prepare(db)
+        warm_hot(prepared)
+        for hub in RARE[:5]:
+            rows = prepared.execute(h=hub, p=10.0).all()
+            assert rows == expected(db, hub, 10.0)
+        assert cache.respec_counters() == {
+            "divergences": 0, "replans": 0, "forks": 0, "fork_binds": 0,
+        }
+
+    def test_small_tables_never_respecialize(self, db):
+        db.plan_cache.respec_min_rows = 10_000  # above the 500 rows
+        prepared = prepare(db)
+        warm_hot(prepared)
+        for hub in RARE[:5]:
+            prepared.execute(h=hub, p=10.0).all()
+        assert db.plan_cache.respec_counters()["divergences"] == 0
+
+
+class TestInvalidation:
+    def test_ddl_version_bump_invalidates_fork(self, db):
+        cache = db.plan_cache
+        prepared = prepare(db)
+        warm_hot(prepared)
+        for _ in range(cache.fork_threshold + 2):
+            prepared.execute(h=RARE[2], p=10.0).all()
+        assert cache.respec_counters()["forks"] == 1
+        replans_before = cache.respec_counters()["replans"]
+        # DDL bumps the plan stamp: the parent template, the fork and
+        # the guard meta are all stale and must be rebuilt.
+        db.create_ordered_index("item", "item_id")
+        warm_hot(prepared)
+        for _ in range(cache.fork_threshold + 2):
+            rows = prepared.execute(h=RARE[2], p=10.0).all()
+            assert rows == expected(db, RARE[2], 10.0)
+        counters = cache.respec_counters()
+        # The fresh template forked again (recompiled, not reused) and
+        # its bucket counted divergences from scratch first.
+        assert counters["forks"] == 2
+        assert counters["replans"] > replans_before
+
+    def test_results_identical_across_arms(self, db):
+        # Randomised differential: respec on vs a frozen-template twin.
+        frozen = prepare(db)
+        db.plan_cache.respec_enabled = False
+        baseline = {}
+        warm_hot(frozen)
+        rng = random.Random(23)
+        cases = [
+            (HOT if rng.random() < 0.4 else rng.choice(RARE),
+             round(rng.uniform(0.0, 100.0), 2))
+            for _ in range(100)
+        ]
+        for case in cases:
+            baseline[case] = frozen.execute(h=case[0], p=case[1]).all()
+        db.plan_cache.respec_enabled = True
+        live = prepare(db)
+        warm_hot(live)
+        for case in cases:
+            assert live.execute(h=case[0], p=case[1]).all() == \
+                baseline[case]
+
+
+class TestThreadSafety:
+    def test_sixteen_threads_on_the_fork_path(self, db):
+        prepared = prepare(db)
+        warm_hot(prepared)
+        barrier = threading.Barrier(16)
+        errors = []
+
+        def worker(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                barrier.wait()
+                for turn in range(40):
+                    hub = HOT if rng.random() < 0.3 else rng.choice(RARE)
+                    price = round(rng.uniform(0.0, 100.0), 2)
+                    rows = prepared.execute(h=hub, p=price).all()
+                    if rows != expected(db, hub, price):
+                        raise AssertionError(
+                            f"thread {seed}: wrong rows for {hub}/{price}"
+                        )
+            except BaseException as exc:  # noqa: BLE001 - collected
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        counters = db.plan_cache.respec_counters()
+        assert counters["divergences"] > 0
+        assert counters["forks"] >= 1

@@ -146,3 +146,80 @@ class TestStatisticsCatalog:
         catalog.invalidate()
         catalog.table("movie")
         assert catalog.misses == 2
+
+
+class TestDegenerateSelectivity:
+    """Estimator guards: edge inputs must yield sane, clamped estimates."""
+
+    @staticmethod
+    def _stats(**overrides):
+        from repro.db.statistics import ColumnStatistics
+
+        base = dict(
+            table="t", column="c", row_count=100, distinct_count=10,
+            null_count=0, entropy=1.0,
+            most_common=(("a", 40), ("b", 20)),
+        )
+        base.update(overrides)
+        return ColumnStatistics(**base)
+
+    def test_empty_table_all_estimates_zero(self):
+        stats = self._stats(row_count=0, distinct_count=0, most_common=())
+        assert stats.selectivity("a") == 0.0
+        assert stats.average_selectivity == 0.0
+        assert stats.range_selectivity(low=1, high=2) == 0.0
+        assert stats.bucket_selectivity("a") == (0.0, None)
+
+    def test_all_null_column_matches_nothing(self):
+        stats = self._stats(
+            row_count=50, distinct_count=0, null_count=50, most_common=()
+        )
+        assert stats.selectivity("a") == 0.0
+        assert stats.range_selectivity(low=1) == 0.0
+        estimate, bucket = stats.bucket_selectivity("a")
+        assert estimate == 0.0
+        assert bucket is None
+
+    def test_fully_enumerated_mcv_unseen_value_floors(self):
+        # distinct_count == len(most_common): statistics claim every
+        # value is enumerated, but a newer insert may disagree — the
+        # estimate floors at half a row instead of a hard zero.
+        stats = self._stats(
+            row_count=100, distinct_count=2,
+            most_common=(("a", 60), ("b", 40)),
+        )
+        assert stats.selectivity("zzz") == pytest.approx(0.5 / 100)
+        assert stats.selectivity("zzz") > 0.0
+
+    def test_mcv_match_clamped_to_one(self):
+        # Externally supplied histograms can overcount; estimates clamp.
+        stats = self._stats(
+            row_count=10, distinct_count=1, most_common=(("a", 25),)
+        )
+        assert stats.selectivity("a") == 1.0
+        assert stats.bucket_selectivity("a") == (1.0, "a")
+
+    def test_average_selectivity_overcounted_histogram_clamps(self):
+        stats = self._stats(
+            row_count=10, distinct_count=5,
+            most_common=(("a", 30), ("b", 20)),
+        )
+        assert 0.0 <= stats.average_selectivity <= 1.0
+
+    def test_bucket_selectivity_tail_bucket_is_none(self):
+        stats = self._stats(
+            row_count=100, distinct_count=10,
+            most_common=(("a", 40), ("b", 20)),
+        )
+        sel_a, bucket_a = stats.bucket_selectivity("a")
+        assert (sel_a, bucket_a) == (0.4, "a")
+        sel_tail, bucket_tail = stats.bucket_selectivity("q")
+        assert bucket_tail is None
+        assert 0.0 < sel_tail < 0.4
+
+    def test_range_selectivity_all_null_side(self):
+        stats = self._stats(
+            row_count=10, distinct_count=0, null_count=10, most_common=(),
+            min_value=None, max_value=None,
+        )
+        assert stats.range_selectivity(low=0, high=1) == 0.0

@@ -82,11 +82,35 @@ STORAGE_FORBIDDEN = (
     re.compile(r"(?<!self)\.(_created|_deleted|_max_stamp)\b"),
 )
 
+# Files allowed to issue index DDL directly: the storage layer, the
+# Database/Connection surfaces that wrap it, snapshot restore, the
+# dataset builder (initial physical design) and the self-driving
+# policy.  Everything else must leave physical design to the autotuner
+# (or route an explicit operator request through the Connection API),
+# so the self-driving loop stays the single authority over which
+# indexes exist at runtime.
+INDEX_DDL_ALLOWED = {
+    SRC / "db" / "autotune.py",
+    SRC / "db" / "api.py",
+    SRC / "db" / "database.py",
+    SRC / "db" / "table.py",
+    SRC / "db" / "persistence.py",
+    SRC / "datasets" / "movies.py",
+}
+
+INDEX_DDL_FORBIDDEN = (
+    re.compile(
+        r"\.(create_index|create_ordered_index"
+        r"|drop_index|drop_ordered_index)\s*\("
+    ),
+)
+
 
 def main() -> int:
     violations: list[str] = []
     lock_violations: list[str] = []
     storage_violations: list[str] = []
+    index_ddl_violations: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
@@ -111,6 +135,13 @@ def main() -> int:
                 for pattern in STORAGE_FORBIDDEN:
                     if pattern.search(line):
                         storage_violations.append(
+                            f"{rel}:{lineno}: {stripped}"
+                        )
+                        break
+            if path not in INDEX_DDL_ALLOWED:
+                for pattern in INDEX_DDL_FORBIDDEN:
+                    if pattern.search(line):
+                        index_ddl_violations.append(
                             f"{rel}:{lineno}: {stripped}"
                         )
                         break
@@ -140,7 +171,22 @@ def main() -> int:
         )
         for violation in storage_violations:
             print(f"  {violation}", file=sys.stderr)
-    if violations or lock_violations or storage_violations:
+    if index_ddl_violations:
+        print(
+            "direct index DDL found outside the physical-design layer "
+            "(leave index creation/retirement to repro/db/autotune.py, "
+            "or route explicit operator DDL through the Database "
+            "surface):",
+            file=sys.stderr,
+        )
+        for violation in index_ddl_violations:
+            print(f"  {violation}", file=sys.stderr)
+    if (
+        violations
+        or lock_violations
+        or storage_violations
+        or index_ddl_violations
+    ):
         return 1
     print(f"execution-API lint ok ({SRC})")
     return 0
