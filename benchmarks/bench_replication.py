@@ -1,0 +1,423 @@
+"""HTAP replication benchmark: analytic reads off the OLTP path.
+
+Three sections, mirroring the replication tier's contract:
+
+* **Writer interference** (gated): a sustained booking-commit writer
+  (ticket_reservation / cancel_reservation through the stored-procedure
+  registry) runs against the primary while an analytic battery (grouped
+  sums and counts over the reservation fact table, whole-table counts)
+  is timed twice — once directly on the contended primary, once routed
+  through ``ReplicaManager.read()`` to a log-shipped replica that
+  applies commits in batches and compacts immediately.  The gate is on
+  analytic p95: the replica arm must beat the primary arm by the floor
+  (``--require-interference X``), because the primary pays per-commit
+  statistics invalidation and delta growth that the batched, sealed
+  replica never sees.
+* **Staleness-bound correctness** (always enforced): after a commit
+  burst, ``wait_for(lsn)`` then every battery query must come back
+  byte-identical (canonical JSON) from the replica and the primary.
+* **Kill / re-attach** (always enforced): killing a replica mid-stream
+  must not fail a single primary commit; re-attach catches up from the
+  ring, and a deliberately tiny ring forces the snapshot-resync path.
+
+Run standalone (CI runs the smoke profile and archives the JSON):
+
+    PYTHONPATH=src python benchmarks/bench_replication.py --smoke \
+        --output BENCH_replication.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from helpers import latency_summary, percentile  # noqa: E402
+
+from repro.datasets import MovieConfig, build_movie_database  # noqa: E402
+from repro.db import api  # noqa: E402
+from repro.db.aggregation import count, sum_  # noqa: E402
+from repro.errors import ProcedureError  # noqa: E402
+from repro.replication import ReplicaManager  # noqa: E402
+
+#: p95 interference floor CI applies in the smoke profile; the full
+#: profile records ≥2x (see BENCH_replication.json).
+DEFAULT_FLOOR = 1.5
+
+
+def _make_config(smoke: bool) -> MovieConfig:
+    return MovieConfig(
+        n_screenings=600 if smoke else 2000,
+        n_movies=80 if smoke else 200,
+        n_customers=300 if smoke else 800,
+        n_reservations=4000 if smoke else 16000,
+        extra_dimensions=4,
+        n_days=30 if smoke else 60,
+    )
+
+
+def _battery() -> list[tuple[str, api.SelectStatement]]:
+    """The analytic statements both arms (and the differential) run.
+
+    All are replica-classified shapes: grouped/ungrouped aggregates
+    over the reservation fact table and a whole-table count.
+    """
+    return [
+        (
+            "booked_by_screening",
+            api.aggregate(
+                "reservation", booked=sum_("no_tickets"), n=count()
+            ).group_by("screening_id"),
+        ),
+        (
+            "tickets_by_customer",
+            api.aggregate(
+                "reservation", tickets=sum_("no_tickets")
+            ).group_by("customer_id"),
+        ),
+        (
+            "total_tickets",
+            api.aggregate("reservation", total=sum_("no_tickets")),
+        ),
+        ("reservation_count", api.select("reservation").count()),
+    ]
+
+
+class BookingWriter(threading.Thread):
+    """Sustained booking commits against the primary.
+
+    Books random screenings through ``ticket_reservation`` and, when a
+    screening is full, cancels an earlier booking — a steady stream of
+    committed OLTP transactions for as long as the arm runs.  Any
+    exception that is not a capacity rejection counts as a *failure*;
+    the kill/re-attach section requires that counter to stay at zero.
+    """
+
+    def __init__(self, database, seed: int) -> None:
+        super().__init__(name="bench-booking-writer", daemon=True)
+        self._database = database
+        self._rng = random.Random(seed)
+        self._halt = threading.Event()
+        self._screenings = [
+            row["screening_id"] for row in database.rows("screening")
+        ]
+        self._booked: list[int] = []
+        self.commits = 0
+        self.rejections = 0
+        self.failures = 0
+
+    def run(self) -> None:
+        connection = self._database.default_connection
+        while not self._halt.is_set():
+            try:
+                if self._booked and self._rng.random() < 0.3:
+                    reservation_id = self._booked.pop(
+                        self._rng.randrange(len(self._booked))
+                    )
+                    connection.call(
+                        "cancel_reservation", reservation_id=reservation_id
+                    )
+                else:
+                    outcome = connection.call(
+                        "ticket_reservation",
+                        customer_id=self._rng.randint(1, 50),
+                        screening_id=self._rng.choice(self._screenings),
+                        ticket_amount=self._rng.randint(1, 3),
+                    ).value
+                    self._booked.append(outcome["reservation_id"])
+                self.commits += 1
+            except ProcedureError:
+                self.rejections += 1
+            except BaseException:  # noqa: BLE001 - the gate counts these
+                self.failures += 1
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=10.0)
+
+
+def _time_battery(connection_for, seconds: float) -> list[float]:
+    """Per-query latencies of the battery, round-robin, for ``seconds``.
+
+    ``connection_for`` maps a statement to the connection it should run
+    on — the contended primary in one arm, ``manager.read()`` in the
+    other.
+    """
+    battery = _battery()
+    samples: list[float] = []
+    deadline = time.monotonic() + seconds
+    index = 0
+    while time.monotonic() < deadline:
+        __, statement = battery[index % len(battery)]
+        index += 1
+        connection = connection_for(statement)
+        started = time.perf_counter()
+        # reading() pins a consistent snapshot for the scope — the
+        # contract concurrent reads run under (a bare read racing a
+        # compaction may observe banks mid-swap).
+        with connection.reading():
+            connection.prepare(statement).execute().all()
+        samples.append(time.perf_counter() - started)
+    return samples
+
+
+def measure_interference(smoke: bool) -> dict:
+    config = _make_config(smoke)
+    seconds = 1.5 if smoke else 5.0
+    arms: dict[str, dict] = {}
+
+    # Contended-primary arm: analytic battery on the same banks the
+    # writer commits into.
+    database, __ = build_movie_database(config)
+    database.compact()
+    writer = BookingWriter(database, seed=23)
+    writer.start()
+    try:
+        primary_conn = database.default_connection
+        samples = _time_battery(lambda s: primary_conn, seconds)
+    finally:
+        writer.stop()
+    arms["primary"] = {
+        "latency": latency_summary(samples),
+        "queries": len(samples),
+        "writer_commits": writer.commits,
+        "writer_failures": writer.failures,
+    }
+    primary_p95 = percentile(samples, 95)
+
+    # Replica arm: identical writer stream, battery routed through the
+    # manager at the default staleness bound.
+    database, __ = build_movie_database(config)
+    database.compact()
+    # Half-second apply cadence: far inside the 5 s staleness bound,
+    # and only ~0.2% of timed queries land on a freshly bumped replica
+    # generation (cold memos) instead of the sealed steady state.
+    manager = ReplicaManager(
+        database, replicas=1, batch_size=256, apply_interval_s=0.5
+    )
+    writer = BookingWriter(database, seed=23)
+    writer.start()
+    try:
+        samples = _time_battery(lambda s: manager.read(), seconds)
+    finally:
+        writer.stop()
+    status = manager.status()
+    manager.stop()
+    arms["replica"] = {
+        "latency": latency_summary(samples),
+        "queries": len(samples),
+        "writer_commits": writer.commits,
+        "writer_failures": writer.failures,
+        "replica_routes": status["replica_routes"],
+        "primary_fallbacks": status["primary_fallbacks"],
+        "records_applied": status["replicas"][0]["records_applied"],
+        "batches_applied": status["replicas"][0]["batches_applied"],
+    }
+    replica_p95 = percentile(samples, 95)
+
+    speedup = None
+    if primary_p95 and replica_p95:
+        speedup = round(primary_p95 / replica_p95, 2)
+    return {
+        "seconds_per_arm": seconds,
+        "arms": arms,
+        "primary_p95_ms": (
+            None if primary_p95 is None else round(primary_p95 * 1000, 4)
+        ),
+        "replica_p95_ms": (
+            None if replica_p95 is None else round(replica_p95 * 1000, 4)
+        ),
+        "p95_speedup": speedup,
+    }
+
+
+def _canonical(connection, statement) -> str:
+    with connection.reading():
+        rows = connection.prepare(statement).execute().all()
+    return json.dumps(rows, default=str, sort_keys=True)
+
+
+def measure_differential(smoke: bool) -> dict:
+    """Replica reads at ``wait_for(lsn)`` vs primary reads at that LSN."""
+    config = _make_config(smoke)
+    database, __ = build_movie_database(config)
+    database.compact()
+    manager = ReplicaManager(database, replicas=1, batch_size=32)
+    writer = BookingWriter(database, seed=41)
+    writer.start()
+    time.sleep(0.4 if smoke else 1.0)
+    writer.stop()
+    lsn = database.data_version
+    caught_up = manager.wait_for(lsn, timeout=30.0)
+
+    battery = _battery() + [
+        (
+            "reservations_ordered",
+            api.select("reservation").order_by("reservation_id"),
+        ),
+        (
+            "screening_rows",
+            api.select("screening").order_by("screening_id"),
+        ),
+    ]
+    replica_conn = manager.read(max_staleness=0.0)
+    primary_conn = database.default_connection
+    mismatches = []
+    for name, statement in battery:
+        if _canonical(replica_conn, statement) != _canonical(
+            primary_conn, statement
+        ):
+            mismatches.append(name)
+    routed_to_replica = replica_conn.database is not database
+    manager.stop()
+    return {
+        "lsn": lsn,
+        "caught_up": caught_up,
+        "writer_commits": writer.commits,
+        "queries": len(battery),
+        "routed_to_replica": routed_to_replica,
+        "identical": caught_up and routed_to_replica and not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def measure_recovery(smoke: bool) -> dict:
+    """Kill / re-attach under write load, plus the forced-resync path."""
+    config = _make_config(smoke)
+    database, __ = build_movie_database(config)
+    database.compact()
+    # A ring this small guarantees the second kill overruns it, forcing
+    # re-attach through the snapshot-resync path rather than catch-up.
+    manager = ReplicaManager(
+        database, replicas=1, batch_size=16, ring_capacity=8
+    )
+    writer = BookingWriter(database, seed=59)
+    writer.start()
+    time.sleep(0.2)
+
+    # Kill mid-stream; the writer must not notice.
+    before_kill = writer.commits
+    manager.kill_replica(0)
+    time.sleep(0.4 if smoke else 1.0)
+    commits_while_dead = writer.commits - before_kill
+    writer.stop()
+
+    replica = manager.reattach_replica(0)
+    lsn = database.data_version
+    caught_up = manager.wait_for(lsn, timeout=30.0)
+    primary_count = database.count("reservation")
+    replica_count = manager.replica_database(0).count("reservation")
+    status = manager.status()
+    manager.stop()
+    return {
+        "commits_while_dead": commits_while_dead,
+        "writer_failures": writer.failures,
+        "resyncs": status["replicas"][0]["resyncs"],
+        "caught_up": caught_up,
+        "primary_reservations": primary_count,
+        "replica_reservations": replica_count,
+        "recovered": (
+            writer.failures == 0
+            and commits_while_dead > 0
+            and caught_up
+            and primary_count == replica_count
+        ),
+    }
+
+
+def run_benchmark(smoke: bool) -> dict:
+    config = _make_config(smoke)
+    return {
+        "benchmark": "replication",
+        "profile": "smoke" if smoke else "full",
+        "config": {
+            "n_screenings": config.n_screenings,
+            "n_customers": config.n_customers,
+            "n_reservations": config.n_reservations,
+        },
+        "interference": measure_interference(smoke),
+        "differential": measure_differential(smoke),
+        "recovery": measure_recovery(smoke),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small, CI-sized database and time budget")
+    parser.add_argument("--output", default="BENCH_replication.json",
+                        metavar="PATH", help="where to write the JSON record")
+    parser.add_argument(
+        "--require-interference", type=float, nargs="?",
+        const=DEFAULT_FLOOR, default=None, metavar="X",
+        help="fail unless analytic p95 under concurrent booking commits "
+        f"is at least X times better on the replica (default {DEFAULT_FLOOR})",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_benchmark(smoke=args.smoke)
+    interference = results["interference"]
+    differential = results["differential"]
+    recovery = results["recovery"]
+    print(f"replication benchmark ({results['profile']}):")
+    for arm in ("primary", "replica"):
+        row = interference["arms"][arm]
+        latency = row["latency"]
+        print(
+            f"   {arm:8s} p50 {latency['p50_ms']:9.3f} ms   "
+            f"p95 {latency['p95_ms']:9.3f} ms   "
+            f"({row['queries']} analytic queries vs "
+            f"{row['writer_commits']} commits)"
+        )
+    print(
+        f"   p95 interference speedup: {interference['p95_speedup']}x  "
+        f"(routes {interference['arms']['replica']['replica_routes']} "
+        f"replica / "
+        f"{interference['arms']['replica']['primary_fallbacks']} primary)"
+    )
+    print(
+        f"   differential @ lsn {differential['lsn']}: "
+        f"{'identical' if differential['identical'] else 'MISMATCH'} "
+        f"({differential['queries']} queries after "
+        f"{differential['writer_commits']} commits)"
+    )
+    print(
+        f"   kill/re-attach: "
+        f"{'recovered' if recovery['recovered'] else 'FAILED'} "
+        f"({recovery['commits_while_dead']} commits while dead, "
+        f"{recovery['writer_failures']} failures, "
+        f"{recovery['resyncs']} snapshot resync)"
+    )
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+
+    failed = []
+    if not differential["identical"]:
+        failed.append(
+            f"differential mismatch: {differential['mismatches'] or 'stale'}"
+        )
+    if not recovery["recovered"]:
+        failed.append("kill/re-attach did not recover cleanly")
+    if args.require_interference is not None:
+        speedup = interference["p95_speedup"]
+        if speedup is None or speedup < args.require_interference:
+            failed.append(
+                f"p95 interference speedup {speedup}x < "
+                f"{args.require_interference}x"
+            )
+    if failed:
+        print(f"FAIL: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

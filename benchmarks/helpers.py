@@ -21,22 +21,34 @@ from repro.db import Catalog, Database, StatisticsCatalog
 from repro.eval import PolicyExperiment
 
 
-def percentile(samples: list[float], q: float) -> float:
-    """The ``q``-th percentile (0..100) by nearest rank."""
+def percentile(samples: list[float], q: float) -> float | None:
+    """The ``q``-th percentile (0..100) by nearest rank.
+
+    Degenerate samples degrade instead of raising: an empty sample has
+    no percentile (``None``), a singleton *is* its every percentile.
+    """
     if not samples:
-        raise ValueError("percentile of no samples")
+        return None
     ordered = sorted(samples)
     rank = math.ceil(q / 100.0 * len(ordered)) - 1
     return ordered[max(0, min(len(ordered) - 1, rank))]
 
 
-def latency_summary(samples: list[float]) -> dict[str, float]:
-    """p50/p95/p99/mean of per-turn latencies, seconds in, ms out."""
+def latency_summary(samples: list[float]) -> dict[str, float | None]:
+    """p50/p95/p99/mean of per-turn latencies, seconds in, ms out.
+
+    Tolerates empty samples (a bench arm that recorded nothing): every
+    figure comes back ``None`` rather than raising mid-report.
+    """
+
+    def _ms(seconds: float | None) -> float | None:
+        return None if seconds is None else round(seconds * 1000.0, 3)
+
     return {
-        "p50_ms": round(percentile(samples, 50) * 1000.0, 3),
-        "p95_ms": round(percentile(samples, 95) * 1000.0, 3),
-        "p99_ms": round(percentile(samples, 99) * 1000.0, 3),
-        "mean_ms": round(statistics.fmean(samples) * 1000.0, 3),
+        "p50_ms": _ms(percentile(samples, 50)),
+        "p95_ms": _ms(percentile(samples, 95)),
+        "p99_ms": _ms(percentile(samples, 99)),
+        "mean_ms": _ms(statistics.fmean(samples) if samples else None),
     }
 
 

@@ -1051,8 +1051,50 @@ class Connection:
         return prepared
 
     def execute(self, statement: Statement | Query, **binds: Any) -> Result:
-        """One-shot prepare + execute (prefer ``prepare`` for hot shapes)."""
-        return self.prepare(statement).execute(**binds)
+        """One-shot prepare + execute (prefer ``prepare`` for hot shapes).
+
+        When the database has an attached replica manager, analytic
+        one-shots (aggregates, grouped queries, whole-table counts)
+        route to a bounded-staleness replica; everything else — and
+        every statement issued inside a transaction, a snapshot pin or
+        under the commit latch — runs here.  Prepared statements never
+        route: a :class:`PreparedStatement` is compiled against one
+        database's plan cache.
+        """
+        target = self._route_for(statement)
+        return target.prepare(statement).execute(**binds)
+
+    def analytic(self, max_staleness: float | None = None) -> "Connection":
+        """A connection for analytic reads: a replica within
+        ``max_staleness`` seconds (the manager's default bound when
+        None), or this connection when no replica qualifies or none is
+        attached — graceful degradation, never an error."""
+        manager = self._database.replica_manager
+        if manager is None or not self._routing_safe():
+            return self
+        return manager.read(max_staleness=max_staleness)
+
+    def _routing_safe(self) -> bool:
+        """Whether handing a read to another database is sound here:
+        no open transaction, no held commit latch, no pinned snapshot
+        (each would break read-your-writes or scope consistency)."""
+        database = self._database
+        return (
+            not database.transactions.in_transaction()
+            and not database.commit_latch.held_by_current_thread
+            and database.snapshots.pin_depth() == 0
+        )
+
+    def _route_for(self, statement: Statement | Query) -> "Connection":
+        if self._database.replica_manager is None:
+            return self
+        if not self._routing_safe():
+            return self
+        from repro.replication.routing import is_analytic_statement
+
+        if not is_analytic_statement(statement):
+            return self
+        return self._database.replica_manager.read()
 
     def call(self, procedure: str, **arguments: Any) -> Result:
         """Run a stored procedure atomically; returns its Result."""

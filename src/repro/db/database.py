@@ -57,6 +57,12 @@ class Database:
         # ``repro.db.persistence.dump_incremental``) every committed
         # logical mutation is recorded and flushed at the commit point.
         self.delta_log = None
+        # HTAP replication: when a ReplicaManager adopts this database
+        # as its primary (see ``repro.replication``) it registers here,
+        # and the Connection API routes analytic one-shots through
+        # ``replica_manager.read()``.  None means no replicas — every
+        # statement runs locally.
+        self.replica_manager = None
         # Plan-template stamp: pre-sealed it ticks with every commit
         # (plans were priced against statistics that just changed);
         # once compaction has sealed the tables, committed writes leave

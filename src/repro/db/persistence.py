@@ -33,6 +33,7 @@ from repro.db.types import DataType
 from repro.errors import DatabaseError
 
 __all__ = [
+    "apply_log_ops",
     "dump_database",
     "load_database",
     "dumps_database",
@@ -363,7 +364,12 @@ def dump_incremental(database: Database, directory: str) -> str:
         log = database.delta_log
         if log is None:
             log = DeltaLog()
-        log.attach(log_path, encoder=_encode_value, truncate=True)
+        log.attach(
+            log_path,
+            encoder=_encode_value,
+            truncate=True,
+            decoder=_decode_value,
+        )
         database.delta_log = log
     return directory
 
@@ -403,21 +409,33 @@ def _replay_records(database: Database, records: list[dict[str, Any]]) -> None:
     belong to this base image.
     """
     for record in records:
-        for op in record["ops"]:
-            kind, table_name, row_id, payload = op
-            if kind == "insert":
-                assigned = database.insert(table_name, dict(payload))
-                if assigned != row_id:
-                    raise DatabaseError(
-                        f"delta-log replay: insert into {table_name!r} "
-                        f"took id {assigned}, log recorded {row_id} — "
-                        "log does not match this base snapshot"
-                    )
-            elif kind == "update":
-                database.update(table_name, row_id, dict(payload))
-            elif kind == "delete":
-                database.delete(table_name, row_id)
-            else:
+        apply_log_ops(database, record["ops"])
+
+
+def apply_log_ops(database: Database, ops: list) -> None:
+    """Apply one delta-log record's ops to ``database``.
+
+    The shared core of snapshot replay and replica catch-up (the
+    replication tier's :class:`~repro.replication.ReplicaApplier` calls
+    it per batched record).  Inserts must re-take the id the log
+    recorded — the v4 base restores id counters exactly, so a mismatch
+    means the log and the database diverged.
+    """
+    for op in ops:
+        kind, table_name, row_id, payload = op
+        if kind == "insert":
+            assigned = database.insert(table_name, dict(payload))
+            if assigned != row_id:
                 raise DatabaseError(
-                    f"delta-log replay: unknown op kind {kind!r}"
+                    f"delta-log replay: insert into {table_name!r} "
+                    f"took id {assigned}, log recorded {row_id} — "
+                    "log does not match this base snapshot"
                 )
+        elif kind == "update":
+            database.update(table_name, row_id, dict(payload))
+        elif kind == "delete":
+            database.delete(table_name, row_id)
+        else:
+            raise DatabaseError(
+                f"delta-log replay: unknown op kind {kind!r}"
+            )

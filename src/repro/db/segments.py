@@ -169,6 +169,7 @@ class DeltaLog:
         self._records: list[dict[str, Any]] = []
         self._handle = None
         self._encoder: Callable[[Any], Any] = _identity
+        self._decoder: Callable[[Any], Any] = _identity
         self.path: str | None = None
 
     # ------------------------------------------------------------------
@@ -254,17 +255,22 @@ class DeltaLog:
         path: str,
         encoder: Callable[[Any], Any] | None = None,
         truncate: bool = False,
+        decoder: Callable[[Any], Any] | None = None,
     ) -> None:
         """Mirror committed records to ``path`` (one JSON line each).
 
         ``truncate=True`` starts the file (and the in-memory record
         list) fresh — the caller just wrote a base image that already
-        contains everything committed so far.
+        contains everything committed so far.  ``decoder`` is the
+        inverse of ``encoder``; readers that tail the on-disk file (the
+        replication log's ring-overrun fallback) apply it to payload
+        values they read back.
         """
         with self._lock:
             if self._handle is not None:
                 self._handle.close()
             self._encoder = encoder if encoder is not None else _identity
+            self._decoder = decoder if decoder is not None else _identity
             if truncate:
                 self._records.clear()
             self._handle = open(path, "w" if truncate else "a")
@@ -296,44 +302,56 @@ def read_delta_records(
     records: list[dict[str, Any]] = []
     clean = True
     last_generation = None
-    with open(path) as handle:
-        for line in handle:
-            if not line.endswith("\n"):
-                clean = False  # torn final append
-                break
-            try:
-                body = json.loads(line)
-                generation = body["generation"]
-                ops = body["ops"]
-                crc = body["crc"]
-            except (json.JSONDecodeError, KeyError, TypeError):
-                clean = False
-                break
-            if not isinstance(generation, int) or not isinstance(ops, list):
-                clean = False
-                break
-            if crc != _record_crc(generation, ops):
-                clean = False
-                break
-            if last_generation is not None and generation <= last_generation:
-                clean = False
-                break
-            try:
-                decoded_ops = [
-                    (
-                        kind,
-                        table,
-                        row_id,
-                        None if payload is None else {
-                            column: decode(value)
-                            for column, value in payload.items()
-                        },
-                    )
-                    for kind, table, row_id, payload in ops
-                ]
-            except (TypeError, ValueError, DatabaseError):
-                clean = False
-                break
-            last_generation = generation
-            records.append({"generation": generation, "ops": decoded_ops})
+    # Frame in binary: a crash (or a copy taken mid-append) can cut the
+    # file at *any* byte offset, including inside a multi-byte UTF-8
+    # sequence — text-mode iteration would raise UnicodeDecodeError on
+    # such a tail instead of cutting it.  Split on the newline framing
+    # first, decode each complete line on its own, and treat any decode
+    # failure like every other torn-tail symptom.
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    chunks = raw.split(b"\n")
+    if chunks[-1] != b"":
+        # No trailing newline: the final chunk is a torn append (the
+        # writer emits record+terminator in one write), however far it
+        # got — zero bytes of payload or all of them.
+        clean = False
+    chunks = chunks[:-1]
+    for chunk in chunks:
+        try:
+            line = chunk.decode("utf-8")
+            body = json.loads(line)
+            generation = body["generation"]
+            ops = body["ops"]
+            crc = body["crc"]
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError):
+            clean = False
+            break
+        if not isinstance(generation, int) or not isinstance(ops, list):
+            clean = False
+            break
+        if crc != _record_crc(generation, ops):
+            clean = False
+            break
+        if last_generation is not None and generation <= last_generation:
+            clean = False
+            break
+        try:
+            decoded_ops = [
+                (
+                    kind,
+                    table,
+                    row_id,
+                    None if payload is None else {
+                        column: decode(value)
+                        for column, value in payload.items()
+                    },
+                )
+                for kind, table, row_id, payload in ops
+            ]
+        except (TypeError, ValueError, AttributeError, DatabaseError):
+            clean = False
+            break
+        last_generation = generation
+        records.append({"generation": generation, "ops": decoded_ops})
     return records, clean

@@ -325,7 +325,18 @@ class StatisticsCatalog:
         )
 
     def column(self, table_name: str, column: str) -> ColumnStatistics:
-        return self.table(table_name).column(column)
+        """Statistics for one column, cached independently.
+
+        The planner prices one predicate column at a time; computing
+        (and re-computing, every commit) the whole table's histograms
+        for that would make each OLTP commit pay for the widest
+        key-like column nobody asked about.  Per-column entries share
+        the catalog's version-stamped cache with the table entries.
+        """
+        return self._cache.lookup(
+            (table_name, column),
+            lambda: self._compute_column(table_name, column),
+        )
 
     def matches_per_key(self, table_name: str, column: str) -> float:
         """Expected rows matched by one equality probe on ``column``.
@@ -356,7 +367,10 @@ class StatisticsCatalog:
         # memoised per epoch + delta adjustments) — a commit between
         # turns costs O(distinct + delta) per column, not a rescan.
         # Unsealed tables (or a stale pinned reader) read the columns
-        # straight from the banks in one shared slot pass.
+        # straight from the banks in one shared slot pass.  Not
+        # assembled from :meth:`column` entries — a whole-table
+        # consumer would then count one miss per column, and the two
+        # access patterns rarely overlap.
         arrays = None
         sealed = table.is_sealed
         for column in table.schema.column_names:
@@ -374,4 +388,21 @@ class StatisticsCatalog:
             )
         return TableStatistics(
             table=table_name, row_count=len(table), columns=columns
+        )
+
+    def _compute_column(
+        self, table_name: str, column: str
+    ) -> ColumnStatistics:
+        table = self._database.table(table_name)
+        if not table.schema.has_column(column):
+            raise KeyError(column)
+        merged = table.column_counts(column) if table.is_sealed else None
+        if merged is not None:
+            return column_statistics_from_counts(
+                table_name, column, merged[0], merged[1],
+                self._most_common_k,
+            )
+        return compute_column_statistics(
+            table_name, column, table.column_arrays()[column],
+            self._most_common_k,
         )

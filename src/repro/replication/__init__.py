@@ -1,0 +1,34 @@
+"""HTAP replication: log-shipped analytic replicas at bounded staleness.
+
+The subsystem follows the HTAP co-design line of PAPERS.md (Polynesia's
+specialised read engines fed by an update-shipping layer): transactions
+commit on the primary exactly as before, every committed mutation flows
+through the :class:`~repro.replication.log.ReplicationLog` (PR 8's
+delta log with an LSN-addressed in-process ring and an on-disk tail),
+and one or more replica databases replay it in batches — sealed,
+compacted and statistics-warm, the shape analytic scans are fastest in.
+
+Entry points:
+
+* :class:`ReplicaManager` — bootstrap replicas from a v4 snapshot,
+  expose ``lag()`` / ``wait_for(lsn)`` / ``read(max_staleness=)``;
+* :class:`ReplicationLog` / :class:`ReplicaApplier` — the shipping and
+  replay halves (internal to this package; the lint in
+  ``tools/check_execution_api.py`` keeps it that way);
+* :func:`is_analytic_statement` — the classification the Connection
+  API and serving tier use to decide primary vs replica.
+"""
+
+from repro.replication.applier import ReplicaApplier
+from repro.replication.log import LogRecord, ReplicationLog
+from repro.replication.manager import ReplicaManager, ReplicationLag
+from repro.replication.routing import is_analytic_statement
+
+__all__ = [
+    "LogRecord",
+    "ReplicaApplier",
+    "ReplicaManager",
+    "ReplicationLag",
+    "ReplicationLog",
+    "is_analytic_statement",
+]

@@ -1,0 +1,233 @@
+"""The replica applier: batched log replay into an analytic replica.
+
+One :class:`ReplicaApplier` owns the catch-up loop of one replica
+database.  It tails the primary's :class:`~repro.replication.log.ReplicationLog`
+and applies each batch of committed records inside a single replica
+transaction — one generation bump and one statistics invalidation per
+batch instead of per record — then compacts immediately, so the
+replica's banks stay sealed and its plan/statistics memos stay hot: the
+shape the analytic read path is fastest in, and exactly the shape the
+primary cannot hold under sustained OLTP commits.
+
+Replay goes through :func:`repro.db.persistence.apply_log_ops` (the
+same core snapshot restore uses), so a replica is indistinguishable
+from a database that executed the committed workload live, and the
+insert-id check catches a log/bootstrap mismatch instead of silently
+diverging.
+
+The applier usually runs on its own daemon thread (:meth:`start`), but
+:meth:`catch_up` also works synchronously — tests and the manager's
+bootstrap path drive it directly.  A dead or stopped applier never
+blocks the primary: the log keeps committing, and the manager routes
+reads around the stale replica.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.db.persistence import apply_log_ops
+from repro.replication.log import LogRecord, ReplicationLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = ["ReplicaApplier"]
+
+#: How long the tail loop blocks per wait slice; the stop flag is
+#: re-checked between slices, bounding shutdown latency.
+_WAIT_SLICE_S = 0.05
+
+
+class ReplicaApplier:
+    """Replays committed log records into one replica database."""
+
+    def __init__(
+        self,
+        replica: "Database",
+        log: ReplicationLog,
+        start_lsn: int,
+        batch_size: int = 256,
+        compact_batches: bool = True,
+        compact_min_ops: int = 64,
+        apply_interval_s: float = 0.2,
+        name: str = "replica",
+    ) -> None:
+        self.replica = replica
+        self.log = log
+        self.name = name
+        self._batch_size = max(1, batch_size)
+        self._compact_batches = compact_batches
+        # Compacting is O(table) — folding a handful of delta rows into
+        # a 16k-row sealed bank after every batch costs more wall-clock
+        # than the merge it saves.  Let ops accumulate to this floor
+        # first; below it the grouped-reduce memos merge the delta
+        # cheaply anyway.
+        self._compact_min_ops = max(1, compact_min_ops)
+        self._ops_since_compact = 0
+        # Debounce between applies: letting commits accumulate into one
+        # batch is the whole point of the replica — one transaction,
+        # one statistics invalidation and one compaction per *interval*
+        # instead of per primary commit, so analytic reads in between
+        # hit a sealed, memo-warm, completely static database.  The
+        # interval bounds added staleness and stays far under the
+        # manager's routing bound.
+        self._apply_interval = max(0.0, apply_interval_s)
+        self._cond = threading.Condition()
+        self.applied_lsn = start_lsn
+        self.records_applied = 0
+        self.batches_applied = 0
+        self.needs_resync = False
+        self.last_error: str | None = None
+        # Commit stamp of the newest applied record (the log's clock);
+        # the manager's staleness estimate falls back to it when the
+        # oldest unapplied stamp is unknown.
+        self.progress_stamp: float | None = log.clock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start (or restart) the background tail loop; idempotent."""
+        with self._cond:
+            if self._thread is not None and self._thread.is_alive():
+                return
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run,
+                name=f"repro-applier-{self.name}",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the tail loop (a replica "kill"); safe to call twice."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                self.catch_up()
+            except BaseException as exc:  # noqa: BLE001 - surfaced as down
+                with self._cond:
+                    self.last_error = f"{type(exc).__name__}: {exc}"
+                    self._cond.notify_all()
+                return
+            if self.needs_resync:
+                return
+            if self.log.wait_for_commit(
+                self.applied_lsn, timeout=_WAIT_SLICE_S
+            ) and self._apply_interval > 0:
+                # New commits exist — debounce before replaying so they
+                # coalesce into one batch (stop() cuts the wait short).
+                self._stop.wait(self._apply_interval)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def catch_up(self, max_batches: int | None = None) -> int:
+        """Apply every available record; returns how many were applied.
+
+        Sets :attr:`needs_resync` (and stops applying) when the log no
+        longer holds the replica's next records — the manager must
+        re-bootstrap from a fresh snapshot.
+        """
+        applied = 0
+        batches = 0
+        while not self._stop.is_set():
+            batch = self.log.records_since(
+                self.applied_lsn, limit=self._batch_size
+            )
+            if batch is None:
+                with self._cond:
+                    self.needs_resync = True
+                    self._cond.notify_all()
+                break
+            records, floor = batch
+            if not records and floor <= self.applied_lsn:
+                break
+            self._apply(records, floor)
+            applied += len(records)
+            batches += 1
+            if max_batches is not None and batches >= max_batches:
+                break
+        return applied
+
+    def _apply(self, records: list[LogRecord], floor: int) -> None:
+        database = self.replica
+        if records:
+            # One replica transaction per batch: a single commit point
+            # (one generation bump, one statistics invalidation) no
+            # matter how many primary commits the batch spans.
+            with database.write_locked():
+                database.transactions.begin()
+                try:
+                    for record in records:
+                        apply_log_ops(database, record.ops)
+                except BaseException:
+                    database.transactions.rollback()
+                    raise
+                database.transactions.commit()
+            self._ops_since_compact += sum(len(r.ops) for r in records)
+            if (
+                self._compact_batches
+                and self._ops_since_compact >= self._compact_min_ops
+            ):
+                # Fold the applied delta back into the sealed banks —
+                # the replica exists to stay in its fastest read shape
+                # — but amortized past the ops floor, so steady trickle
+                # commits do not turn into O(table) compactions per
+                # batch.  A live reader pin defers compaction (returns
+                # 0); keep the counter so the next apply retries.
+                if database.compact():
+                    self._ops_since_compact = 0
+        with self._cond:
+            self.applied_lsn = max(self.applied_lsn, floor)
+            if records:
+                self.records_applied += len(records)
+                self.batches_applied += 1
+                for record in reversed(records):
+                    if record.stamp is not None:
+                        self.progress_stamp = record.stamp
+                        break
+                else:
+                    self.progress_stamp = self.log.clock()
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Waiting
+    # ------------------------------------------------------------------
+    def wait_until(self, lsn: int, timeout: float | None = None) -> bool:
+        """Block until this replica applied at least ``lsn``.
+
+        Returns False on timeout, a pending resync or an applier error
+        — callers treat any False as "read the primary instead".
+        """
+        clock = self.log.clock
+        deadline = None if timeout is None else clock() + timeout
+        with self._cond:
+            while self.applied_lsn < lsn:
+                if self.needs_resync or self.last_error is not None:
+                    return False
+                remaining = (
+                    None if deadline is None else deadline - clock()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(
+                    _WAIT_SLICE_S
+                    if remaining is None
+                    else min(remaining, _WAIT_SLICE_S)
+                )
+            return True

@@ -1,0 +1,231 @@
+"""The replication log: an LSN-addressed view over the delta log.
+
+:class:`ReplicationLog` extends PR 8's :class:`~repro.db.segments.DeltaLog`
+with what log shipping needs and snapshot persistence does not:
+
+* a bounded **in-process ring** of the most recent committed records,
+  each stamped with the commit wall-clock, so appliers tail without
+  touching disk and the manager can turn "how far behind" into seconds;
+* **LSN addressing** — the LSN of a record *is* the MVCC generation the
+  commit advanced the clock to, so a replica's applied LSN and the
+  primary's ``data_version`` live on one axis;
+* **gap fast-forwarding** — commits that log no ops (index DDL, empty
+  transactions) still advance ``last_lsn``, and :meth:`records_since`
+  returns the floor a caught-up reader may advance to, so replicas do
+  not stall behind op-less generations;
+* an **on-disk tail fallback** — when a reader fell behind the ring
+  (a replica was down longer than ``capacity`` commits) and the log is
+  attached to a file (:func:`~repro.db.persistence.dump_incremental`),
+  the missing records are re-read from disk with the tolerant reader;
+  with no file attached the reader is told to resync from a snapshot.
+
+The ring is guarded by its own condition variable, separate from the
+base class's write lock: the single committing writer never waits on
+tailing readers, and :meth:`wait_for_commit` blocks cheaply until the
+LSN frontier moves.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.db.segments import DeltaLog, read_delta_records
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
+
+__all__ = ["LogRecord", "ReplicationLog"]
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One committed record as the ring holds it.
+
+    ``stamp`` is the commit wall-clock (the log's monotonic clock);
+    records re-read from the on-disk tail carry ``None`` — their commit
+    time was not persisted, so staleness falls back to apply progress.
+    """
+
+    lsn: int
+    stamp: float | None
+    ops: list
+
+
+class ReplicationLog(DeltaLog):
+    """A :class:`DeltaLog` that keeps a tailable LSN-addressed ring."""
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        self.capacity = capacity
+        self.clock = clock
+        self._cond = threading.Condition()
+        self._ring: deque[LogRecord] = deque()
+        # The highest LSN any commit reached (including op-less ones).
+        self._last_lsn = 0
+        # Records at or below this LSN are no longer in the ring.
+        self._evicted_lsn = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def install(
+        cls,
+        database: "Database",
+        capacity: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "ReplicationLog":
+        """Make ``database.delta_log`` a replication log.
+
+        Idempotent: an already-installed replication log is returned as
+        is.  A plain :class:`DeltaLog` (e.g. one ``dump_incremental``
+        attached) is adopted — its committed records, pending buffer
+        and file handle move over, so persistence keeps flowing through
+        the same on-disk tail the replicas will fall back to.
+        """
+        existing = database.delta_log
+        if isinstance(existing, cls):
+            return existing
+        log = cls(capacity=capacity, clock=clock)
+        if existing is not None:
+            with existing._lock:
+                log._records = existing._records
+                log._pending = existing._pending
+                log._marks = existing._marks
+                log._handle = existing._handle
+                log._encoder = existing._encoder
+                log._decoder = existing._decoder
+                log.path = existing.path
+                existing._handle = None
+                existing.path = None
+        # The ring starts empty: everything committed so far is covered
+        # by the snapshot a replica bootstraps from, addressed by the
+        # current generation.
+        log._last_lsn = database.data_version
+        log._evicted_lsn = log._last_lsn
+        database.delta_log = log
+        return log
+
+    # ------------------------------------------------------------------
+    # Writer side (called at the commit point, under the commit latch)
+    # ------------------------------------------------------------------
+    def commit(self, generation: int) -> bool:
+        # Peek the pending buffer before the base class moves it into
+        # its record list; ``pending`` is exactly the ops list the
+        # flushed record carries.
+        pending = self._pending
+        wrote = super().commit(generation)
+        if wrote:
+            # Bound the base class's record list too: the ring (and the
+            # on-disk tail, when attached) is the replication history,
+            # so an unattached long-running primary must not grow an
+            # unbounded duplicate.
+            with self._lock:
+                if len(self._records) > self.capacity:
+                    del self._records[: -self.capacity]
+        with self._cond:
+            if wrote:
+                self._ring.append(
+                    LogRecord(generation, self.clock(), pending)
+                )
+                while len(self._ring) > self.capacity:
+                    self._evicted_lsn = self._ring.popleft().lsn
+            self._last_lsn = generation
+            self._cond.notify_all()
+        return wrote
+
+    # ------------------------------------------------------------------
+    # Reader side (appliers and the manager)
+    # ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        with self._cond:
+            return self._last_lsn
+
+    @property
+    def evicted_lsn(self) -> int:
+        with self._cond:
+            return self._evicted_lsn
+
+    @property
+    def ring_size(self) -> int:
+        with self._cond:
+            return len(self._ring)
+
+    def records_since(
+        self, lsn: int, limit: int | None = None
+    ) -> tuple[list[LogRecord], int] | None:
+        """Committed records after ``lsn``: ``(records, floor)``.
+
+        ``floor`` is the LSN the reader may advance to once it applied
+        every returned record — ``last_lsn`` when the batch is complete
+        (fast-forwarding past op-less generations), the last returned
+        record's LSN when ``limit`` cut the batch.
+
+        Returns ``None`` when history after ``lsn`` was evicted from
+        the ring and no on-disk tail exists — the reader must resync
+        from a snapshot.
+        """
+        with self._cond:
+            evicted = self._evicted_lsn
+            if lsn >= evicted:
+                records = [r for r in self._ring if r.lsn > lsn]
+                floor = self._last_lsn
+                if limit is not None and len(records) > limit:
+                    records = records[:limit]
+                    floor = records[-1].lsn
+                return records, floor
+            path = self.path
+            decoder = self._decoder
+        if path is None:
+            return None
+        # Ring overrun with a persistent tail: re-read the missing span
+        # from disk.  The tolerant reader cuts any record the writer is
+        # mid-appending; the next round picks it up from the ring.
+        disk, __ = read_delta_records(path, decoder=decoder)
+        records = [
+            LogRecord(r["generation"], None, [list(op) for op in r["ops"]])
+            for r in disk
+            if r["generation"] > lsn
+        ]
+        if limit is not None:
+            records = records[:limit]
+        floor = records[-1].lsn if records else lsn
+        return records, floor
+
+    def oldest_stamp_after(self, lsn: int) -> float | None:
+        """Commit stamp of the oldest ring record past ``lsn`` (the
+        wall-clock age of the first change a reader at ``lsn`` has not
+        seen), or ``None`` when unknown."""
+        with self._cond:
+            for record in self._ring:
+                if record.lsn > lsn:
+                    return record.stamp
+        return None
+
+    def wait_for_commit(
+        self, after_lsn: int, timeout: float | None = None
+    ) -> bool:
+        """Block until ``last_lsn`` exceeds ``after_lsn``.
+
+        Returns True when the frontier moved past ``after_lsn`` within
+        ``timeout`` seconds (False on timeout; ``None`` waits forever).
+        """
+        deadline = None if timeout is None else self.clock() + timeout
+        with self._cond:
+            while self._last_lsn <= after_lsn:
+                remaining = (
+                    None if deadline is None else deadline - self.clock()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True

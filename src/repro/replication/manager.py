@@ -1,0 +1,321 @@
+"""The replica manager: bootstrap, staleness accounting and routing.
+
+:class:`ReplicaManager` owns N analytic replicas of one primary
+database.  Each replica bootstraps from a format-v4 snapshot taken
+under the commit latch (so its image and its starting LSN agree
+exactly), runs with its autotuner off (physical design follows the
+bootstrap image; the primary's self-driving loop stays the single
+authority), compacts straight into sealed shape, and catches up through
+a :class:`~repro.replication.applier.ReplicaApplier` tailing the
+primary's :class:`~repro.replication.log.ReplicationLog`.
+
+The routing contract is **graceful degradation, never an error**:
+
+* :meth:`read` hands out the freshest replica connection within the
+  staleness bound, round-robining across eligible replicas, and falls
+  through to the primary's own connection when every replica is too
+  stale, dead or mid-resync;
+* :meth:`wait_for` blocks until every live replica applied a target
+  LSN (read-your-writes for callers that need it);
+* :meth:`lag` reports the frontier in both LSNs and seconds, measured
+  from the commit stamp of the oldest record the best replica has not
+  applied.
+
+A killed replica (:meth:`kill_replica`) never blocks primary commits —
+the log keeps accepting them — and :meth:`reattach_replica` resumes
+from the ring or the on-disk tail when the history is still reachable,
+or re-bootstraps from a fresh snapshot when it is not.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.db.persistence import dumps_database, loads_database
+from repro.replication.applier import ReplicaApplier
+from repro.replication.log import ReplicationLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.api import Connection
+    from repro.db.database import Database
+
+__all__ = ["ReplicaManager", "ReplicationLag"]
+
+
+@dataclass(frozen=True)
+class ReplicationLag:
+    """The replication frontier as :meth:`ReplicaManager.lag` reports it.
+
+    ``replica_lsn`` is the freshest live replica's applied LSN (what a
+    routed read would observe); ``seconds`` its wall-clock staleness —
+    ``None`` when no replica is live.
+    """
+
+    primary_lsn: int
+    replica_lsn: int
+    seconds: float | None
+    replicas_live: int
+
+    @property
+    def lsn(self) -> int:
+        return max(0, self.primary_lsn - self.replica_lsn)
+
+
+class _Replica:
+    """One replica slot: database, its connection, its applier."""
+
+    __slots__ = ("index", "database", "connection", "applier", "resyncs")
+
+    def __init__(
+        self,
+        index: int,
+        database: "Database",
+        connection: "Connection",
+        applier: ReplicaApplier,
+        resyncs: int,
+    ) -> None:
+        self.index = index
+        self.database = database
+        self.connection = connection
+        self.applier = applier
+        self.resyncs = resyncs
+
+
+class ReplicaManager:
+    """N log-shipped analytic replicas over one primary database."""
+
+    def __init__(
+        self,
+        primary: "Database",
+        replicas: int = 1,
+        max_staleness_s: float = 5.0,
+        ring_capacity: int = 4096,
+        batch_size: int = 256,
+        apply_interval_s: float = 0.2,
+        auto_start: bool = True,
+    ) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.primary = primary
+        self.max_staleness_s = max_staleness_s
+        self.log = ReplicationLog.install(primary, capacity=ring_capacity)
+        self._batch_size = batch_size
+        self._apply_interval = apply_interval_s
+        self._lock = threading.Lock()
+        self._next_route = 0
+        self.replica_routes = 0
+        self.primary_fallbacks = 0
+        self._replicas = [
+            self._bootstrap(index, resyncs=0) for index in range(replicas)
+        ]
+        primary.replica_manager = self
+        if auto_start:
+            for replica in self._replicas:
+                replica.applier.start()
+
+    # ------------------------------------------------------------------
+    # Bootstrap / lifecycle
+    # ------------------------------------------------------------------
+    def _bootstrap(self, index: int, resyncs: int) -> _Replica:
+        # Snapshot under the commit latch: no commit can fall between
+        # the image and the LSN it is stamped with, so catch-up replays
+        # exactly the records the image has not seen (the v4 format
+        # restores row-id counters, making the insert-id check sound).
+        with self.primary.write_locked():
+            payload = dumps_database(self.primary, version=4)
+            lsn = self.primary.data_version
+        database = loads_database(payload)
+        # Physical design is decided on the primary; a replica tuning
+        # itself would diverge the plans the differential check (and
+        # operators) expect to match.
+        database.autotuner.enabled = False
+        database.compact()
+        applier = ReplicaApplier(
+            database,
+            self.log,
+            lsn,
+            batch_size=self._batch_size,
+            apply_interval_s=self._apply_interval,
+            name=f"replica-{index}",
+        )
+        connection = database.connect(name=f"replica-{index}")
+        return _Replica(index, database, connection, applier, resyncs)
+
+    def kill_replica(self, index: int) -> None:
+        """Stop one replica's applier (crash simulation / maintenance).
+
+        Primary commits continue unhindered; reads route around the
+        dead replica (to a sibling or the primary) until
+        :meth:`reattach_replica`.
+        """
+        self._replicas[index].applier.stop()
+
+    def reattach_replica(self, index: int) -> "_Replica":
+        """Bring a killed replica back.
+
+        Resumes the applier from its applied LSN when the log still
+        holds (or can re-read from disk) the records it missed;
+        otherwise re-bootstraps from a fresh snapshot.  Either way the
+        primary never waits.
+        """
+        replica = self._replicas[index]
+        applier = replica.applier
+        stale = (
+            applier.needs_resync
+            or applier.last_error is not None
+            or self.log.records_since(applier.applied_lsn, limit=1) is None
+        )
+        if stale:
+            replica = self._bootstrap(index, resyncs=replica.resyncs + 1)
+            with self._lock:
+                self._replicas[index] = replica
+        replica.applier.start()
+        return replica
+
+    def stop(self) -> None:
+        """Stop every applier and detach from the primary."""
+        for replica in self._replicas:
+            replica.applier.stop()
+        if self.primary.replica_manager is self:
+            self.primary.replica_manager = None
+
+    def __enter__(self) -> "ReplicaManager":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    @property
+    def replica_count(self) -> int:
+        return len(self._replicas)
+
+    def replica_database(self, index: int) -> "Database":
+        return self._replicas[index].database
+
+    # ------------------------------------------------------------------
+    # Staleness accounting
+    # ------------------------------------------------------------------
+    def _staleness(self, applier: ReplicaApplier) -> float:
+        """Seconds of wall-clock staleness of one replica (0 when it is
+        caught up; +inf when behind by an unknowable amount)."""
+        if applier.applied_lsn >= self.log.last_lsn:
+            return 0.0
+        stamp = self.log.oldest_stamp_after(applier.applied_lsn)
+        if stamp is None:
+            stamp = applier.progress_stamp
+        if stamp is None:
+            return float("inf")
+        return max(0.0, self.log.clock() - stamp)
+
+    def _live(self) -> list[_Replica]:
+        return [
+            replica
+            for replica in self._replicas
+            if replica.applier.alive and not replica.applier.needs_resync
+        ]
+
+    def lag(self) -> ReplicationLag:
+        primary_lsn = max(self.primary.data_version, self.log.last_lsn)
+        live = self._live()
+        if not live:
+            return ReplicationLag(
+                primary_lsn=primary_lsn,
+                replica_lsn=0,
+                seconds=None,
+                replicas_live=0,
+            )
+        best = max(live, key=lambda r: r.applier.applied_lsn)
+        return ReplicationLag(
+            primary_lsn=primary_lsn,
+            replica_lsn=best.applier.applied_lsn,
+            seconds=self._staleness(best.applier),
+            replicas_live=len(live),
+        )
+
+    def wait_for(self, lsn: int | None = None, timeout: float = 5.0) -> bool:
+        """Block until every live replica applied ``lsn`` (default: the
+        primary's current committed generation).  False on timeout or
+        when no replica is live."""
+        target = self.primary.data_version if lsn is None else lsn
+        deadline = self.log.clock() + timeout
+        live = self._live()
+        if not live:
+            return False
+        for replica in live:
+            remaining = deadline - self.log.clock()
+            if not replica.applier.wait_until(target, max(0.0, remaining)):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def read(self, max_staleness: float | None = None) -> "Connection":
+        """A connection for one analytic read: the next fresh-enough
+        replica, or the primary when none qualifies (never an error)."""
+        bound = (
+            self.max_staleness_s if max_staleness is None else max_staleness
+        )
+        with self._lock:
+            start = self._next_route
+            self._next_route += 1
+        count = len(self._replicas)
+        for offset in range(count):
+            replica = self._replicas[(start + offset) % count]
+            applier = replica.applier
+            if not applier.alive or applier.needs_resync:
+                continue
+            if self._staleness(applier) <= bound:
+                with self._lock:
+                    self.replica_routes += 1
+                return replica.connection
+        with self._lock:
+            self.primary_fallbacks += 1
+        return self.primary.default_connection
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """Pipe-safe status payload (the ``replica_status`` shard op and
+        the serve REPL's ``:replicas`` surface)."""
+        lag = self.lag()
+        replicas = []
+        for replica in self._replicas:
+            applier = replica.applier
+            staleness = self._staleness(applier)
+            replicas.append(
+                {
+                    "index": replica.index,
+                    "alive": applier.alive,
+                    "applied_lsn": applier.applied_lsn,
+                    "records_applied": applier.records_applied,
+                    "batches_applied": applier.batches_applied,
+                    "lag_seconds": (
+                        None if staleness == float("inf") else staleness
+                    ),
+                    "needs_resync": applier.needs_resync,
+                    "resyncs": replica.resyncs,
+                    "last_error": applier.last_error,
+                }
+            )
+        with self._lock:
+            routes = self.replica_routes
+            fallbacks = self.primary_fallbacks
+        return {
+            "primary_lsn": lag.primary_lsn,
+            "replica_lsn": lag.replica_lsn,
+            "lag_lsn": lag.lsn,
+            "lag_seconds": lag.seconds,
+            "replicas_live": lag.replicas_live,
+            "replica_routes": routes,
+            "primary_fallbacks": fallbacks,
+            "ring": {
+                "capacity": self.log.capacity,
+                "size": self.log.ring_size,
+                "evicted_lsn": self.log.evicted_lsn,
+            },
+            "replicas": replicas,
+        }

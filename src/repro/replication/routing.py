@@ -1,0 +1,44 @@
+"""Statement classification for HTAP routing.
+
+One question, answered conservatively: *is this statement analytic* —
+a whole-table shape that scans wide, benefits from the replica's
+sealed-and-memoised banks, and tolerates bounded staleness?  Yes for
+grouped/ungrouped aggregates and whole-table counts; no for anything
+that might write (stored-procedure calls), point reads and narrow
+filtered scans (the primary answers those at index speed with
+read-your-writes), and anything unrecognised.
+
+Misclassifying analytic→primary costs only performance; the reverse
+would hand a transactional read a stale snapshot — hence every default
+here is "primary".
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.db.api import CallStatement, SelectStatement
+from repro.db.query import TruePredicate
+
+__all__ = ["is_analytic_statement"]
+
+
+def is_analytic_statement(statement: Any) -> bool:
+    """True when ``statement`` should route to an analytic replica."""
+    if isinstance(statement, CallStatement):
+        # Procedures commit transactions; they must see (and mutate)
+        # the primary.
+        return False
+    if not isinstance(statement, SelectStatement):
+        return False
+    if statement._aggregates or statement._group_by:
+        return True
+    if statement._count_only:
+        # A whole-table COUNT(*) is a scan-everything statement; a
+        # filtered count is a point/range read the primary's indexes
+        # answer directly.
+        return (
+            isinstance(statement._predicate, TruePredicate)
+            and not statement._joins
+        )
+    return False

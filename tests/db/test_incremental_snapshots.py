@@ -209,6 +209,56 @@ class TestCrashRecovery:
             handle.write(payload)
         assert _rows(load_incremental(directory)) == states[-1]
 
+    def test_truncation_at_every_offset_of_the_last_record(self, tmp_path):
+        """A crash can cut the tail record at *any* byte: every prefix
+        must restore the state before that record — never raise."""
+        directory, states = self._states(tmp_path)
+        log_path = os.path.join(directory, DELTA_LOG_NAME)
+        with open(log_path, "rb") as handle:
+            payload = handle.read()
+        start = payload.rstrip(b"\n").rfind(b"\n") + 1
+        for cut in range(start, len(payload)):
+            with open(log_path, "wb") as handle:
+                handle.write(payload[:cut])
+            restored = load_incremental(directory)
+            assert _rows(restored) == states[-2], f"cut at byte {cut}"
+        with open(log_path, "wb") as handle:
+            handle.write(payload)
+        assert _rows(load_incremental(directory)) == states[-1]
+
+    def test_multibyte_record_truncation_cuts_cleanly(self, tmp_path):
+        """Truncation inside a multi-byte UTF-8 sequence is a torn
+        record like any other (the text-mode reader used to raise
+        UnicodeDecodeError before the line split ever happened)."""
+        database = _make_db()
+        directory = str(tmp_path / "snap")
+        dump_incremental(database, directory)
+        before = _rows(database)
+        database.insert(
+            "item", {"item_id": 99, "bucket": "ß🎬é", "qty": 1}
+        )
+        after = _rows(database)
+        log_path = os.path.join(directory, DELTA_LOG_NAME)
+        # The writer escapes to ASCII; an external producer is allowed
+        # raw UTF-8 (the CRC covers the decoded content, not the line
+        # bytes).  Re-encode the record so the file genuinely contains
+        # multi-byte sequences a cut can land inside.
+        with open(log_path, encoding="utf-8") as handle:
+            record = json.loads(handle.read())
+        payload = (
+            json.dumps(record, separators=(",", ":"), ensure_ascii=False)
+            + "\n"
+        ).encode("utf-8")
+        assert "ß🎬é".encode("utf-8") in payload
+        for cut in range(len(payload)):
+            with open(log_path, "wb") as handle:
+                handle.write(payload[:cut])
+            restored = load_incremental(directory)
+            assert _rows(restored) == before, f"cut at byte {cut}"
+        with open(log_path, "wb") as handle:
+            handle.write(payload)
+        assert _rows(load_incremental(directory)) == after
+
     def test_corrupt_record_cuts_the_tail(self, tmp_path):
         directory, states = self._states(tmp_path)
         log_path = os.path.join(directory, DELTA_LOG_NAME)

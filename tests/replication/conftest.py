@@ -1,0 +1,41 @@
+"""Shared fixtures for the replication-tier tests."""
+
+import pytest
+
+from repro.db import (
+    Column,
+    Database,
+    DatabaseSchema,
+    DataType,
+    TableSchema,
+)
+
+
+def make_primary(rows: int = 20) -> Database:
+    """A small sealed single-table primary with an index."""
+    schema = DatabaseSchema(
+        [
+            TableSchema(
+                "item",
+                [
+                    Column("item_id", DataType.INTEGER),
+                    Column("bucket", DataType.TEXT),
+                    Column("qty", DataType.INTEGER),
+                ],
+                primary_key="item_id",
+            )
+        ]
+    )
+    database = Database(schema)
+    database.create_index("item", "bucket")
+    for i in range(1, rows + 1):
+        database.insert(
+            "item", {"item_id": i, "bucket": f"b{i % 3}", "qty": i}
+        )
+    database.compact()
+    return database
+
+
+@pytest.fixture()
+def primary() -> Database:
+    return make_primary()

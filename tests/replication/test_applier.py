@@ -1,0 +1,118 @@
+"""Tests for the batched replica applier."""
+
+import time
+
+from repro.db.persistence import dumps_database, loads_database
+from repro.replication import ReplicaApplier, ReplicationLog
+
+
+def _bootstrap(primary):
+    """A replica image + its starting LSN, like the manager takes it."""
+    with primary.write_locked():
+        payload = dumps_database(primary, version=4)
+        lsn = primary.data_version
+    replica = loads_database(payload)
+    replica.compact()
+    return replica, lsn
+
+
+def _rows(database):
+    return database.rows("item")
+
+
+class TestCatchUp:
+    def test_catch_up_replays_to_byte_equality(self, primary):
+        log = ReplicationLog.install(primary)
+        replica, lsn = _bootstrap(primary)
+        applier = ReplicaApplier(replica, log, lsn)
+        row_ids = [
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b0", "qty": i}
+            )
+            for i in range(200, 205)
+        ]
+        primary.update("item", row_ids[0], {"qty": 999})
+        applied = applier.catch_up()
+        assert applied == 6
+        assert applier.applied_lsn == log.last_lsn
+        assert _rows(replica) == _rows(primary)
+        assert applier.records_applied == 6
+        assert applier.last_error is None
+
+    def test_batches_group_many_commits_into_one_transaction(self, primary):
+        log = ReplicationLog.install(primary)
+        replica, lsn = _bootstrap(primary)
+        applier = ReplicaApplier(replica, log, lsn, batch_size=4)
+        before = replica.data_version
+        for i in range(210, 220):
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b1", "qty": i}
+            )
+        applier.catch_up()
+        assert applier.batches_applied == 3  # 4 + 4 + 2
+        # One generation bump per batch, not per primary commit.
+        assert replica.data_version - before == 3
+        assert _rows(replica) == _rows(primary)
+
+    def test_compaction_amortizes_past_the_ops_floor(self, primary):
+        log = ReplicationLog.install(primary)
+        replica, lsn = _bootstrap(primary)
+        applier = ReplicaApplier(
+            replica, log, lsn, batch_size=4, compact_min_ops=6
+        )
+        for i in range(230, 234):
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b2", "qty": i}
+            )
+        applier.catch_up()
+        # 4 ops < floor: the delta is left for the memos to merge.
+        assert replica.storage_stats()["item"].delta_rows == 4
+        for i in range(234, 238):
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b2", "qty": i}
+            )
+        applier.catch_up()
+        # 8 accumulated ops >= floor: folded back into sealed shape.
+        assert replica.storage_stats()["item"].delta_rows == 0
+
+    def test_ring_overrun_flags_resync_instead_of_diverging(self, primary):
+        log = ReplicationLog.install(primary, capacity=2)
+        replica, lsn = _bootstrap(primary)
+        applier = ReplicaApplier(replica, log, lsn)
+        for i in range(240, 248):
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b0", "qty": i}
+            )
+        before = _rows(replica)
+        applier.catch_up()
+        assert applier.needs_resync is True
+        assert _rows(replica) == before  # nothing partially applied
+
+
+class TestThreadLifecycle:
+    def test_background_tailing_and_wait_until(self, primary):
+        log = ReplicationLog.install(primary)
+        replica, lsn = _bootstrap(primary)
+        applier = ReplicaApplier(replica, log, lsn, apply_interval_s=0.0)
+        applier.start()
+        try:
+            assert applier.alive
+            applier.start()  # idempotent
+            for i in range(250, 254):
+                primary.insert(
+                    "item", {"item_id": i, "bucket": "b1", "qty": i}
+                )
+            assert applier.wait_until(log.last_lsn, timeout=10.0)
+            assert _rows(replica) == _rows(primary)
+        finally:
+            applier.stop()
+        assert not applier.alive
+
+    def test_wait_until_times_out_when_stopped(self, primary):
+        log = ReplicationLog.install(primary)
+        replica, lsn = _bootstrap(primary)
+        applier = ReplicaApplier(replica, log, lsn)
+        primary.insert("item", {"item_id": 260, "bucket": "b2", "qty": 1})
+        started = time.monotonic()
+        assert applier.wait_until(log.last_lsn, timeout=0.05) is False
+        assert time.monotonic() - started < 2.0

@@ -1,0 +1,139 @@
+"""Tests for the LSN-addressed replication log (ring + disk tail)."""
+
+import threading
+
+from repro.db import dump_incremental
+from repro.db.persistence import DELTA_LOG_NAME
+from repro.db.segments import DeltaLog
+from repro.replication import ReplicationLog
+
+from .conftest import make_primary
+
+
+class TestInstall:
+    def test_install_is_idempotent(self, primary):
+        log = ReplicationLog.install(primary)
+        assert ReplicationLog.install(primary) is log
+        assert primary.delta_log is log
+
+    def test_install_starts_at_the_current_generation(self, primary):
+        before = primary.data_version
+        log = ReplicationLog.install(primary)
+        assert log.last_lsn == before
+        assert log.evicted_lsn == before
+        assert log.ring_size == 0
+
+    def test_install_adopts_an_attached_delta_log(self, tmp_path):
+        primary = make_primary()
+        directory = str(tmp_path / "snap")
+        dump_incremental(primary, directory)
+        plain = primary.delta_log
+        assert type(plain) is DeltaLog
+        log = ReplicationLog.install(primary)
+        assert primary.delta_log is log
+        assert log.path == f"{directory}/{DELTA_LOG_NAME}"
+        # Commits keep flowing to the same on-disk tail.
+        primary.insert("item", {"item_id": 50, "bucket": "b0", "qty": 1})
+        with open(log.path) as handle:
+            assert len(handle.readlines()) == 1
+
+
+class TestRing:
+    def test_committed_records_tail_in_lsn_order(self, primary):
+        log = ReplicationLog.install(primary)
+        start = primary.data_version
+        for i in range(60, 65):
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b0", "qty": i}
+            )
+        records, floor = log.records_since(start)
+        assert [r.lsn for r in records] == sorted(r.lsn for r in records)
+        assert len(records) == 5
+        assert floor == log.last_lsn
+        assert all(r.stamp is not None for r in records)
+        assert all(r.ops for r in records)
+
+    def test_limit_cuts_the_batch_and_the_floor(self, primary):
+        log = ReplicationLog.install(primary)
+        start = primary.data_version
+        for i in range(70, 76):
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b1", "qty": i}
+            )
+        records, floor = log.records_since(start, limit=2)
+        assert len(records) == 2
+        assert floor == records[-1].lsn
+        assert floor < log.last_lsn
+
+    def test_opless_generations_fast_forward_via_the_floor(self, primary):
+        log = ReplicationLog.install(primary)
+        applied = primary.data_version
+        # Index DDL advances the generation without logging a record.
+        primary.create_index("item", "qty")
+        records, floor = log.records_since(applied)
+        assert records == []
+        assert floor == log.last_lsn >= applied
+
+    def test_ring_eviction_without_a_tail_demands_resync(self, primary):
+        log = ReplicationLog.install(primary, capacity=3)
+        start = primary.data_version
+        for i in range(80, 87):
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b2", "qty": i}
+            )
+        assert log.ring_size == 3
+        assert log.records_since(start) is None
+        # Within the ring the read still works.
+        records, __ = log.records_since(log.evicted_lsn)
+        assert len(records) == 3
+
+    def test_ring_overrun_falls_back_to_the_disk_tail(self, tmp_path):
+        primary = make_primary()
+        dump_incremental(primary, str(tmp_path / "snap"))
+        log = ReplicationLog.install(primary, capacity=3)
+        start = primary.data_version
+        for i in range(90, 97):
+            primary.insert(
+                "item", {"item_id": i, "bucket": "b0", "qty": i}
+            )
+        batch = log.records_since(start)
+        assert batch is not None
+        records, floor = batch
+        assert len(records) == 7  # re-read from disk, none lost
+        assert [r.lsn for r in records] == sorted(r.lsn for r in records)
+        assert all(r.stamp is None for r in records)  # commit time lost
+        assert floor == records[-1].lsn
+
+
+class TestWaiting:
+    def test_wait_for_commit_times_out(self, primary):
+        log = ReplicationLog.install(primary)
+        assert log.wait_for_commit(log.last_lsn, timeout=0.01) is False
+
+    def test_wait_for_commit_wakes_on_commit(self, primary):
+        log = ReplicationLog.install(primary)
+        after = log.last_lsn
+
+        def commit():
+            primary.insert(
+                "item", {"item_id": 99, "bucket": "b1", "qty": 9}
+            )
+
+        thread = threading.Timer(0.05, commit)
+        thread.start()
+        try:
+            assert log.wait_for_commit(after, timeout=5.0) is True
+        finally:
+            thread.join()
+
+    def test_oldest_stamp_after_tracks_the_frontier(self, primary):
+        ticks = iter(range(100)).__next__
+        log = ReplicationLog.install(primary, clock=lambda: float(ticks()))
+        applied = primary.data_version
+        primary.insert("item", {"item_id": 41, "bucket": "b0", "qty": 1})
+        primary.insert("item", {"item_id": 42, "bucket": "b0", "qty": 2})
+        first = log.oldest_stamp_after(applied)
+        assert first is not None
+        records, __ = log.records_since(applied, limit=1)
+        assert log.oldest_stamp_after(records[-1].lsn) > first
+        assert log.oldest_stamp_after(log.last_lsn) is None

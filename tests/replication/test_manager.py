@@ -1,0 +1,132 @@
+"""Tests for the replica manager: bootstrap, lag, routing, recovery."""
+
+import pytest
+
+from repro.replication import ReplicaManager
+
+
+def _rows(database):
+    return database.rows("item")
+
+
+def _insert(primary, start, count):
+    for i in range(start, start + count):
+        primary.insert("item", {"item_id": i, "bucket": "b0", "qty": i})
+
+
+class TestBootstrap:
+    def test_bootstrap_equals_the_primary_image(self, primary):
+        with ReplicaManager(primary, replicas=1, auto_start=False) as manager:
+            replica = manager.replica_database(0)
+            assert _rows(replica) == _rows(primary)
+            assert replica is not primary
+            assert replica.autotuner.enabled is False
+
+    def test_manager_attaches_and_stop_detaches(self, primary):
+        manager = ReplicaManager(primary, replicas=1, auto_start=False)
+        assert primary.replica_manager is manager
+        manager.stop()
+        assert primary.replica_manager is None
+
+    def test_rejects_zero_replicas(self, primary):
+        with pytest.raises(ValueError):
+            ReplicaManager(primary, replicas=0)
+
+
+class TestLagAndWait:
+    def test_caught_up_replica_reports_zero_lag(self, primary):
+        with ReplicaManager(primary, replicas=1) as manager:
+            assert manager.wait_for(timeout=10.0)
+            lag = manager.lag()
+            assert lag.lsn == 0
+            assert lag.seconds == 0.0
+            assert lag.replicas_live == 1
+
+    def test_wait_for_reaches_a_fresh_commit(self, primary):
+        with ReplicaManager(
+            primary, replicas=1, apply_interval_s=0.0
+        ) as manager:
+            _insert(primary, 300, 5)
+            target = primary.data_version
+            assert manager.wait_for(target, timeout=10.0)
+            assert _rows(manager.replica_database(0)) == _rows(primary)
+
+    def test_wait_for_fails_with_no_live_replica(self, primary):
+        with ReplicaManager(primary, replicas=1, auto_start=False) as manager:
+            _insert(primary, 310, 1)
+            assert manager.wait_for(timeout=0.05) is False
+            assert manager.lag().replicas_live == 0
+            assert manager.lag().seconds is None
+
+
+class TestRouting:
+    def test_fresh_replica_serves_the_read(self, primary):
+        with ReplicaManager(primary, replicas=1) as manager:
+            assert manager.wait_for(timeout=10.0)
+            connection = manager.read()
+            assert connection.database is manager.replica_database(0)
+            assert manager.replica_routes == 1
+            assert manager.primary_fallbacks == 0
+
+    def test_stale_replica_falls_through_to_the_primary(self, primary):
+        with ReplicaManager(primary, replicas=1, auto_start=False) as manager:
+            _insert(primary, 320, 3)
+            connection = manager.read(max_staleness=0.0)
+            assert connection.database is primary
+            assert manager.primary_fallbacks == 1
+            assert manager.replica_routes == 0
+
+    def test_round_robin_across_two_replicas(self, primary):
+        with ReplicaManager(primary, replicas=2) as manager:
+            assert manager.wait_for(timeout=10.0)
+            served = {manager.read().database for _ in range(4)}
+            assert served == {
+                manager.replica_database(0),
+                manager.replica_database(1),
+            }
+            assert manager.replica_routes == 4
+
+
+class TestRecovery:
+    def test_kill_routes_around_and_reattach_resumes(self, primary):
+        with ReplicaManager(
+            primary, replicas=1, apply_interval_s=0.0
+        ) as manager:
+            assert manager.wait_for(timeout=10.0)
+            manager.kill_replica(0)
+            # Primary commits never block on the dead replica.
+            _insert(primary, 330, 4)
+            assert manager.read(max_staleness=0.0).database is primary
+            replica = manager.reattach_replica(0)
+            assert replica.resyncs == 0  # ring still holds the history
+            assert manager.wait_for(timeout=10.0)
+            assert _rows(replica.database) == _rows(primary)
+
+    def test_reattach_resyncs_when_the_history_is_gone(self, primary):
+        with ReplicaManager(
+            primary, replicas=1, ring_capacity=2, apply_interval_s=0.0
+        ) as manager:
+            assert manager.wait_for(timeout=10.0)
+            manager.kill_replica(0)
+            _insert(primary, 340, 8)  # overruns the 2-slot ring; no disk tail
+            replica = manager.reattach_replica(0)
+            assert replica.resyncs == 1
+            assert manager.wait_for(timeout=10.0)
+            assert _rows(replica.database) == _rows(primary)
+
+
+class TestStatus:
+    def test_status_payload_shape(self, primary):
+        with ReplicaManager(primary, replicas=1) as manager:
+            assert manager.wait_for(timeout=10.0)
+            manager.read()
+            status = manager.status()
+            assert status["lag_lsn"] == 0
+            assert status["replicas_live"] == 1
+            assert status["replica_routes"] == 1
+            assert status["primary_fallbacks"] == 0
+            assert status["ring"]["capacity"] == 4096
+            (replica,) = status["replicas"]
+            assert replica["alive"] is True
+            assert replica["needs_resync"] is False
+            assert replica["last_error"] is None

@@ -1,0 +1,98 @@
+"""Tests for statement classification and connection-level routing."""
+
+from repro.db import sum_
+from repro.db.api import aggregate, call, select
+from repro.db.query import eq
+from repro.replication import ReplicaManager
+from repro.replication.routing import is_analytic_statement
+
+
+class TestClassification:
+    def test_aggregates_are_analytic(self):
+        statement = aggregate("item", total=sum_("qty"))
+        assert is_analytic_statement(statement) is True
+
+    def test_grouped_queries_are_analytic(self):
+        statement = aggregate(
+            "item", total=sum_("qty")
+        ).group_by("bucket")
+        assert is_analytic_statement(statement) is True
+
+    def test_whole_table_count_is_analytic(self):
+        assert is_analytic_statement(select("item").count()) is True
+
+    def test_filtered_count_stays_on_the_primary(self):
+        statement = select("item").where(eq("bucket", "b1")).count()
+        assert is_analytic_statement(statement) is False
+
+    def test_point_select_stays_on_the_primary(self):
+        statement = select("item").where(eq("item_id", 3))
+        assert is_analytic_statement(statement) is False
+
+    def test_procedure_calls_stay_on_the_primary(self):
+        assert is_analytic_statement(call("noop")) is False
+
+    def test_unrecognised_statements_stay_on_the_primary(self):
+        assert is_analytic_statement(object()) is False
+
+
+class TestConnectionRouting:
+    def test_analytic_oneshot_routes_to_the_replica(self, primary):
+        with ReplicaManager(primary, replicas=1) as manager:
+            assert manager.wait_for(timeout=10.0)
+            connection = primary.connect(name="client")
+            result = connection.execute(
+                aggregate("item", total=sum_("qty"))
+            )
+            assert result.all()[0]["total"] == sum(range(1, 21))
+            assert manager.replica_routes == 1
+
+    def test_point_reads_never_leave_the_primary(self, primary):
+        with ReplicaManager(primary, replicas=1) as manager:
+            assert manager.wait_for(timeout=10.0)
+            connection = primary.connect(name="client")
+            rows = connection.execute(
+                select("item").where(eq("item_id", 3))
+            ).all()
+            assert [r["item_id"] for r in rows] == [3]
+            assert manager.replica_routes == 0
+
+    def test_no_manager_means_no_routing(self, primary):
+        connection = primary.connect(name="client")
+        result = connection.execute(select("item").count())
+        assert result.scalar() == 20
+
+    def test_transactions_pin_reads_to_the_primary(self, primary):
+        with ReplicaManager(primary, replicas=1) as manager:
+            assert manager.wait_for(timeout=10.0)
+            connection = primary.connect(name="client")
+            with connection.transaction():
+                primary.insert(
+                    "item", {"item_id": 99, "bucket": "b0", "qty": 99}
+                )
+                # Read-your-writes: the uncommitted row must be visible,
+                # so the count cannot route to a replica.
+                count = connection.execute(select("item").count()).scalar()
+            assert count == 21
+            assert manager.replica_routes == 0
+            assert manager.primary_fallbacks == 0
+
+    def test_pinned_snapshots_pin_reads_to_the_primary(self, primary):
+        with ReplicaManager(primary, replicas=1) as manager:
+            assert manager.wait_for(timeout=10.0)
+            connection = primary.connect(name="client")
+            with connection.reading():
+                connection.execute(select("item").count()).scalar()
+            assert manager.replica_routes == 0
+
+    def test_analytic_handle_falls_back_when_stale(self, primary):
+        with ReplicaManager(primary, replicas=1, auto_start=False) as manager:
+            primary.insert("item", {"item_id": 50, "bucket": "b2", "qty": 5})
+            connection = primary.connect(name="client")
+            target = connection.analytic(max_staleness=0.0)
+            assert target.database is primary
+            assert manager.primary_fallbacks == 1
+
+    def test_analytic_handle_without_a_manager_is_self(self, primary):
+        connection = primary.connect(name="client")
+        assert connection.analytic() is connection

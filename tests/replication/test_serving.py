@@ -1,0 +1,95 @@
+"""Serving-tier replication surfaces: runtime stats, status, shard op."""
+
+import pytest
+
+from repro.db.api import select
+from repro.serving import AgentRuntime
+from repro.serving.shard import ShardRouter
+
+
+@pytest.fixture()
+def runtime(trained_agent):
+    __, agent = trained_agent
+    return AgentRuntime.for_agent(agent)
+
+
+class TestRuntimeReplicas:
+    def test_enable_replicas_is_idempotent(self, runtime):
+        manager = runtime.enable_replicas(replicas=1)
+        try:
+            assert runtime.replica_manager is manager
+            assert runtime.enable_replicas(replicas=3) is manager
+            assert manager.replica_count == 1
+        finally:
+            manager.stop()
+        assert runtime.replica_manager is None
+
+    def test_stats_carry_the_replication_frontier(self, runtime):
+        stats = runtime.stats()
+        assert stats.replicas_live == 0
+        assert stats.replica_lag_seconds is None
+        manager = runtime.enable_replicas(replicas=1)
+        try:
+            assert manager.wait_for(timeout=10.0)
+            stats = runtime.stats()
+            assert stats.replicas_live == 1
+            assert stats.replica_lag_lsn == 0
+            assert stats.replica_lag_seconds == 0.0
+        finally:
+            manager.stop()
+
+    def test_replica_status_toggles_with_the_manager(self, runtime):
+        assert runtime.replica_status() == {"enabled": False}
+        manager = runtime.enable_replicas(replicas=1)
+        try:
+            status = runtime.replica_status()
+            assert status["enabled"] is True
+            assert status["replicas_live"] == 1
+        finally:
+            manager.stop()
+
+    def test_execute_analytic_charges_the_session(self, runtime):
+        manager = runtime.enable_replicas(replicas=1)
+        try:
+            assert manager.wait_for(timeout=10.0)
+            sid = runtime.create_session()
+            result = runtime.execute_analytic(
+                sid, select("reservation").count()
+            )
+            assert result.scalar() > 0
+            assert runtime.session(sid).replica_routes == 1
+            assert runtime.session_stats(sid).replica_routes == 1
+            # An unroutable bound falls back without charging.
+            runtime.execute_analytic(
+                sid, select("reservation").count(), max_staleness=-1.0
+            )
+            assert runtime.session(sid).replica_routes == 1
+        finally:
+            manager.stop()
+
+
+class _FakeReplicaRuntime:
+    """The minimal runtime surface the replica_status shard op touches."""
+
+    def __init__(self, tag):
+        self.tag = tag
+
+    def replica_status(self):
+        return {"enabled": True, "worker": self.tag, "replicas_live": 1}
+
+
+class TestShardReplicaStatus:
+    def test_replica_status_fans_out_per_worker(self):
+        tags = iter(range(3))
+
+        def make_fake():
+            # In-process workers build in index order, so the running
+            # tag matches the worker index.
+            return _FakeReplicaRuntime(next(tags))
+
+        with ShardRouter(3, make_fake, inprocess=True) as router:
+            status = router.replica_status()
+            assert sorted(status) == [0, 1, 2]
+            for index, payload in status.items():
+                assert payload["worker"] == index
+                assert payload["enabled"] is True

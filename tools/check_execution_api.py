@@ -105,12 +105,36 @@ INDEX_DDL_FORBIDDEN = (
     ),
 )
 
+# Files allowed to tail the replication log or drive replica internals:
+# the replication package itself, plus the persistence layer that owns
+# ``apply_log_ops`` (snapshot restore replays the same log records).
+# Everyone else consumes replicas through the routed surfaces —
+# ``Connection.analytic`` / ``Connection.execute`` routing,
+# ``ReplicaManager.read``/``wait_for``/``lag``/``status`` — so staleness
+# accounting and fallback semantics cannot be bypassed.
+REPLICATION_ALLOWED = {
+    SRC / "replication" / "log.py",
+    SRC / "replication" / "applier.py",
+    SRC / "replication" / "manager.py",
+    SRC / "db" / "persistence.py",
+}
+
+REPLICATION_FORBIDDEN = (
+    re.compile(r"\bReplicaApplier\s*\("),
+    re.compile(r"\bapply_log_ops\s*\("),
+    re.compile(
+        r"\.(records_since|wait_for_commit|oldest_stamp_after"
+        r"|catch_up|wait_until)\s*\("
+    ),
+)
+
 
 def main() -> int:
     violations: list[str] = []
     lock_violations: list[str] = []
     storage_violations: list[str] = []
     index_ddl_violations: list[str] = []
+    replication_violations: list[str] = []
     for path in sorted(SRC.rglob("*.py")):
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
@@ -142,6 +166,13 @@ def main() -> int:
                 for pattern in INDEX_DDL_FORBIDDEN:
                     if pattern.search(line):
                         index_ddl_violations.append(
+                            f"{rel}:{lineno}: {stripped}"
+                        )
+                        break
+            if path not in REPLICATION_ALLOWED:
+                for pattern in REPLICATION_FORBIDDEN:
+                    if pattern.search(line):
+                        replication_violations.append(
                             f"{rel}:{lineno}: {stripped}"
                         )
                         break
@@ -181,11 +212,22 @@ def main() -> int:
         )
         for violation in index_ddl_violations:
             print(f"  {violation}", file=sys.stderr)
+    if replication_violations:
+        print(
+            "replication log/replica internals driven outside "
+            "repro/replication (consume replicas through "
+            "Connection.analytic / Connection.execute routing or "
+            "ReplicaManager.read / wait_for / lag / status instead):",
+            file=sys.stderr,
+        )
+        for violation in replication_violations:
+            print(f"  {violation}", file=sys.stderr)
     if (
         violations
         or lock_violations
         or storage_violations
         or index_ddl_violations
+        or replication_violations
     ):
         return 1
     print(f"execution-API lint ok ({SRC})")
